@@ -1,0 +1,100 @@
+// Shared benchmark driver (paper §6.2 methodology).
+//
+// The paper preloads 10 M records and then runs 190 M operations per phase
+// on a 24-core machine. Sizes here are scaled by --scale (default 0.02 →
+// 200 k preload / 3.8 M ops) so every figure regenerates in CI time; pass
+// --scale=1 for paper-sized runs. Threads are pinned to cores. Each phase
+// reports throughput (Mops/s) plus PM access counters per operation, so
+// the bandwidth arguments of the paper are directly visible.
+//
+// Optional PM latency emulation: set DASH_PM_FLUSH_NS / DASH_PM_READ_NS
+// (e.g., 100 / 300) to model DCPMM access costs on DRAM.
+
+#ifndef DASH_PM_BENCH_BENCH_COMMON_H_
+#define DASH_PM_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/kv_index.h"
+#include "epoch/epoch_manager.h"
+#include "pmem/pool.h"
+#include "pmem/stats.h"
+
+namespace dash::bench {
+
+struct BenchConfig {
+  double scale = 0.02;           // fraction of paper-sized workloads
+  std::vector<int> thread_counts = {1, 2, 4};
+  size_t pool_gb = 4;
+  std::string pool_dir;          // default: /dev/shm or /tmp
+
+  // Paper-sized phases, scaled.
+  uint64_t Preload() const { return Scaled(10'000'000); }
+  uint64_t Ops() const { return Scaled(190'000'000); }
+  uint64_t Scaled(uint64_t paper_n) const {
+    const double n = static_cast<double>(paper_n) * scale;
+    return n < 1 ? 1 : static_cast<uint64_t>(n);
+  }
+};
+
+// Parses --scale=X, --threads=a,b,c, --pool-gb=N; ignores unknown flags.
+BenchConfig ParseArgs(int argc, char** argv);
+
+// A freshly created pool + table of `kind`, at a unique temp path.
+struct TableHandle {
+  std::unique_ptr<pmem::PmPool> pool;
+  std::unique_ptr<epoch::EpochManager> epochs;
+  std::unique_ptr<api::KvIndex> table;
+  std::string path;
+
+  TableHandle() = default;
+  TableHandle(TableHandle&&) = default;
+  TableHandle& operator=(TableHandle&&) = default;
+  ~TableHandle();
+};
+
+TableHandle MakeTable(api::IndexKind kind, const BenchConfig& config,
+                      const DashOptions& options);
+
+// Phase result: throughput and PM counters per op.
+struct PhaseResult {
+  double mops = 0;
+  double seconds = 0;
+  double clwb_per_op = 0;
+  double reads_per_op = 0;
+  double lockwrites_per_op = 0;
+};
+
+// Runs `fn(thread_id, begin, end)` over [0, total_ops) partitioned across
+// `threads` pinned threads; returns wall-clock based throughput and the PM
+// counter deltas.
+PhaseResult RunParallel(
+    int threads, uint64_t total_ops,
+    const std::function<void(int, uint64_t, uint64_t)>& fn);
+
+// Standard phases over a KvIndex with keys in [1, n] preloaded.
+// `key_base` offsets the key space (insert phases use fresh keys).
+void Preload(api::KvIndex* table, uint64_t n, int threads = 4);
+PhaseResult InsertPhase(api::KvIndex* table, uint64_t base, uint64_t n,
+                        int threads);
+PhaseResult PositiveSearchPhase(api::KvIndex* table, uint64_t preloaded,
+                                uint64_t ops, int threads);
+PhaseResult NegativeSearchPhase(api::KvIndex* table, uint64_t preloaded,
+                                uint64_t ops, int threads);
+PhaseResult DeletePhase(api::KvIndex* table, uint64_t n, int threads);
+// 20% insert / 80% search (paper §6.4 mixed workload).
+PhaseResult MixedPhase(api::KvIndex* table, uint64_t preloaded, uint64_t ops,
+                       int threads);
+
+// Prints a row: bench, table, op, threads, Mops, counters.
+void PrintHeader(const std::string& bench);
+void PrintRow(const std::string& bench, const std::string& table,
+              const std::string& op, int threads, const PhaseResult& result);
+
+}  // namespace dash::bench
+
+#endif  // DASH_PM_BENCH_BENCH_COMMON_H_

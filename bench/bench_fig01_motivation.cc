@@ -1,0 +1,43 @@
+// Figure 1: motivation — CCEH and Level hashing fail to scale on PM for
+// both inserts and (even read-only) searches. Reproduces the two panels of
+// the figure as throughput-vs-threads series.
+//
+// Expected shape: insert throughput flattens for both baselines as threads
+// grow (PM write bandwidth + locking); search scales sub-linearly because
+// every probe writes the PM-resident read locks.
+
+#include "bench_common.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+  PrintHeader("fig01_motivation");
+
+  for (api::IndexKind kind : {api::IndexKind::kCCEH, api::IndexKind::kLevel}) {
+    for (int threads : config.thread_counts) {
+      DashOptions opts;
+      // Insert panel.
+      {
+        TableHandle h = MakeTable(kind, config, opts);
+        Preload(h.table.get(), config.Preload());
+        const PhaseResult r =
+            InsertPhase(h.table.get(), config.Preload(), config.Ops(), threads);
+        PrintRow("fig01_motivation", api::IndexKindName(kind), "insert",
+                 threads, r);
+      }
+      // Search panel.
+      {
+        TableHandle h = MakeTable(kind, config, opts);
+        const uint64_t n = config.Preload() + config.Ops();
+        Preload(h.table.get(), n);
+        const PhaseResult r =
+            PositiveSearchPhase(h.table.get(), n, config.Ops(), threads);
+        PrintRow("fig01_motivation", api::IndexKindName(kind), "search",
+                 threads, r);
+      }
+    }
+  }
+  return 0;
+}

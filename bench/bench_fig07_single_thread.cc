@@ -1,0 +1,149 @@
+// Figure 7: single-thread performance of all four tables under fixed-
+// length keys (left panel) and variable-length keys (right panel), for
+// insert / positive search / negative search / delete.
+//
+// Expected shape (paper): Dash-EH ≈ Dash-LH > CCEH > Level for searches
+// (fingerprints avoid PM reads); Dash ≈ CCEH > Level for inserts; the gaps
+// widen dramatically under variable-length keys (pointer dereferences).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+// Variable-length key workload over the VarKvIndex interface.
+struct VarTableHandle {
+  std::unique_ptr<pmem::PmPool> pool;
+  std::unique_ptr<epoch::EpochManager> epochs;
+  std::unique_ptr<api::VarKvIndex> table;
+  std::string path;
+
+  VarTableHandle() = default;
+  VarTableHandle(VarTableHandle&&) = default;
+  VarTableHandle& operator=(VarTableHandle&&) = default;
+  ~VarTableHandle() {
+    if (table != nullptr) table->CloseClean();
+    table.reset();
+    if (pool != nullptr) pool->CloseClean();
+    pool.reset();
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+VarTableHandle MakeVarTable(api::IndexKind kind, const BenchConfig& config) {
+  VarTableHandle handle;
+  static int counter = 0;
+  handle.path = config.pool_dir + "/dash_bench_var_" +
+                std::to_string(getpid()) + "_" + std::to_string(counter++);
+  std::remove(handle.path.c_str());
+  pmem::PmPool::Options pool_options;
+  pool_options.pool_size = config.pool_gb << 30;
+  handle.pool = pmem::PmPool::Create(handle.path, pool_options);
+  if (handle.pool == nullptr) std::exit(1);
+  handle.epochs = std::make_unique<epoch::EpochManager>();
+  DashOptions opts;
+  handle.table = api::CreateVarKvIndex(kind, handle.pool.get(),
+                                       handle.epochs.get(), opts);
+  return handle;
+}
+
+// 16-byte keys (paper §6.2 variable-length configuration).
+void VarKeyOf(uint64_t i, char out[17]) {
+  std::snprintf(out, 17, "k%015llu",
+                static_cast<unsigned long long>(i % 1'000'000'000'000'000ull));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+  PrintHeader("fig07_single_thread");
+  const uint64_t preload = config.Preload();
+  const uint64_t ops = config.Scaled(190'000'000) / 4;  // per-op budget
+
+  const api::IndexKind kinds[] = {api::IndexKind::kLevel,
+                                  api::IndexKind::kCCEH,
+                                  api::IndexKind::kDashEH,
+                                  api::IndexKind::kDashLH};
+
+  // --- fixed-length keys ---
+  for (api::IndexKind kind : kinds) {
+    DashOptions opts;
+    TableHandle h = MakeTable(kind, config, opts);
+    Preload(h.table.get(), preload);
+    PrintRow("fig07_fixed", api::IndexKindName(kind), "insert", 1,
+             InsertPhase(h.table.get(), preload, ops, 1));
+    PrintRow("fig07_fixed", api::IndexKindName(kind), "pos_search", 1,
+             PositiveSearchPhase(h.table.get(), preload, ops, 1));
+    PrintRow("fig07_fixed", api::IndexKindName(kind), "neg_search", 1,
+             NegativeSearchPhase(h.table.get(), preload, ops, 1));
+    PrintRow("fig07_fixed", api::IndexKindName(kind), "delete", 1,
+             DeletePhase(h.table.get(), std::min(preload, ops), 1));
+  }
+
+  // --- variable-length (16-byte) keys ---
+  for (api::IndexKind kind : kinds) {
+    VarTableHandle h = MakeVarTable(kind, config);
+    api::VarKvIndex* table = h.table.get();
+    char key[17];
+    for (uint64_t i = 1; i <= preload; ++i) {
+      VarKeyOf(i, key);
+      table->Insert(std::string_view(key, 16), i);
+    }
+    {
+      const PhaseResult r = RunParallel(
+          1, ops, [&](int, uint64_t begin, uint64_t end) {
+            char k[17];
+            for (uint64_t i = begin; i < end; ++i) {
+              VarKeyOf(preload + i + 1, k);
+              table->Insert(std::string_view(k, 16), i);
+            }
+          });
+      PrintRow("fig07_var", api::IndexKindName(kind), "insert", 1, r);
+    }
+    {
+      const PhaseResult r = RunParallel(
+          1, ops, [&](int, uint64_t begin, uint64_t end) {
+            char k[17];
+            uint64_t value;
+            for (uint64_t i = begin; i < end; ++i) {
+              VarKeyOf((i * 2654435761u) % preload + 1, k);
+              table->Search(std::string_view(k, 16), &value);
+            }
+          });
+      PrintRow("fig07_var", api::IndexKindName(kind), "pos_search", 1, r);
+    }
+    {
+      const PhaseResult r = RunParallel(
+          1, ops, [&](int, uint64_t begin, uint64_t end) {
+            char k[17];
+            uint64_t value;
+            for (uint64_t i = begin; i < end; ++i) {
+              VarKeyOf(100'000'000'000ull + i, k);
+              table->Search(std::string_view(k, 16), &value);
+            }
+          });
+      PrintRow("fig07_var", api::IndexKindName(kind), "neg_search", 1, r);
+    }
+    {
+      const uint64_t deletes = std::min(preload, ops);
+      const PhaseResult r = RunParallel(
+          1, deletes, [&](int, uint64_t begin, uint64_t end) {
+            char k[17];
+            for (uint64_t i = begin; i < end; ++i) {
+              VarKeyOf(i + 1, k);
+              table->Delete(std::string_view(k, 16));
+            }
+          });
+      PrintRow("fig07_var", api::IndexKindName(kind), "delete", 1, r);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 8(a-e): scalability of all four tables under insert, positive
+// search, negative search, delete, and the 20/80 mixed workload, across a
+// range of thread counts.
+//
+// Expected shape: Dash-EH/LH scale near-linearly for searches (optimistic
+// locking: no PM writes to read); CCEH and Level flatten (pessimistic
+// locks). For inserts Dash leads but none scale perfectly (inherent random
+// PM writes).
+
+#include "bench_common.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+  PrintHeader("fig08_scalability");
+
+  const api::IndexKind kinds[] = {api::IndexKind::kDashEH,
+                                  api::IndexKind::kDashLH,
+                                  api::IndexKind::kCCEH,
+                                  api::IndexKind::kLevel};
+
+  for (api::IndexKind kind : kinds) {
+    for (int threads : config.thread_counts) {
+      DashOptions opts;
+      // (a) insert
+      {
+        TableHandle h = MakeTable(kind, config, opts);
+        Preload(h.table.get(), config.Preload());
+        PrintRow("fig08a", api::IndexKindName(kind), "insert", threads,
+                 InsertPhase(h.table.get(), config.Preload(), config.Ops(),
+                             threads));
+      }
+      // (b)-(d) search/delete phases share one preloaded table.
+      {
+        TableHandle h = MakeTable(kind, config, opts);
+        const uint64_t n = config.Preload() + config.Ops();
+        Preload(h.table.get(), n);
+        PrintRow("fig08b", api::IndexKindName(kind), "pos_search", threads,
+                 PositiveSearchPhase(h.table.get(), n, config.Ops(), threads));
+        PrintRow("fig08c", api::IndexKindName(kind), "neg_search", threads,
+                 NegativeSearchPhase(h.table.get(), n, config.Ops(), threads));
+        PrintRow("fig08d", api::IndexKindName(kind), "delete", threads,
+                 DeletePhase(h.table.get(), config.Ops(), threads));
+      }
+      // (e) mixed 20% insert / 80% search, preloaded with 60M-scaled.
+      {
+        TableHandle h = MakeTable(kind, config, opts);
+        const uint64_t preload = config.Scaled(60'000'000);
+        Preload(h.table.get(), preload);
+        PrintRow("fig08e", api::IndexKindName(kind), "mixed", threads,
+                 MixedPhase(h.table.get(), preload, config.Ops(), threads));
+      }
+    }
+  }
+  return 0;
+}

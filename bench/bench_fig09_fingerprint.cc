@@ -1,0 +1,40 @@
+// Figure 9: effect of fingerprinting in Dash-EH, with fixed-length (left)
+// and variable-length (right) keys, multi-threaded.
+//
+// Expected shape: largest gains on negative search (no fingerprint match →
+// zero record probes), moderate on positive search / insert (uniqueness
+// check); much larger across the board for variable-length keys, where
+// every skipped probe avoids a pointer dereference.
+
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+  PrintHeader("fig09_fingerprint");
+  const int threads = config.thread_counts.back();
+  const uint64_t preload = config.Preload();
+  const uint64_t ops = config.Scaled(190'000'000) / 4;
+
+  for (bool fingerprints : {false, true}) {
+    DashOptions opts;
+    opts.use_fingerprints = fingerprints;
+    const char* tag = fingerprints ? "with_fp" : "without_fp";
+
+    TableHandle h = MakeTable(api::IndexKind::kDashEH, config, opts);
+    Preload(h.table.get(), preload);
+    PrintRow("fig09_fixed", tag, "insert", threads,
+             InsertPhase(h.table.get(), preload, ops, threads));
+    PrintRow("fig09_fixed", tag, "pos_search", threads,
+             PositiveSearchPhase(h.table.get(), preload, ops, threads));
+    PrintRow("fig09_fixed", tag, "neg_search", threads,
+             NegativeSearchPhase(h.table.get(), preload, ops, threads));
+    PrintRow("fig09_fixed", tag, "delete", threads,
+             DeletePhase(h.table.get(), std::min(preload, ops), threads));
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 10: effect of the overflow metadata (overflow fingerprints +
+// counters) with two (left) and four (right) stash buckets per segment.
+//
+// Expected shape: without the metadata, negative searches must probe every
+// stash bucket, so throughput drops as stash count grows; with it, the
+// early-stop check keeps performance flat.
+
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+  PrintHeader("fig10_overflow_metadata");
+  const int threads = config.thread_counts.back();
+  const uint64_t preload = config.Preload();
+  const uint64_t ops = config.Scaled(190'000'000) / 4;
+
+  for (uint32_t stash : {2u, 4u}) {
+    for (bool metadata : {false, true}) {
+      DashOptions opts;
+      opts.stash_buckets = stash;
+      opts.use_overflow_metadata = metadata;
+      const std::string tag = std::string(metadata ? "with_md" : "no_md") +
+                              "_s" + std::to_string(stash);
+
+      TableHandle h = MakeTable(api::IndexKind::kDashEH, config, opts);
+      Preload(h.table.get(), preload);
+      PrintRow("fig10", tag, "insert", threads,
+               InsertPhase(h.table.get(), preload, ops, threads));
+      PrintRow("fig10", tag, "pos_search", threads,
+               PositiveSearchPhase(h.table.get(), preload, ops, threads));
+      PrintRow("fig10", tag, "neg_search", threads,
+               NegativeSearchPhase(h.table.get(), preload, ops, threads));
+      PrintRow("fig10", tag, "delete", threads,
+               DeletePhase(h.table.get(), std::min(preload, ops), threads));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 11: maximum load factor of ONE segment as techniques are stacked
+// (bucketized -> +probing -> +balanced insert -> +displacement -> +2/4
+// stash buckets) across segment sizes from 1 KB to 128 KB.
+//
+// Expected shape: bucketized degrades sharply with segment size (~40% at
+// 128 KB); probing adds ~20 points; balanced insert + displacement another
+// ~20; stashing reaches near-100% for small-to-medium segments. Dash's
+// full stack more than doubles vanilla segmentation at large sizes.
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dash/segment.h"
+#include "util/hash.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+double MaxSegmentLoadFactor(pmem::PmPool* pool, const DashOptions& opts) {
+  auto* seg = static_cast<Segment*>(pool->allocator().Alloc(
+      Segment::AllocSize(opts.buckets_per_segment, opts.stash_buckets)));
+  if (seg == nullptr) return -1;
+  seg->Initialize(opts.buckets_per_segment, opts.stash_buckets, 0, 0,
+                  Segment::kClean, 1);
+  uint64_t k = 1;
+  while (seg->Insert<IntKeyPolicy>(k, k, util::HashInt64(k), opts,
+                                   &pool->allocator(), false,
+                                   [] { return true; }) == OpStatus::kOk) {
+    ++k;
+  }
+  const double fullness = seg->Fullness();
+  pool->allocator().Free(seg);
+  return fullness;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+  std::printf("# fig11_load_factor_seg: max load factor of one segment\n");
+  std::printf("%-20s", "technique");
+  const uint32_t sizes_kb[] = {1, 8, 16, 32, 64, 128};
+  for (uint32_t kb : sizes_kb) std::printf(" %7uKB", kb);
+  std::printf("\n");
+
+  struct Config {
+    const char* name;
+    bool probing, balanced, displacement;
+    uint32_t stash;
+  };
+  const Config rows[] = {
+      {"bucketized", false, false, false, 0},
+      {"+probing", true, false, false, 0},
+      {"+balanced_insert", true, true, false, 0},
+      {"+displacement", true, true, true, 0},
+      {"+2_stash", true, true, true, 2},
+      {"+4_stash", true, true, true, 4},
+  };
+
+  pmem::PmPool::Options pool_options;
+  pool_options.pool_size = 1ull << 30;
+  const std::string path = config.pool_dir + "/dash_fig11_" +
+                           std::to_string(getpid());
+  std::remove(path.c_str());
+  auto pool = pmem::PmPool::Create(path, pool_options);
+  if (pool == nullptr) return 1;
+
+  for (const Config& row : rows) {
+    std::printf("%-20s", row.name);
+    for (uint32_t kb : sizes_kb) {
+      DashOptions opts;
+      opts.buckets_per_segment = kb * 1024 / 256;  // 256-byte buckets
+      opts.stash_buckets = row.stash;
+      opts.use_probing_bucket = row.probing;
+      opts.use_balanced_insert = row.balanced;
+      opts.use_displacement = row.displacement;
+      std::printf(" %9.3f", MaxSegmentLoadFactor(pool.get(), opts));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  pool->CloseClean();
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 12: table-wide load factor as records are inserted, for
+// Dash-EH(2 stash), Dash-EH(4 stash), Dash-LH(2 stash), CCEH and Level
+// hashing.
+//
+// Expected shape: CCEH oscillates in the 35-43% band (pre-mature splits);
+// Dash-EH(2) peaks near 80%, Dash-EH(4) and Level hashing reach ~90%;
+// "dips" mark splits/rehashes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+struct Series {
+  std::string name;
+  api::IndexKind kind;
+  DashOptions opts;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+  // Paper x-axis: 0..240k records; we keep that size (it is already small).
+  const uint64_t max_records = config.Scaled(240'000) < 24'000
+                                   ? 240'000
+                                   : config.Scaled(240'000);
+  const uint64_t step = max_records / 60;
+
+  std::vector<Series> series;
+  {
+    Series s{"dash-eh(2)", api::IndexKind::kDashEH, {}};
+    s.opts.stash_buckets = 2;
+    series.push_back(s);
+  }
+  {
+    Series s{"dash-eh(4)", api::IndexKind::kDashEH, {}};
+    s.opts.stash_buckets = 4;
+    series.push_back(s);
+  }
+  {
+    Series s{"dash-lh(2)", api::IndexKind::kDashLH, {}};
+    s.opts.stash_buckets = 2;
+    s.opts.lh_base_segments = 4;
+    s.opts.lh_stride = 4;
+    series.push_back(s);
+  }
+  series.push_back(Series{"cceh", api::IndexKind::kCCEH, {}});
+  series.push_back(Series{"level", api::IndexKind::kLevel, {}});
+
+  std::printf("# fig12_load_factor_curve: load factor vs records inserted\n");
+  std::printf("%-12s", "records");
+  for (const Series& s : series) std::printf(" %12s", s.name.c_str());
+  std::printf("\n");
+
+  std::vector<TableHandle> tables;
+  tables.reserve(series.size());
+  for (const Series& s : series) {
+    tables.push_back(MakeTable(s.kind, config, s.opts));
+  }
+
+  for (uint64_t n = step; n <= max_records; n += step) {
+    std::printf("%-12lu", static_cast<unsigned long>(n));
+    for (size_t i = 0; i < series.size(); ++i) {
+      for (uint64_t k = n - step + 1; k <= n; ++k) {
+        tables[i].table->Insert(k, k);
+      }
+      std::printf(" %12.4f", tables[i].table->Stats().load_factor);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 13: optimistic locking vs pessimistic reader-writer spinlocks in
+// Dash-EH, under positive and negative search, across thread counts.
+//
+// Expected shape: optimistic locking scales near-linearly (readers never
+// write); the spinlock variant flattens — every search performs PM writes
+// to acquire/release the bucket read locks (visible in the lockwr/op
+// column).
+
+#include "bench_common.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+  PrintHeader("fig13_concurrency");
+  const uint64_t preload = config.Preload() + config.Ops();
+
+  for (ConcurrencyMode mode :
+       {ConcurrencyMode::kOptimistic, ConcurrencyMode::kRwLock}) {
+    const char* tag =
+        mode == ConcurrencyMode::kOptimistic ? "optimistic" : "spinlock";
+    DashOptions opts;
+    opts.concurrency = mode;
+    TableHandle h = MakeTable(api::IndexKind::kDashEH, config, opts);
+    Preload(h.table.get(), preload);
+    for (int threads : config.thread_counts) {
+      PrintRow("fig13", tag, "pos_search", threads,
+               PositiveSearchPhase(h.table.get(), preload, config.Ops(),
+                                   threads));
+      PrintRow("fig13", tag, "neg_search", threads,
+               NegativeSearchPhase(h.table.get(), preload, config.Ops(),
+                                   threads));
+    }
+  }
+  return 0;
+}

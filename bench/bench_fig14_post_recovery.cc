@@ -1,0 +1,105 @@
+// Figure 14: throughput over time immediately after an instant-recovery
+// restart (Dash-EH and Dash-LH), single-threaded and multi-threaded.
+//
+// Expected shape: throughput starts low (every first touch of a segment
+// pays the lazy recovery pass: lock clearing, dedup, overflow-metadata
+// rebuild) and returns to normal; more threads recover segments in
+// parallel and normalize sooner.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/rand.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+void RunSeries(api::IndexKind kind, const BenchConfig& config, int threads) {
+  DashOptions opts;
+  static int counter = 0;
+  const std::string path = config.pool_dir + "/dash_fig14_" +
+                           std::to_string(getpid()) + "_" +
+                           std::to_string(counter++);
+  std::remove(path.c_str());
+  pmem::PmPool::Options pool_options;
+  pool_options.pool_size = config.pool_gb << 30;
+  const uint64_t preload = config.Scaled(40'000'000);
+
+  {
+    auto pool = pmem::PmPool::Create(path, pool_options);
+    if (pool == nullptr) std::exit(1);
+    epoch::EpochManager epochs;
+    auto table = api::CreateKvIndex(kind, pool.get(), &epochs, opts);
+    RunParallel(4, preload, [&](int, uint64_t begin, uint64_t end) {
+      for (uint64_t i = begin; i < end; ++i) table->Insert(i + 1, i + 1);
+    });
+    epochs.DiscardAll();
+    table.reset();
+    pool->CloseDirty();  // kill while "running"
+  }
+
+  auto pool = pmem::PmPool::Open(path);
+  if (pool == nullptr) std::exit(1);
+  epoch::EpochManager epochs;
+  auto table = api::CreateKvIndex(kind, pool.get(), &epochs, opts);
+
+  // Positive searches; sample throughput in fixed windows.
+  constexpr int kWindows = 24;
+  const auto window = std::chrono::milliseconds(50);
+  std::atomic<uint64_t> ops{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 1);
+      uint64_t value;
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t key = rng.NextBounded(preload) + 1;
+        table->Search(key, &value);
+        if ((++local & 0xFF) == 0) {
+          ops.fetch_add(256, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::printf("# fig14 %s threads=%d (window=50ms)\n",
+              api::IndexKindName(kind), threads);
+  std::printf("%-12s %12s\n", "time_ms", "Mops/s");
+  uint64_t prev = 0;
+  for (int w = 1; w <= kWindows; ++w) {
+    std::this_thread::sleep_for(window);
+    const uint64_t now = ops.load(std::memory_order_relaxed);
+    std::printf("%-12d %12.3f\n", w * 50,
+                static_cast<double>(now - prev) / 0.05 / 1e6);
+    prev = now;
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  table->CloseClean();
+  table.reset();
+  pool->CloseClean();
+  std::remove(path.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+  for (api::IndexKind kind :
+       {api::IndexKind::kDashEH, api::IndexKind::kDashLH}) {
+    RunSeries(kind, config, 1);
+    RunSeries(kind, config, config.thread_counts.back());
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Google-benchmark microbenchmarks: per-operation cost of the four tables
+// and of the PM substrate primitives. Complements the figure drivers with
+// statistically robust single-op numbers.
+
+#include <unistd.h>
+
+#include <benchmark/benchmark.h>
+
+#include "api/kv_index.h"
+#include "bench_common.h"
+#include "pmem/persist.h"
+#include "util/hash.h"
+#include "util/rand.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+BenchConfig GlobalConfig() {
+  BenchConfig config;
+  config.pool_dir = access("/dev/shm", W_OK) == 0 ? "/dev/shm" : "/tmp";
+  config.pool_gb = 2;
+  return config;
+}
+
+api::IndexKind KindOf(int64_t i) {
+  switch (i) {
+    case 0: return api::IndexKind::kDashEH;
+    case 1: return api::IndexKind::kDashLH;
+    case 2: return api::IndexKind::kCCEH;
+    default: return api::IndexKind::kLevel;
+  }
+}
+
+void BM_Insert(benchmark::State& state) {
+  const BenchConfig config = GlobalConfig();
+  DashOptions opts;
+  TableHandle h = MakeTable(KindOf(state.range(0)), config, opts);
+  uint64_t key = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.table->Insert(key, key));
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(api::IndexKindName(KindOf(state.range(0))));
+}
+BENCHMARK(BM_Insert)->DenseRange(0, 3)->Unit(benchmark::kNanosecond);
+
+void BM_PositiveSearch(benchmark::State& state) {
+  const BenchConfig config = GlobalConfig();
+  DashOptions opts;
+  TableHandle h = MakeTable(KindOf(state.range(0)), config, opts);
+  constexpr uint64_t kPreload = 200'000;
+  for (uint64_t k = 1; k <= kPreload; ++k) h.table->Insert(k, k);
+  util::Xoshiro256 rng(7);
+  uint64_t value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        h.table->Search(rng.NextBounded(kPreload) + 1, &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(api::IndexKindName(KindOf(state.range(0))));
+}
+BENCHMARK(BM_PositiveSearch)->DenseRange(0, 3)->Unit(benchmark::kNanosecond);
+
+void BM_NegativeSearch(benchmark::State& state) {
+  const BenchConfig config = GlobalConfig();
+  DashOptions opts;
+  TableHandle h = MakeTable(KindOf(state.range(0)), config, opts);
+  constexpr uint64_t kPreload = 200'000;
+  for (uint64_t k = 1; k <= kPreload; ++k) h.table->Insert(k, k);
+  uint64_t absent = 1'000'000'000ull;
+  uint64_t value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.table->Search(absent++, &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(api::IndexKindName(KindOf(state.range(0))));
+}
+BENCHMARK(BM_NegativeSearch)->DenseRange(0, 3)->Unit(benchmark::kNanosecond);
+
+void BM_HashInt64(benchmark::State& state) {
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::HashInt64(++k));
+  }
+}
+BENCHMARK(BM_HashInt64);
+
+void BM_PersistLine(benchmark::State& state) {
+  alignas(64) static char line[64];
+  for (auto _ : state) {
+    pmem::Persist(line, sizeof(line));
+  }
+}
+BENCHMARK(BM_PersistLine);
+
+}  // namespace
+
+BENCHMARK_MAIN();

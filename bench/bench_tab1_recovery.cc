@@ -1,0 +1,96 @@
+// Table 1: time until the table can serve requests after a crash, as a
+// function of indexed data size.
+//
+// Expected shape: Dash-EH / Dash-LH / Level hashing are constant (open the
+// pool, read/bump one byte); CCEH grows linearly with data size because it
+// must scan the whole directory before serving.
+// Paper sizes (40M-1280M records) are scaled by --scale.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+double MeasureRecoveryMs(api::IndexKind kind, const BenchConfig& config,
+                         uint64_t records) {
+  DashOptions opts;
+  static int counter = 0;
+  const std::string path = config.pool_dir + "/dash_tab1_" +
+                           std::to_string(getpid()) + "_" +
+                           std::to_string(counter++);
+  std::remove(path.c_str());
+  pmem::PmPool::Options pool_options;
+  pool_options.pool_size = config.pool_gb << 30;
+
+  {
+    auto pool = pmem::PmPool::Create(path, pool_options);
+    if (pool == nullptr) std::exit(1);
+    epoch::EpochManager epochs;
+    auto table = api::CreateKvIndex(kind, pool.get(), &epochs, opts);
+    const int threads = config.thread_counts.back();
+    RunParallel(threads, records,
+                [&](int, uint64_t begin, uint64_t end) {
+                  for (uint64_t i = begin; i < end; ++i) {
+                    table->Insert(i + 1, i + 1);
+                  }
+                });
+    epochs.DiscardAll();
+    table.reset();
+    pool->CloseDirty();  // simulated power failure
+  }
+
+  // Time-to-ready: open the pool and construct the table (for CCEH this
+  // includes the directory scan; for Dash/Level it is constant work).
+  const auto start = std::chrono::steady_clock::now();
+  auto pool = pmem::PmPool::Open(path);
+  if (pool == nullptr) std::exit(1);
+  epoch::EpochManager epochs;
+  auto table = api::CreateKvIndex(kind, pool.get(), &epochs, opts);
+  // First request serviceable here.
+  uint64_t value;
+  table->Search(1, &value);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  table.reset();
+  pool->CloseClean();
+  std::remove(path.c_str());
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             elapsed)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+  std::printf("# tab1_recovery: time (ms) until first request, vs records\n");
+  const uint64_t paper_sizes[] = {40'000'000, 80'000'000, 160'000'000,
+                                  320'000'000};
+  std::printf("%-10s", "table");
+  for (uint64_t s : paper_sizes) {
+    std::printf(" %11luM", static_cast<unsigned long>(s / 1'000'000));
+  }
+  std::printf("\n");
+
+  const api::IndexKind kinds[] = {api::IndexKind::kDashEH,
+                                  api::IndexKind::kDashLH,
+                                  api::IndexKind::kCCEH,
+                                  api::IndexKind::kLevel};
+  for (api::IndexKind kind : kinds) {
+    std::printf("%-10s", api::IndexKindName(kind));
+    for (uint64_t paper_n : paper_sizes) {
+      const uint64_t records = config.Scaled(paper_n);
+      std::printf(" %12.2f", MeasureRecoveryMs(kind, config, records));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

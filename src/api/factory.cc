@@ -1,0 +1,163 @@
+#include "api/kv_index.h"
+
+#include <cstring>
+
+#include "cceh/cceh.h"
+#include "dash/dash_eh.h"
+#include "dash/dash_lh.h"
+#include "level/level_hashing.h"
+
+namespace dash::api {
+
+namespace {
+
+// Maps the shared structural options onto baseline parameters so all four
+// tables start with comparable capacity.
+cceh::CcehOptions ToCcehOptions(const DashOptions& o) {
+  cceh::CcehOptions c;
+  // Match total segment bytes: Dash 64 x 256 B buckets == CCEH 256 x 64 B.
+  c.buckets_per_segment = o.buckets_per_segment * 4;
+  c.initial_depth = o.initial_depth;
+  return c;
+}
+
+level::LevelOptions ToLevelOptions(const DashOptions& o) {
+  level::LevelOptions l;
+  // Match initial slot capacity roughly: segments * buckets * 14 slots over
+  // 7-slot 128-byte buckets.
+  const uint64_t slots = (1ull << o.initial_depth) *
+                         static_cast<uint64_t>(o.buckets_per_segment) * 14;
+  uint64_t buckets = 16;
+  while (buckets * level::kSlotsPerBucket * 3 / 2 < slots) buckets *= 2;
+  l.initial_top_buckets = buckets;
+  return l;
+}
+
+template <typename Table, typename Key, IndexKind Kind, typename Base>
+class IndexAdapter : public Base {
+ public:
+  template <typename Options>
+  IndexAdapter(pmem::PmPool* pool, epoch::EpochManager* epochs,
+               const Options& options)
+      : table_(pool, epochs, options) {}
+
+  bool Insert(Key key, uint64_t value) override {
+    if constexpr (requires(Table& t) {
+                    { t.Insert(key, value) } -> std::same_as<OpStatus>;
+                  }) {
+      return table_.Insert(key, value) == OpStatus::kOk;
+    } else {
+      return table_.Insert(key, value);
+    }
+  }
+  bool Search(Key key, uint64_t* value) override {
+    if constexpr (requires(Table& t) {
+                    { t.Search(key, value) } -> std::same_as<OpStatus>;
+                  }) {
+      return table_.Search(key, value) == OpStatus::kOk;
+    } else {
+      return table_.Search(key, value);
+    }
+  }
+  bool Update(Key key, uint64_t value) override {
+    if constexpr (requires(Table& t) {
+                    { t.Update(key, value) } -> std::same_as<OpStatus>;
+                  }) {
+      return table_.Update(key, value) == OpStatus::kOk;
+    } else {
+      return table_.Update(key, value);
+    }
+  }
+  bool Delete(Key key) override {
+    if constexpr (requires(Table& t) {
+                    { t.Delete(key) } -> std::same_as<OpStatus>;
+                  }) {
+      return table_.Delete(key) == OpStatus::kOk;
+    } else {
+      return table_.Delete(key);
+    }
+  }
+  void CloseClean() override { table_.CloseClean(); }
+  IndexStats Stats() override {
+    const auto s = table_.Stats();
+    IndexStats out;
+    out.records = s.records;
+    out.capacity_slots = s.capacity_slots;
+    out.load_factor = s.load_factor;
+    return out;
+  }
+  IndexKind kind() const override { return Kind; }
+
+  Table& table() { return table_; }
+
+ private:
+  Table table_;
+};
+
+template <typename KP, typename Key, typename Base>
+std::unique_ptr<Base> Make(IndexKind kind, pmem::PmPool* pool,
+                           epoch::EpochManager* epochs,
+                           const DashOptions& options) {
+  switch (kind) {
+    case IndexKind::kDashEH:
+      return std::make_unique<
+          IndexAdapter<DashEH<KP>, Key, IndexKind::kDashEH, Base>>(
+          pool, epochs, options);
+    case IndexKind::kDashLH:
+      return std::make_unique<
+          IndexAdapter<DashLH<KP>, Key, IndexKind::kDashLH, Base>>(
+          pool, epochs, options);
+    case IndexKind::kCCEH:
+      return std::make_unique<
+          IndexAdapter<cceh::CCEH<KP>, Key, IndexKind::kCCEH, Base>>(
+          pool, epochs, ToCcehOptions(options));
+    case IndexKind::kLevel:
+      return std::make_unique<
+          IndexAdapter<level::LevelHashing<KP>, Key, IndexKind::kLevel,
+                       Base>>(pool, epochs, ToLevelOptions(options));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kDashEH: return "dash-eh";
+    case IndexKind::kDashLH: return "dash-lh";
+    case IndexKind::kCCEH: return "cceh";
+    case IndexKind::kLevel: return "level";
+  }
+  return "unknown";
+}
+
+bool ParseIndexKind(std::string_view name, IndexKind* kind) {
+  if (name == "dash-eh") {
+    *kind = IndexKind::kDashEH;
+  } else if (name == "dash-lh") {
+    *kind = IndexKind::kDashLH;
+  } else if (name == "cceh") {
+    *kind = IndexKind::kCCEH;
+  } else if (name == "level") {
+    *kind = IndexKind::kLevel;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<KvIndex> CreateKvIndex(IndexKind kind, pmem::PmPool* pool,
+                                       epoch::EpochManager* epochs,
+                                       const DashOptions& options) {
+  return Make<IntKeyPolicy, uint64_t, KvIndex>(kind, pool, epochs, options);
+}
+
+std::unique_ptr<VarKvIndex> CreateVarKvIndex(IndexKind kind,
+                                             pmem::PmPool* pool,
+                                             epoch::EpochManager* epochs,
+                                             const DashOptions& options) {
+  return Make<VarKeyPolicy, std::string_view, VarKvIndex>(kind, pool, epochs,
+                                                          options);
+}
+
+}  // namespace dash::api

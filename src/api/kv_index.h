@@ -1,0 +1,88 @@
+// Unified key-value index interface over all four hash tables (Dash-EH,
+// Dash-LH, CCEH, Level hashing), for fixed 8-byte keys and for
+// variable-length keys. The benchmark harness, examples and integration
+// tests are written against this interface so every experiment runs
+// table-generically.
+
+#ifndef DASH_PM_API_KV_INDEX_H_
+#define DASH_PM_API_KV_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "dash/config.h"
+#include "epoch/epoch_manager.h"
+#include "pmem/pool.h"
+
+namespace dash::api {
+
+enum class IndexKind {
+  kDashEH,
+  kDashLH,
+  kCCEH,
+  kLevel,
+};
+
+// Returns a short stable name ("dash-eh", "cceh", ...).
+const char* IndexKindName(IndexKind kind);
+// Parses the name back; returns false on unknown names.
+bool ParseIndexKind(std::string_view name, IndexKind* kind);
+
+struct IndexStats {
+  uint64_t records = 0;
+  uint64_t capacity_slots = 0;
+  double load_factor = 0.0;
+};
+
+// Fixed-length (8-byte) key index. All operations are thread-safe.
+// Note: key 0 is reserved (the CCEH baseline uses it as the empty-slot
+// marker); workloads must use non-zero keys for cross-table comparisons.
+class KvIndex {
+ public:
+  virtual ~KvIndex() = default;
+
+  // Inserts key -> value; returns false if the key already exists.
+  virtual bool Insert(uint64_t key, uint64_t value) = 0;
+  // Looks up key; returns false if absent.
+  virtual bool Search(uint64_t key, uint64_t* value) = 0;
+  // Replaces the payload of an existing key; returns false if absent.
+  virtual bool Update(uint64_t key, uint64_t value) = 0;
+  // Deletes key; returns false if absent.
+  virtual bool Delete(uint64_t key) = 0;
+  // Marks a clean shutdown (before closing the pool).
+  virtual void CloseClean() = 0;
+  virtual IndexStats Stats() = 0;
+  virtual IndexKind kind() const = 0;
+};
+
+// Variable-length key index (§4.5 pointer mode).
+class VarKvIndex {
+ public:
+  virtual ~VarKvIndex() = default;
+
+  virtual bool Insert(std::string_view key, uint64_t value) = 0;
+  virtual bool Search(std::string_view key, uint64_t* value) = 0;
+  virtual bool Update(std::string_view key, uint64_t value) = 0;
+  virtual bool Delete(std::string_view key) = 0;
+  virtual void CloseClean() = 0;
+  virtual IndexStats Stats() = 0;
+  virtual IndexKind kind() const = 0;
+};
+
+// Creates (or re-opens, if the pool already holds one) an index of `kind`
+// in `pool`'s root area. `options` supplies Dash knobs; baselines map the
+// structural fields onto their own parameters.
+std::unique_ptr<KvIndex> CreateKvIndex(IndexKind kind, pmem::PmPool* pool,
+                                       epoch::EpochManager* epochs,
+                                       const DashOptions& options);
+
+std::unique_ptr<VarKvIndex> CreateVarKvIndex(IndexKind kind,
+                                             pmem::PmPool* pool,
+                                             epoch::EpochManager* epochs,
+                                             const DashOptions& options);
+
+}  // namespace dash::api
+
+#endif  // DASH_PM_API_KV_INDEX_H_

@@ -1,0 +1,8 @@
+#include "cceh/cceh.h"
+
+namespace dash::cceh {
+
+template class CCEH<IntKeyPolicy>;
+template class CCEH<VarKeyPolicy>;
+
+}  // namespace dash::cceh

@@ -1,0 +1,571 @@
+// CCEH baseline (Nam et al., FAST '19) as characterized in the paper
+// (§2.3, §6): cacheline-conscious extendible hashing with
+//
+//  * 16 KB segments of 64-byte buckets (4 records each),
+//  * linear probing bounded to four cachelines,
+//  * MSB segment addressing with a persistent directory,
+//  * pessimistic reader-writer locking (the paper ports CCEH to PMDK
+//    rw-locks, §6.1) — every search writes the PM-resident lock word,
+//  * recovery by scanning the directory on open (Table 1: recovery time
+//    grows linearly with data size),
+//  * a reserved key value (0) marks empty slots (§6.3 notes this CCEH
+//    restriction; Dash avoids it via its allocation bitmap).
+//
+// The segment-split leak the paper found in the original CCEH is fixed the
+// same way Dash's own splits are made safe: allocate-activate through the
+// side-link plus a mini-transaction commit (§6.1 "we fixed this problem
+// using PMDK transaction").
+
+#ifndef DASH_PM_CCEH_CCEH_H_
+#define DASH_PM_CCEH_CCEH_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+
+#include "dash/key_policy.h"
+#include "epoch/epoch_manager.h"
+#include "pmem/allocator.h"
+#include "pmem/crash_point.h"
+#include "pmem/mini_tx.h"
+#include "pmem/persist.h"
+#include "pmem/pool.h"
+#include "util/lock.h"
+
+namespace dash::cceh {
+
+// Reserved empty-slot marker (CCEH design restriction).
+inline constexpr uint64_t kEmptyKey = 0;
+// Tombstone for deleted variable-length keys (pointer mode): slots freed by
+// deletion become immediately reusable.
+inline constexpr uint64_t kSlotsPerBucket = 4;   // 64-byte bucket
+inline constexpr uint64_t kProbeBuckets = 4;     // probe <= 4 cachelines
+
+struct CcehSlot {
+  uint64_t key;
+  uint64_t value;
+};
+
+struct CcehBucket {
+  CcehSlot slots[kSlotsPerBucket];
+};
+static_assert(sizeof(CcehBucket) == 64);
+
+struct CcehSegment {
+  static constexpr uint32_t kClean = 0;
+  static constexpr uint32_t kSplitting = 1;
+  static constexpr uint32_t kNew = 2;
+
+  // persistent header
+  std::atomic<uint64_t> side_link{0};
+  std::atomic<uint64_t> depth_state{0};  // [local_depth:32 | state:32]
+  uint64_t pattern = 0;
+  uint32_t num_buckets = 0;
+  uint32_t pad = 0;
+  // The PM-resident reader-writer lock: CCEH-style pessimistic locking.
+  util::RwSpinLock lock;
+  uint8_t pad2[28] = {};
+
+  static size_t AllocSize(uint32_t num_buckets) {
+    return sizeof(CcehSegment) + num_buckets * sizeof(CcehBucket);
+  }
+  CcehBucket* bucket(uint32_t i) {
+    return reinterpret_cast<CcehBucket*>(this + 1) + i;
+  }
+  uint32_t local_depth() const {
+    return static_cast<uint32_t>(
+        depth_state.load(std::memory_order_acquire) >> 32);
+  }
+  uint32_t state() const {
+    return static_cast<uint32_t>(depth_state.load(std::memory_order_acquire));
+  }
+  void SetDepthState(uint32_t depth, uint32_t state) {
+    depth_state.store((static_cast<uint64_t>(depth) << 32) | state,
+                      std::memory_order_release);
+    pmem::Persist(&depth_state, sizeof(depth_state));
+  }
+  uint64_t* depth_state_word() {
+    return reinterpret_cast<uint64_t*>(&depth_state);
+  }
+  CcehSegment* side() const {
+    return reinterpret_cast<CcehSegment*>(
+        side_link.load(std::memory_order_acquire));
+  }
+  uint64_t* side_link_word() { return reinterpret_cast<uint64_t*>(&side_link); }
+
+  static uint32_t BucketIndex(uint64_t hash, uint32_t num_buckets) {
+    return static_cast<uint32_t>((hash >> 8) & (num_buckets - 1));
+  }
+};
+static_assert(sizeof(CcehSegment) == 64);
+
+struct CcehDirectory {
+  uint64_t global_depth;
+  static size_t AllocSize(uint64_t depth) {
+    return sizeof(CcehDirectory) + (1ull << depth) * sizeof(uint64_t);
+  }
+  std::atomic<uint64_t>* entries() {
+    return reinterpret_cast<std::atomic<uint64_t>*>(this + 1);
+  }
+  CcehSegment* entry(uint64_t i) {
+    return reinterpret_cast<CcehSegment*>(
+        entries()[i].load(std::memory_order_acquire));
+  }
+  void SetEntry(uint64_t i, CcehSegment* seg) {
+    entries()[i].store(reinterpret_cast<uint64_t>(seg),
+                       std::memory_order_release);
+  }
+};
+
+struct CcehRoot {
+  uint64_t directory;
+  uint64_t initialized;
+  uint8_t clean;
+  uint8_t pad[7];
+  uint32_t buckets_per_segment;
+  uint32_t initial_depth;
+};
+
+struct CcehOptions {
+  uint32_t buckets_per_segment = 256;  // 256 x 64 B = 16 KB segments
+  uint32_t initial_depth = 1;
+};
+
+// Aggregate statistics, mirroring DashTableStats.
+struct CcehStats {
+  uint64_t segments = 0;
+  uint64_t records = 0;
+  uint64_t capacity_slots = 0;
+  double load_factor = 0.0;
+};
+
+template <typename KP = IntKeyPolicy>
+class CCEH {
+ public:
+  using KeyArg = typename KP::KeyArg;
+
+  CCEH(pmem::PmPool* pool, epoch::EpochManager* epochs,
+       const CcehOptions& options)
+      : pool_(pool),
+        alloc_(&pool->allocator()),
+        epochs_(epochs),
+        opts_(options),
+        root_(static_cast<CcehRoot*>(pool->root())) {
+    if (root_->initialized == 0) {
+      CreateNew();
+    } else {
+      OpenExisting();
+    }
+  }
+
+  CCEH(const CCEH&) = delete;
+  CCEH& operator=(const CCEH&) = delete;
+
+  void CloseClean() {
+    epochs_->DrainAll();
+    root_->clean = 1;
+    pmem::Persist(&root_->clean, 1);
+  }
+
+  // Returns true on success; false if the key already exists.
+  bool Insert(KeyArg key, uint64_t value) {
+    const uint64_t h = KP::Hash(key);
+    epoch::EpochManager::Guard guard(*epochs_);
+    for (;;) {
+      CcehSegment* seg = Lookup(h);
+      seg->lock.Lock();
+      pmem::WriteHint(&seg->lock);
+      if (!Valid(seg, h)) {
+        seg->lock.Unlock();
+        continue;
+      }
+      const uint32_t y = CcehSegment::BucketIndex(h, seg->num_buckets);
+      // Uniqueness check over the probe window.
+      if (FindSlot(seg, y, key) != nullptr) {
+        seg->lock.Unlock();
+        return false;
+      }
+      CcehSlot* free_slot = FindEmpty(seg, y);
+      if (free_slot != nullptr) {
+        const uint64_t stored = KP::MakeStored(key, alloc_);
+        free_slot->value = value;
+        pmem::Persist(&free_slot->value, sizeof(uint64_t));
+        // Publishing the key is the atomic commit of the insert.
+        pmem::AtomicPersist64(&free_slot->key, stored);
+        seg->lock.Unlock();
+        return true;
+      }
+      seg->lock.Unlock();
+      Split(seg, h);
+    }
+  }
+
+  bool Search(KeyArg key, uint64_t* out) {
+    const uint64_t h = KP::Hash(key);
+    epoch::EpochManager::Guard guard(*epochs_);
+    for (;;) {
+      CcehSegment* seg = Lookup(h);
+      // Pessimistic read lock: a PM write per acquisition/release — the
+      // scalability bottleneck the paper identifies (Fig. 8b/c, Fig. 13).
+      seg->lock.LockShared();
+      pmem::WriteHint(&seg->lock);
+      if (!Valid(seg, h)) {
+        seg->lock.UnlockShared();
+        pmem::WriteHint(&seg->lock);
+        continue;
+      }
+      const uint32_t y = CcehSegment::BucketIndex(h, seg->num_buckets);
+      CcehSlot* slot = FindSlot(seg, y, key);
+      const bool found = slot != nullptr;
+      if (found) *out = slot->value;
+      seg->lock.UnlockShared();
+      pmem::WriteHint(&seg->lock);
+      return found;
+    }
+  }
+
+  bool Delete(KeyArg key) {
+    const uint64_t h = KP::Hash(key);
+    epoch::EpochManager::Guard guard(*epochs_);
+    for (;;) {
+      CcehSegment* seg = Lookup(h);
+      seg->lock.Lock();
+      pmem::WriteHint(&seg->lock);
+      if (!Valid(seg, h)) {
+        seg->lock.Unlock();
+        continue;
+      }
+      const uint32_t y = CcehSegment::BucketIndex(h, seg->num_buckets);
+      CcehSlot* slot = FindSlot(seg, y, key);
+      const bool found = slot != nullptr;
+      if (found) {
+        KP::FreeStored(slot->key, alloc_);
+        pmem::AtomicPersist64(&slot->key, kEmptyKey);
+      }
+      seg->lock.Unlock();
+      return found;
+    }
+  }
+
+  // In-place payload update; returns false if the key is absent.
+  bool Update(KeyArg key, uint64_t value) {
+    const uint64_t h = KP::Hash(key);
+    epoch::EpochManager::Guard guard(*epochs_);
+    for (;;) {
+      CcehSegment* seg = Lookup(h);
+      seg->lock.Lock();
+      pmem::WriteHint(&seg->lock);
+      if (!Valid(seg, h)) {
+        seg->lock.Unlock();
+        continue;
+      }
+      const uint32_t y = CcehSegment::BucketIndex(h, seg->num_buckets);
+      CcehSlot* slot = FindSlot(seg, y, key);
+      const bool found = slot != nullptr;
+      if (found) pmem::AtomicPersist64(&slot->value, value);
+      seg->lock.Unlock();
+      return found;
+    }
+  }
+
+  uint64_t global_depth() const { return Dir()->global_depth; }
+
+  template <typename Fn>
+  void ForEachSegment(Fn fn) const {
+    CcehDirectory* dir = Dir();
+    const uint64_t n = 1ull << dir->global_depth;
+    uint64_t i = 0;
+    while (i < n) {
+      CcehSegment* seg = dir->entry(i);
+      fn(seg);
+      i += 1ull << (dir->global_depth - seg->local_depth());
+    }
+  }
+
+  CcehStats Stats() const {
+    CcehStats stats;
+    ForEachSegment([&](CcehSegment* seg) {
+      ++stats.segments;
+      stats.capacity_slots +=
+          static_cast<uint64_t>(seg->num_buckets) * kSlotsPerBucket;
+      for (uint32_t b = 0; b < seg->num_buckets; ++b) {
+        for (uint64_t s = 0; s < kSlotsPerBucket; ++s) {
+          if (seg->bucket(b)->slots[s].key != kEmptyKey) ++stats.records;
+        }
+      }
+    });
+    stats.load_factor = stats.capacity_slots == 0
+                            ? 0.0
+                            : static_cast<double>(stats.records) /
+                                  static_cast<double>(stats.capacity_slots);
+    return stats;
+  }
+
+  uint64_t Size() const { return Stats().records; }
+  double LoadFactor() const { return Stats().load_factor; }
+
+ private:
+  void CreateNew() {
+    if (root_->directory == 0) {
+      root_->buckets_per_segment = opts_.buckets_per_segment;
+      root_->initial_depth = opts_.initial_depth;
+      root_->clean = 0;
+      pmem::Persist(root_, sizeof(*root_));
+      auto r = alloc_->Reserve(CcehDirectory::AllocSize(opts_.initial_depth));
+      assert(r.valid());
+      auto* dir = static_cast<CcehDirectory*>(r.ptr);
+      dir->global_depth = opts_.initial_depth;
+      pmem::PersistObject(&dir->global_depth);
+      alloc_->Activate(r, &root_->directory);
+    }
+    CcehDirectory* dir = Dir();
+    const uint64_t n = 1ull << dir->global_depth;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (dir->entry(i) != nullptr) continue;
+      auto r = alloc_->Reserve(
+          CcehSegment::AllocSize(opts_.buckets_per_segment));
+      assert(r.valid());
+      auto* seg = static_cast<CcehSegment*>(r.ptr);
+      InitSegment(seg, dir->global_depth, i, CcehSegment::kClean);
+      alloc_->Activate(r, reinterpret_cast<uint64_t*>(&dir->entries()[i]));
+    }
+    root_->initialized = 1;
+    pmem::PersistObject(&root_->initialized);
+  }
+
+  void InitSegment(CcehSegment* seg, uint32_t depth, uint64_t pattern,
+                   uint32_t state) {
+    seg->num_buckets = opts_.buckets_per_segment;
+    seg->pattern = pattern;
+    seg->side_link.store(0, std::memory_order_relaxed);
+    seg->depth_state.store((static_cast<uint64_t>(depth) << 32) | state,
+                           std::memory_order_relaxed);
+    seg->lock.Reset();
+    pmem::Persist(seg, CcehSegment::AllocSize(seg->num_buckets));
+  }
+
+  void OpenExisting() {
+    opts_.buckets_per_segment = root_->buckets_per_segment;
+    opts_.initial_depth = root_->initial_depth;
+    const bool crashed = root_->clean == 0;
+    root_->clean = 0;
+    pmem::Persist(&root_->clean, 1);
+    if (crashed) RecoverByDirectoryScan();
+  }
+
+  // CCEH recovery: a full directory scan (Table 1 — time scales with the
+  // directory, i.e., with data size). Clears locks and finishes or rolls
+  // back interrupted splits.
+  void RecoverByDirectoryScan() {
+    CcehDirectory* dir = Dir();
+    const uint64_t n = 1ull << dir->global_depth;
+    uint64_t i = 0;
+    while (i < n) {
+      CcehSegment* seg = dir->entry(i);
+      pmem::ReadProbe(seg);  // touching each segment header costs PM reads
+      seg->lock.Reset();
+      if (seg->state() == CcehSegment::kSplitting) {
+        CcehSegment* child = seg->side();
+        if (child != nullptr && child->state() == CcehSegment::kNew) {
+          child->lock.Reset();
+          RehashToChild(seg, child, seg->local_depth(),
+                        /*check_unique=*/true);
+          FinishSplit(seg, child, seg->local_depth());
+        } else {
+          seg->SetDepthState(seg->local_depth(), CcehSegment::kClean);
+        }
+      }
+      i += 1ull << (dir->global_depth - seg->local_depth());
+    }
+  }
+
+  CcehDirectory* Dir() const {
+    return reinterpret_cast<CcehDirectory*>(
+        reinterpret_cast<const std::atomic<uint64_t>*>(&root_->directory)
+            ->load(std::memory_order_acquire));
+  }
+
+  CcehSegment* Lookup(uint64_t h) const {
+    CcehDirectory* dir = Dir();
+    const uint64_t idx =
+        dir->global_depth == 0 ? 0 : (h >> (64 - dir->global_depth));
+    return dir->entry(idx);
+  }
+
+  bool Valid(CcehSegment* seg, uint64_t h) const {
+    if (Lookup(h) != seg) return false;
+    const uint32_t ld = seg->local_depth();
+    if (ld == 0) return true;
+    return (h >> (64 - ld)) == seg->pattern;
+  }
+
+  // Probes the bounded linear-probe window (4 buckets = 4 cachelines).
+  CcehSlot* FindSlot(CcehSegment* seg, uint32_t y, KeyArg key) const {
+    const uint32_t mask = seg->num_buckets - 1;
+    for (uint64_t p = 0; p < kProbeBuckets; ++p) {
+      CcehBucket* bucket = seg->bucket((y + p) & mask);
+      pmem::ReadProbe(bucket);  // one cacheline per probed bucket
+      for (auto& slot : bucket->slots) {
+        if (slot.key == kEmptyKey) continue;
+        if (KP::EqualStored(slot.key, key)) return &slot;
+      }
+    }
+    return nullptr;
+  }
+
+  CcehSlot* FindEmpty(CcehSegment* seg, uint32_t y) const {
+    const uint32_t mask = seg->num_buckets - 1;
+    for (uint64_t p = 0; p < kProbeBuckets; ++p) {
+      CcehBucket* bucket = seg->bucket((y + p) & mask);
+      for (auto& slot : bucket->slots) {
+        if (slot.key == kEmptyKey) return &slot;
+      }
+    }
+    return nullptr;
+  }
+
+  void Split(CcehSegment* seg, uint64_t h) {
+    seg->lock.Lock();
+    pmem::WriteHint(&seg->lock);
+    if (!Valid(seg, h)) {
+      seg->lock.Unlock();
+      return;
+    }
+    const uint32_t old_depth = seg->local_depth();
+    while (Dir()->global_depth == old_depth) {
+      if (!DoubleDirectory()) {
+        seg->lock.Unlock();
+        return;
+      }
+    }
+    seg->SetDepthState(old_depth, CcehSegment::kSplitting);
+    CRASH_POINT("cceh_split_after_mark");
+    auto r = alloc_->Reserve(CcehSegment::AllocSize(seg->num_buckets));
+    if (!r.valid()) {
+      seg->SetDepthState(old_depth, CcehSegment::kClean);
+      seg->lock.Unlock();
+      return;
+    }
+    auto* child = static_cast<CcehSegment*>(r.ptr);
+    InitSegment(child, old_depth + 1, (seg->pattern << 1) | 1,
+                CcehSegment::kNew);
+    child->side_link.store(seg->side_link.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    pmem::Persist(child, sizeof(CcehSegment));
+    alloc_->Activate(r, seg->side_link_word());
+    CRASH_POINT("cceh_split_after_activate");
+
+    RehashToChild(seg, child, old_depth, /*check_unique=*/false);
+    CRASH_POINT("cceh_split_after_rehash");
+    FinishSplit(seg, child, old_depth);
+    seg->lock.Unlock();
+  }
+
+  void RehashToChild(CcehSegment* seg, CcehSegment* child, uint32_t old_depth,
+                     bool check_unique) {
+    const uint32_t shift = 64 - (old_depth + 1);
+    const uint32_t mask = child->num_buckets - 1;
+    for (uint32_t b = 0; b < seg->num_buckets; ++b) {
+      for (auto& slot : seg->bucket(b)->slots) {
+        if (slot.key == kEmptyKey) continue;
+        const uint64_t rh = KP::HashStored(slot.key);
+        if (((rh >> shift) & 1) == 0) continue;
+        const uint32_t y = CcehSegment::BucketIndex(rh, child->num_buckets);
+        bool placed = check_unique && FindStoredInChild(child, y, slot.key);
+        if (!placed) {
+          for (uint64_t p = 0; p < kProbeBuckets && !placed; ++p) {
+            for (auto& dst : child->bucket((y + p) & mask)->slots) {
+              if (dst.key == kEmptyKey) {
+                dst.value = slot.value;
+                pmem::Persist(&dst.value, sizeof(uint64_t));
+                pmem::AtomicPersist64(&dst.key, slot.key);
+                placed = true;
+                break;
+              }
+            }
+          }
+        }
+        // CCEH's pre-mature splits guarantee the child has room: only the
+        // probe window around y can be occupied, and it was just created.
+        assert(placed && "CCEH child overflow during split");
+        pmem::AtomicPersist64(&slot.key, kEmptyKey);
+      }
+    }
+  }
+
+  bool FindStoredInChild(CcehSegment* child, uint32_t y, uint64_t stored) {
+    const uint32_t mask = child->num_buckets - 1;
+    for (uint64_t p = 0; p < kProbeBuckets; ++p) {
+      for (auto& slot : child->bucket((y + p) & mask)->slots) {
+        if (slot.key == stored) return true;
+      }
+    }
+    return false;
+  }
+
+  void FinishSplit(CcehSegment* seg, CcehSegment* child, uint32_t old_depth) {
+    seg->pattern = child->pattern & ~1ull;
+    pmem::Persist(&seg->pattern, sizeof(seg->pattern));
+    dir_lock_.LockShared();
+    CcehDirectory* dir = Dir();
+    const uint64_t gd = dir->global_depth;
+    const uint64_t chunk = 1ull << (gd - old_depth);
+    const uint64_t base = (child->pattern >> 1) << (gd - old_depth);
+    for (uint64_t i = base + chunk / 2; i < base + chunk; ++i) {
+      dir->SetEntry(i, child);
+    }
+    pmem::Persist(&dir->entries()[base + chunk / 2],
+                  (chunk / 2) * sizeof(uint64_t));
+    dir_lock_.UnlockShared();
+    pmem::MiniTx tx(pool_);
+    tx.Stage(child->depth_state_word(),
+             (static_cast<uint64_t>(old_depth + 1) << 32) |
+                 CcehSegment::kClean);
+    tx.Stage(seg->depth_state_word(),
+             (static_cast<uint64_t>(old_depth + 1) << 32) |
+                 CcehSegment::kClean);
+    tx.Commit();
+  }
+
+  bool DoubleDirectory() {
+    dir_lock_.Lock();
+    CcehDirectory* old_dir = Dir();
+    const uint64_t gd = old_dir->global_depth;
+    auto r = alloc_->Reserve(CcehDirectory::AllocSize(gd + 1));
+    if (!r.valid()) {
+      dir_lock_.Unlock();
+      return false;
+    }
+    auto* new_dir = static_cast<CcehDirectory*>(r.ptr);
+    new_dir->global_depth = gd + 1;
+    for (uint64_t i = 0; i < (1ull << gd); ++i) {
+      CcehSegment* seg = old_dir->entry(i);
+      new_dir->SetEntry(2 * i, seg);
+      new_dir->SetEntry(2 * i + 1, seg);
+    }
+    pmem::Persist(new_dir, CcehDirectory::AllocSize(gd + 1));
+    pmem::MiniTx tx(pool_);
+    tx.Stage(&root_->directory, reinterpret_cast<uint64_t>(new_dir));
+    const size_t retire_slot = pool_->StageRetire(&tx, old_dir);
+    tx.Stage(pool_->FromOffset<uint64_t>(
+                 alloc_->ReservationSlotBlockOffset(r)),
+             0);
+    tx.Commit();
+    dir_lock_.Unlock();
+    pmem::PmPool* pool = pool_;
+    epochs_->Retire([pool, retire_slot] { pool->CompleteRetire(retire_slot); });
+    return true;
+  }
+
+  pmem::PmPool* pool_;
+  pmem::PmAllocator* alloc_;
+  epoch::EpochManager* epochs_;
+  CcehOptions opts_;
+  CcehRoot* root_;
+  util::RwSpinLock dir_lock_;
+};
+
+}  // namespace dash::cceh
+
+#endif  // DASH_PM_CCEH_CCEH_H_

@@ -1,0 +1,14 @@
+// Explicit instantiations of the Dash tables for both key policies, so the
+// heavy templates compile once into the library.
+
+#include "dash/dash_eh.h"
+#include "dash/dash_lh.h"
+
+namespace dash {
+
+template class DashEH<IntKeyPolicy>;
+template class DashEH<VarKeyPolicy>;
+template class DashLH<IntKeyPolicy>;
+template class DashLH<VarKeyPolicy>;
+
+}  // namespace dash

@@ -1,0 +1,93 @@
+// Key policies: fixed-length (inline) and variable-length (pointer) keys.
+//
+// Dash stores 16-byte records; the first 8 bytes hold the key or, for keys
+// longer than 8 bytes, a pointer to a PM-resident key blob (§4.5). The
+// policy abstracts hashing, storage conversion and comparison so the table
+// code is identical for both modes.
+
+#ifndef DASH_PM_DASH_KEY_POLICY_H_
+#define DASH_PM_DASH_KEY_POLICY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "pmem/allocator.h"
+#include "pmem/persist.h"
+#include "util/hash.h"
+
+namespace dash {
+
+// Fixed-length 8-byte keys stored inline.
+struct IntKeyPolicy {
+  using KeyArg = uint64_t;
+  static constexpr bool kInline = true;
+
+  static uint64_t Hash(KeyArg key) { return util::HashInt64(key); }
+
+  // Converts an argument key to its stored representation (identity).
+  static uint64_t MakeStored(KeyArg key, pmem::PmAllocator* /*alloc*/) {
+    return key;
+  }
+
+  static uint64_t HashStored(uint64_t stored) {
+    return util::HashInt64(stored);
+  }
+
+  static bool EqualStored(uint64_t stored, KeyArg key) {
+    return stored == key;
+  }
+
+  static void FreeStored(uint64_t /*stored*/, pmem::PmAllocator* /*alloc*/) {}
+};
+
+// PM-resident variable-length key blob.
+struct VarKey {
+  uint32_t length;
+  char data[];  // `length` bytes
+
+  std::string_view view() const { return {data, length}; }
+};
+
+// Variable-length keys stored as pointers to VarKey blobs (§4.5). Each
+// comparison against a stored key dereferences the pointer — a likely cache
+// miss that we account as a PM read probe; fingerprinting exists precisely
+// to avoid these.
+struct VarKeyPolicy {
+  using KeyArg = std::string_view;
+  static constexpr bool kInline = false;
+
+  static uint64_t Hash(KeyArg key) {
+    return util::Murmur2_64A(key.data(), key.size());
+  }
+
+  static uint64_t MakeStored(KeyArg key, pmem::PmAllocator* alloc) {
+    auto* blob = static_cast<VarKey*>(alloc->Alloc(sizeof(VarKey) + key.size()));
+    if (blob == nullptr) return 0;
+    blob->length = static_cast<uint32_t>(key.size());
+    std::memcpy(blob->data, key.data(), key.size());
+    pmem::Persist(blob, sizeof(VarKey) + key.size());
+    return reinterpret_cast<uint64_t>(blob);
+  }
+
+  static uint64_t HashStored(uint64_t stored) {
+    const auto* blob = reinterpret_cast<const VarKey*>(stored);
+    return util::Murmur2_64A(blob->data, blob->length);
+  }
+
+  static bool EqualStored(uint64_t stored, KeyArg key) {
+    const auto* blob = reinterpret_cast<const VarKey*>(stored);
+    // Dereferencing the key pointer is the cache miss fingerprints avoid.
+    pmem::ReadProbe(blob);
+    return blob->length == key.size() &&
+           std::memcmp(blob->data, key.data(), key.size()) == 0;
+  }
+
+  static void FreeStored(uint64_t stored, pmem::PmAllocator* alloc) {
+    if (stored != 0) alloc->Free(reinterpret_cast<void*>(stored));
+  }
+};
+
+}  // namespace dash
+
+#endif  // DASH_PM_DASH_KEY_POLICY_H_

@@ -1,0 +1,96 @@
+#include "epoch/epoch_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dash::epoch {
+
+EpochManager::~EpochManager() {
+  // Best effort: run everything that is still pending. At destruction time
+  // no guards may be active.
+  DrainAll();
+}
+
+void EpochManager::Enter() {
+  ThreadSlot& slot = slots_[util::ThreadId()];
+  const uint32_t nesting =
+      slot.nesting.fetch_add(1, std::memory_order_relaxed);
+  if (nesting == 0) {
+    // Publish the pinned epoch; the seq_cst exchange orders the pin against
+    // subsequent reads of table structures.
+    slot.pinned.store(global_epoch_.load(std::memory_order_acquire),
+                      std::memory_order_seq_cst);
+  }
+}
+
+void EpochManager::Exit() {
+  ThreadSlot& slot = slots_[util::ThreadId()];
+  const uint32_t nesting =
+      slot.nesting.fetch_sub(1, std::memory_order_relaxed);
+  assert(nesting >= 1);
+  if (nesting == 1) {
+    slot.pinned.store(kIdle, std::memory_order_release);
+  }
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min_epoch = kIdle;
+  for (const ThreadSlot& slot : slots_) {
+    const uint64_t pinned = slot.pinned.load(std::memory_order_acquire);
+    min_epoch = std::min(min_epoch, pinned);
+  }
+  return min_epoch;
+}
+
+void EpochManager::Retire(std::function<void()> reclaim) {
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    retired_.push_back(
+        Retired{global_epoch_.load(std::memory_order_acquire),
+                std::move(reclaim)});
+  }
+  retire_count_.fetch_add(1, std::memory_order_relaxed);
+  TryAdvanceAndReclaim();
+}
+
+void EpochManager::TryAdvanceAndReclaim() {
+  global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t min_active = MinActiveEpoch();
+
+  std::vector<Retired> due;
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    auto it = std::partition(retired_.begin(), retired_.end(),
+                             [min_active](const Retired& r) {
+                               // Safe once every active thread pinned an
+                               // epoch strictly later than the retirement.
+                               return r.epoch >= min_active;
+                             });
+    due.assign(std::make_move_iterator(it),
+               std::make_move_iterator(retired_.end()));
+    retired_.erase(it, retired_.end());
+  }
+  for (Retired& r : due) r.reclaim();
+}
+
+void EpochManager::DrainAll() {
+  std::vector<Retired> all;
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    all = std::move(retired_);
+    retired_.clear();
+  }
+  for (Retired& r : all) r.reclaim();
+}
+
+void EpochManager::DiscardAll() {
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  retired_.clear();
+}
+
+size_t EpochManager::PendingCount() {
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  return retired_.size();
+}
+
+}  // namespace dash::epoch

@@ -1,0 +1,102 @@
+// Epoch-based memory reclamation (paper §4.4, §6.1).
+//
+// Dash readers probe buckets without holding locks, so a segment (or a
+// replaced directory) must not be returned to the allocator while a reader
+// might still dereference it. The classic three-epoch scheme is used:
+//
+//  * Each thread entering a table operation pins the current global epoch
+//    (Guard RAII).
+//  * Retired blocks are stamped with the epoch at retirement.
+//  * A block is reclaimed once the global epoch has advanced at least two
+//    steps past its retirement epoch, which implies no active reader can
+//    still observe it.
+//
+// Reclamation runs a user callback (e.g., PmAllocator::Free + retire-buffer
+// clear), so the manager is agnostic to what is being reclaimed.
+
+#ifndef DASH_PM_EPOCH_EPOCH_MANAGER_H_
+#define DASH_PM_EPOCH_EPOCH_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_id.h"
+
+namespace dash::epoch {
+
+class EpochManager {
+ public:
+  EpochManager() = default;
+  ~EpochManager();
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // RAII epoch pin. Cheap: one acquire load + one release store each way.
+  class Guard {
+   public:
+    explicit Guard(EpochManager& mgr) : mgr_(mgr) {
+      mgr_.Enter();
+    }
+    ~Guard() { mgr_.Exit(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager& mgr_;
+  };
+
+  // Schedules `reclaim` to run once no epoch pinned at or before the current
+  // epoch remains active.
+  void Retire(std::function<void()> reclaim);
+
+  // Attempts to advance the global epoch and run due reclamations. Called
+  // opportunistically (e.g., by Retire and by tests).
+  void TryAdvanceAndReclaim();
+
+  // Drains all pending reclamations; callable only when no guards are held.
+  void DrainAll();
+
+  // Drops all pending reclamations WITHOUT running them. Used when the
+  // underlying pool is closed dirty (simulated crash): the persistent
+  // retire buffer is recovered at the next pool open instead.
+  void DiscardAll();
+
+  uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  // Number of retirements not yet reclaimed (test/diagnostic hook).
+  size_t PendingCount();
+
+ private:
+  struct ThreadSlot {
+    // Epoch pinned by this thread, or kIdle when not inside a guard.
+    std::atomic<uint64_t> pinned{kIdle};
+    std::atomic<uint32_t> nesting{0};
+    char padding[48];  // avoid false sharing
+  };
+  static constexpr uint64_t kIdle = ~0ull;
+
+  struct Retired {
+    uint64_t epoch;
+    std::function<void()> reclaim;
+  };
+
+  void Enter();
+  void Exit();
+  uint64_t MinActiveEpoch() const;
+
+  std::atomic<uint64_t> global_epoch_{1};
+  ThreadSlot slots_[util::kMaxThreadId];
+
+  std::mutex retired_mutex_;
+  std::vector<Retired> retired_;
+  std::atomic<uint64_t> retire_count_{0};
+};
+
+}  // namespace dash::epoch
+
+#endif  // DASH_PM_EPOCH_EPOCH_MANAGER_H_

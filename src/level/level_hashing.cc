@@ -1,0 +1,8 @@
+#include "level/level_hashing.h"
+
+namespace dash::level {
+
+template class LevelHashing<IntKeyPolicy>;
+template class LevelHashing<VarKeyPolicy>;
+
+}  // namespace dash::level

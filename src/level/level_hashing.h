@@ -1,0 +1,502 @@
+// Level hashing baseline (Zuo et al., OSDI '18) as characterized in the
+// paper (§2.3 "Static Hashing on PM", §6):
+//
+//  * a two-level structure: a top level of 2^L buckets and a bottom
+//    ("standby") level of 2^(L-1) buckets;
+//  * 128-byte (two-cacheline) buckets;
+//  * two hash choices per level, plus one movement attempt before resizing;
+//  * resizing rehashes the bottom level into a new top level twice the old
+//    top's size; the old top becomes the new bottom. This full-table rehash
+//    is expensive on PM and blocks concurrent operations (Fig. 8a);
+//  * lock striping for concurrency: all locks live in one small, contiguous
+//    (and therefore cacheable) array;
+//  * constant-time recovery (Table 1): only the root pointers are read.
+
+#ifndef DASH_PM_LEVEL_LEVEL_HASHING_H_
+#define DASH_PM_LEVEL_LEVEL_HASHING_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "dash/key_policy.h"
+#include "epoch/epoch_manager.h"
+#include "pmem/allocator.h"
+#include "pmem/crash_point.h"
+#include "pmem/mini_tx.h"
+#include "pmem/persist.h"
+#include "pmem/pool.h"
+#include "util/hash.h"
+#include "util/lock.h"
+
+namespace dash::level {
+
+inline constexpr uint32_t kSlotsPerBucket = 7;  // 16 B header + 7 records
+
+struct LevelRecord {
+  uint64_t key;
+  uint64_t value;
+};
+
+// 128-byte, two-cacheline bucket.
+struct LevelBucket {
+  std::atomic<uint32_t> bitmap;  // bits 0..6 = slot occupancy
+  uint32_t pad0;
+  uint64_t pad1;
+  LevelRecord records[kSlotsPerBucket];
+
+  uint32_t Occupied() const { return bitmap.load(std::memory_order_acquire); }
+  bool IsFull() const {
+    return (Occupied() & ((1u << kSlotsPerBucket) - 1)) ==
+           ((1u << kSlotsPerBucket) - 1);
+  }
+  int FreeSlot() const {
+    const uint32_t free =
+        ~Occupied() & ((1u << kSlotsPerBucket) - 1);
+    return free == 0 ? -1 : __builtin_ctz(free);
+  }
+  uint32_t CountRecords() const { return __builtin_popcount(Occupied()); }
+
+  // Crash-consistent insert: record first, then the bitmap bit.
+  void Insert(int slot, uint64_t stored, uint64_t value) {
+    records[slot].key = stored;
+    records[slot].value = value;
+    pmem::Persist(&records[slot], sizeof(LevelRecord));
+    bitmap.store(Occupied() | (1u << slot), std::memory_order_release);
+    pmem::Persist(this, 16);
+  }
+  void Delete(int slot) {
+    bitmap.store(Occupied() & ~(1u << slot), std::memory_order_release);
+    pmem::Persist(this, 16);
+  }
+};
+static_assert(sizeof(LevelBucket) == 128);
+
+struct LevelRoot {
+  uint64_t top;           // LevelBucket[top_buckets]
+  uint64_t bottom;        // LevelBucket[top_buckets / 2]
+  uint64_t top_buckets;   // power of two
+  uint64_t initialized;
+  uint8_t clean;
+  uint8_t pad[7];
+};
+
+struct LevelOptions {
+  // Initial top-level bucket count (power of two). 2^10 x 128 B = 128 KB.
+  uint64_t initial_top_buckets = 1024;
+};
+
+struct LevelStats {
+  uint64_t records = 0;
+  uint64_t capacity_slots = 0;
+  uint64_t top_buckets = 0;
+  uint64_t resizes = 0;
+  double load_factor = 0.0;
+};
+
+template <typename KP = IntKeyPolicy>
+class LevelHashing {
+ public:
+  using KeyArg = typename KP::KeyArg;
+
+  LevelHashing(pmem::PmPool* pool, epoch::EpochManager* epochs,
+               const LevelOptions& options)
+      : pool_(pool),
+        alloc_(&pool->allocator()),
+        epochs_(epochs),
+        opts_(options),
+        root_(static_cast<LevelRoot*>(pool->root())) {
+    if (root_->initialized == 0) {
+      CreateNew();
+    } else {
+      // Constant-work recovery: read the root, clear stale striped locks
+      // (they are volatile), mark dirty.
+      root_->clean = 0;
+      pmem::Persist(&root_->clean, 1);
+    }
+  }
+
+  LevelHashing(const LevelHashing&) = delete;
+  LevelHashing& operator=(const LevelHashing&) = delete;
+
+  void CloseClean() {
+    epochs_->DrainAll();
+    root_->clean = 1;
+    pmem::Persist(&root_->clean, 1);
+  }
+
+  bool Insert(KeyArg key, uint64_t value) {
+    const uint64_t h1 = KP::Hash(key);
+    const uint64_t h2 = util::Mix64(h1);
+    epoch::EpochManager::Guard guard(*epochs_);
+    for (;;) {
+      resize_lock_.LockShared();
+      const AttemptResult result = InsertAttempt(key, value, h1, h2);
+      resize_lock_.UnlockShared();
+      if (result == AttemptResult::kInserted) return true;
+      if (result == AttemptResult::kDuplicate) return false;
+      // Out of room: full-table resize (blocks all operations).
+      Resize(root_->top_buckets);
+    }
+  }
+
+  bool Search(KeyArg key, uint64_t* out) {
+    const uint64_t h1 = KP::Hash(key);
+    const uint64_t h2 = util::Mix64(h1);
+    epoch::EpochManager::Guard guard(*epochs_);
+    resize_lock_.LockShared();
+    Candidates c = Locate(h1, h2);
+    bool found = false;
+    for (int i = 0; i < 4 && !found; ++i) {
+      const uint32_t stripe = StripeOf(c.ids[i]);
+      locks_[stripe].LockShared();
+      const int slot = FindIn(c.buckets[i], KP::Hash(key) & 0xFF, key);
+      if (slot >= 0) {
+        *out = c.buckets[i]->records[slot].value;
+        found = true;
+      }
+      locks_[stripe].UnlockShared();
+    }
+    resize_lock_.UnlockShared();
+    return found;
+  }
+
+  bool Delete(KeyArg key) {
+    const uint64_t h1 = KP::Hash(key);
+    const uint64_t h2 = util::Mix64(h1);
+    epoch::EpochManager::Guard guard(*epochs_);
+    resize_lock_.LockShared();
+    Candidates c = Locate(h1, h2);
+    LockAll(c);
+    bool found = false;
+    for (int i = 0; i < 4 && !found; ++i) {
+      const int slot = FindIn(c.buckets[i], KP::Hash(key) & 0xFF, key);
+      if (slot >= 0) {
+        KP::FreeStored(c.buckets[i]->records[slot].key, alloc_);
+        c.buckets[i]->Delete(slot);
+        found = true;
+      }
+    }
+    UnlockAll(c);
+    resize_lock_.UnlockShared();
+    return found;
+  }
+
+  // In-place payload update; returns false if the key is absent.
+  bool Update(KeyArg key, uint64_t value) {
+    const uint64_t h1 = KP::Hash(key);
+    const uint64_t h2 = util::Mix64(h1);
+    epoch::EpochManager::Guard guard(*epochs_);
+    resize_lock_.LockShared();
+    Candidates c = Locate(h1, h2);
+    LockAll(c);
+    bool found = false;
+    for (int i = 0; i < 4 && !found; ++i) {
+      const int slot = FindIn(c.buckets[i], 0, key);
+      if (slot >= 0) {
+        pmem::AtomicPersist64(&c.buckets[i]->records[slot].value, value);
+        found = true;
+      }
+    }
+    UnlockAll(c);
+    resize_lock_.UnlockShared();
+    return found;
+  }
+
+  LevelStats Stats() const {
+    LevelStats stats;
+    stats.top_buckets = root_->top_buckets;
+    stats.resizes = resizes_;
+    auto count = [&](LevelBucket* arr, uint64_t n) {
+      for (uint64_t i = 0; i < n; ++i) stats.records += arr[i].CountRecords();
+      stats.capacity_slots += n * kSlotsPerBucket;
+    };
+    count(Top(), root_->top_buckets);
+    count(Bottom(), root_->top_buckets / 2);
+    stats.load_factor = stats.capacity_slots == 0
+                            ? 0.0
+                            : static_cast<double>(stats.records) /
+                                  static_cast<double>(stats.capacity_slots);
+    return stats;
+  }
+
+  uint64_t Size() const { return Stats().records; }
+  double LoadFactor() const { return Stats().load_factor; }
+
+ private:
+  static constexpr uint32_t kStripes = 4096;
+
+  struct Candidates {
+    // 0,1 = top choices; 2,3 = bottom (standby) choices.
+    LevelBucket* buckets[4];
+    uint64_t ids[4];  // global bucket ids (top: [0,N), bottom: N + [0,N/2))
+  };
+
+  LevelBucket* Top() const {
+    return reinterpret_cast<LevelBucket*>(
+        reinterpret_cast<const std::atomic<uint64_t>*>(&root_->top)->load(
+            std::memory_order_acquire));
+  }
+  LevelBucket* Bottom() const {
+    return reinterpret_cast<LevelBucket*>(
+        reinterpret_cast<const std::atomic<uint64_t>*>(&root_->bottom)->load(
+            std::memory_order_acquire));
+  }
+
+  static uint32_t StripeOf(uint64_t bucket_id) {
+    return static_cast<uint32_t>(bucket_id) % kStripes;
+  }
+
+  Candidates Locate(uint64_t h1, uint64_t h2) const {
+    const uint64_t n = root_->top_buckets;
+    const uint64_t t1 = h1 & (n - 1);
+    const uint64_t t2 = h2 & (n - 1);
+    // Bottom indices use h mod (N/2). This is what makes resizing work:
+    // the old top (indexed by h mod N) becomes the new bottom when the new
+    // top has 2N buckets, and h mod N is exactly the new bottom index.
+    const uint64_t b1 = h1 & (n / 2 - 1);
+    const uint64_t b2 = h2 & (n / 2 - 1);
+    LevelBucket* top = Top();
+    LevelBucket* bottom = Bottom();
+    Candidates c;
+    c.buckets[0] = &top[t1];
+    c.buckets[1] = &top[t2];
+    c.buckets[2] = &bottom[b1];
+    c.buckets[3] = &bottom[b2];
+    c.ids[0] = t1;
+    c.ids[1] = t2;
+    c.ids[2] = n + b1;
+    c.ids[3] = n + b2;
+    return c;
+  }
+
+  void LockAll(const Candidates& c) {
+    uint32_t stripes[4];
+    for (int i = 0; i < 4; ++i) stripes[i] = StripeOf(c.ids[i]);
+    std::sort(stripes, stripes + 4);
+    uint32_t last = ~0u;
+    for (uint32_t s : stripes) {
+      if (s != last) locks_[s].Lock();
+      last = s;
+    }
+  }
+  void UnlockAll(const Candidates& c) {
+    uint32_t stripes[4];
+    for (int i = 0; i < 4; ++i) stripes[i] = StripeOf(c.ids[i]);
+    std::sort(stripes, stripes + 4);
+    uint32_t last = ~0u;
+    for (uint32_t s : stripes) {
+      if (s != last) locks_[s].Unlock();
+      last = s;
+    }
+  }
+
+  int FindIn(LevelBucket* bucket, uint8_t /*fp*/, KeyArg key) const {
+    // Two cachelines per probed bucket (128 B).
+    pmem::ReadProbe(bucket, 2);
+    const uint32_t occupied = bucket->Occupied();
+    for (uint32_t slot = 0; slot < kSlotsPerBucket; ++slot) {
+      if (((occupied >> slot) & 1) == 0) continue;
+      if (KP::EqualStored(bucket->records[slot].key, key)) {
+        return static_cast<int>(slot);
+      }
+    }
+    return -1;
+  }
+
+  enum class AttemptResult { kInserted, kDuplicate, kNeedResize };
+
+  // One insert attempt under the shared resize lock.
+  AttemptResult InsertAttempt(KeyArg key, uint64_t value, uint64_t h1,
+                              uint64_t h2) {
+    Candidates c = Locate(h1, h2);
+    LockAll(c);
+    // Uniqueness check across all four candidates.
+    for (int i = 0; i < 4; ++i) {
+      if (FindIn(c.buckets[i], 0, key) >= 0) {
+        UnlockAll(c);
+        return AttemptResult::kDuplicate;
+      }
+    }
+    // Try the less-loaded top bucket first, then bottom standby buckets.
+    int order[4] = {0, 1, 2, 3};
+    if (c.buckets[1]->CountRecords() < c.buckets[0]->CountRecords()) {
+      std::swap(order[0], order[1]);
+    }
+    for (int i : order) {
+      const int slot = c.buckets[i]->FreeSlot();
+      if (slot >= 0) {
+        const uint64_t stored = KP::MakeStored(key, alloc_);
+        c.buckets[i]->Insert(slot, stored, value);
+        UnlockAll(c);
+        return AttemptResult::kInserted;
+      }
+    }
+    // One movement attempt: displace a record from a top candidate to its
+    // alternative top bucket.
+    for (int i = 0; i < 2; ++i) {
+      LevelBucket* b = c.buckets[i];
+      for (uint32_t slot = 0; slot < kSlotsPerBucket; ++slot) {
+        if (((b->Occupied() >> slot) & 1) == 0) continue;
+        const uint64_t stored = b->records[slot].key;
+        const uint64_t rh1 = KP::HashStored(stored);
+        const uint64_t rh2 = util::Mix64(rh1);
+        const uint64_t n = root_->top_buckets;
+        const uint64_t alt =
+            (rh1 & (n - 1)) == c.ids[i] ? (rh2 & (n - 1)) : (rh1 & (n - 1));
+        if (alt == c.ids[0] || alt == c.ids[1]) continue;
+        const uint32_t alt_stripe = StripeOf(alt);
+        if (!locks_[alt_stripe].TryLock()) continue;
+        LevelBucket* alt_bucket = &Top()[alt];
+        const int free_slot = alt_bucket->FreeSlot();
+        if (free_slot < 0) {
+          locks_[alt_stripe].Unlock();
+          continue;
+        }
+        alt_bucket->Insert(free_slot, stored, b->records[slot].value);
+        b->Delete(static_cast<int>(slot));
+        locks_[alt_stripe].Unlock();
+        const uint64_t new_stored = KP::MakeStored(key, alloc_);
+        b->Insert(static_cast<int>(slot), new_stored, value);
+        UnlockAll(c);
+        return AttemptResult::kInserted;
+      }
+    }
+    UnlockAll(c);
+    return AttemptResult::kNeedResize;
+  }
+
+  void CreateNew() {
+    root_->top_buckets = opts_.initial_top_buckets;
+    root_->clean = 0;
+    pmem::Persist(root_, sizeof(*root_));
+    {
+      auto r = alloc_->Reserve(root_->top_buckets * sizeof(LevelBucket));
+      assert(r.valid());
+      alloc_->Activate(r, &root_->top);
+    }
+    {
+      auto r = alloc_->Reserve(root_->top_buckets / 2 * sizeof(LevelBucket));
+      assert(r.valid());
+      alloc_->Activate(r, &root_->bottom);
+    }
+    root_->initialized = 1;
+    pmem::PersistObject(&root_->initialized);
+  }
+
+  // Full-table resize (§2.3 of the paper's description): the bottom level
+  // is rehashed into a brand-new top of twice the old top's size; the old
+  // top becomes the new bottom. Exclusive — blocks every operation.
+  void Resize(uint64_t expected_n) {
+    resize_lock_.Lock();
+    // Another thread may have resized while we waited for the lock.
+    if (root_->top_buckets != expected_n) {
+      resize_lock_.Unlock();
+      return;
+    }
+    const uint64_t old_n = root_->top_buckets;
+    LevelBucket* old_top = Top();
+    LevelBucket* old_bottom = Bottom();
+
+    const uint64_t new_n = old_n * 2;
+    auto r = alloc_->Reserve(new_n * sizeof(LevelBucket));
+    if (!r.valid()) {
+      resize_lock_.Unlock();
+      assert(false && "level hashing: out of memory during resize");
+      return;
+    }
+    auto* new_top = static_cast<LevelBucket*>(r.ptr);
+
+    // Rehash every bottom record into the *new top only* (two choices plus
+    // one movement attempt). The old structure is never mutated before the
+    // commit, so a crash at any point leaves the old table intact; the new
+    // top is at most 25% full afterwards, so placement virtually never
+    // fails.
+    bool ok = true;
+    for (uint64_t i = 0; i < old_n / 2 && ok; ++i) {
+      LevelBucket* b = &old_bottom[i];
+      const uint32_t occupied = b->Occupied();
+      for (uint32_t slot = 0; slot < kSlotsPerBucket && ok; ++slot) {
+        if (((occupied >> slot) & 1) == 0) continue;
+        ok = RehashRecord(new_top, new_n, b->records[slot].key,
+                          b->records[slot].value);
+      }
+    }
+    if (!ok) {
+      // Extremely unlikely (the new structure has 5x the bottom's
+      // capacity); give up cleanly.
+      alloc_->Cancel(r);
+      resize_lock_.Unlock();
+      assert(false && "level hashing: rehash overflow");
+      return;
+    }
+    pmem::Persist(new_top, new_n * sizeof(LevelBucket));
+    CRASH_POINT("level_resize_before_commit");
+
+    // Atomic commit: swap top/bottom pointers, retire the old bottom,
+    // clear the reservation.
+    pmem::MiniTx tx(pool_);
+    tx.Stage(&root_->top, reinterpret_cast<uint64_t>(new_top));
+    tx.Stage(&root_->bottom, reinterpret_cast<uint64_t>(old_top));
+    tx.Stage(&root_->top_buckets, new_n);
+    const size_t retire_slot = pool_->StageRetire(&tx, old_bottom);
+    tx.Stage(pool_->FromOffset<uint64_t>(
+                 alloc_->ReservationSlotBlockOffset(r)),
+             0);
+    tx.Commit();
+    CRASH_POINT("level_resize_after_commit");
+    ++resizes_;
+    resize_lock_.Unlock();
+
+    pmem::PmPool* pool = pool_;
+    epochs_->Retire([pool, retire_slot] { pool->CompleteRetire(retire_slot); });
+  }
+
+  bool RehashRecord(LevelBucket* new_top, uint64_t new_n, uint64_t stored,
+                    uint64_t value) {
+    const uint64_t h1 = KP::HashStored(stored);
+    const uint64_t h2 = util::Mix64(h1);
+    const uint64_t t1 = h1 & (new_n - 1);
+    const uint64_t t2 = h2 & (new_n - 1);
+    for (uint64_t t : {t1, t2}) {
+      const int slot = new_top[t].FreeSlot();
+      if (slot >= 0) {
+        new_top[t].Insert(slot, stored, value);
+        return true;
+      }
+    }
+    // Movement attempt within the new top.
+    for (uint64_t t : {t1, t2}) {
+      LevelBucket* b = &new_top[t];
+      for (uint32_t slot = 0; slot < kSlotsPerBucket; ++slot) {
+        const uint64_t vk = b->records[slot].key;
+        const uint64_t vh1 = KP::HashStored(vk);
+        const uint64_t vh2 = util::Mix64(vh1);
+        const uint64_t alt =
+            (vh1 & (new_n - 1)) == t ? (vh2 & (new_n - 1)) : (vh1 & (new_n - 1));
+        if (alt == t1 || alt == t2) continue;
+        const int free_slot = new_top[alt].FreeSlot();
+        if (free_slot < 0) continue;
+        new_top[alt].Insert(free_slot, vk, b->records[slot].value);
+        b->Delete(static_cast<int>(slot));
+        b->Insert(static_cast<int>(slot), stored, value);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  pmem::PmPool* pool_;
+  pmem::PmAllocator* alloc_;
+  epoch::EpochManager* epochs_;
+  LevelOptions opts_;
+  LevelRoot* root_;
+  util::RwSpinLock resize_lock_;
+  util::RwSpinLock locks_[kStripes];  // lock striping (volatile)
+  uint64_t resizes_ = 0;
+};
+
+}  // namespace dash::level
+
+#endif  // DASH_PM_LEVEL_LEVEL_HASHING_H_

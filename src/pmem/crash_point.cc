@@ -1,0 +1,51 @@
+#include "pmem/crash_point.h"
+
+#include <mutex>
+
+namespace dash::pmem {
+
+namespace internal {
+std::atomic<bool> g_crash_injection_enabled{false};
+}  // namespace internal
+
+namespace {
+std::mutex g_mutex;
+std::string g_armed_point;
+uint64_t g_skip = 0;
+std::atomic<uint64_t> g_hits{0};
+}  // namespace
+
+namespace internal {
+
+void MaybeCrash(const char* name) {
+  std::unique_lock<std::mutex> lock(g_mutex);
+  if (g_armed_point != name) return;
+  const uint64_t hit = g_hits.fetch_add(1, std::memory_order_relaxed);
+  if (hit < g_skip) return;
+  // Disarm before throwing so recovery code re-entering the same point does
+  // not crash again.
+  g_armed_point.clear();
+  internal::g_crash_injection_enabled.store(false, std::memory_order_relaxed);
+  lock.unlock();
+  throw CrashInjected{name};
+}
+
+}  // namespace internal
+
+void CrashPointArm(const std::string& name, uint64_t skip) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed_point = name;
+  g_skip = skip;
+  g_hits.store(0, std::memory_order_relaxed);
+  internal::g_crash_injection_enabled.store(true, std::memory_order_relaxed);
+}
+
+void CrashPointDisarm() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed_point.clear();
+  internal::g_crash_injection_enabled.store(false, std::memory_order_relaxed);
+}
+
+uint64_t CrashPointHits() { return g_hits.load(std::memory_order_relaxed); }
+
+}  // namespace dash::pmem

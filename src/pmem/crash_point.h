@@ -1,0 +1,55 @@
+// Deterministic crash injection for recovery testing.
+//
+// Table code is instrumented with CRASH_POINT("name") markers at every
+// persistence boundary of a structural modification (allocation activated,
+// rehash finished, directory entry published, ...). Tests arm a point via
+// CrashPointArm(); when execution reaches it, a CrashInjected exception is
+// thrown. The test harness catches it, drops all volatile state, and
+// re-opens the pool image — simulating a power failure at exactly that
+// program point. When no point is armed the check is a single relaxed
+// atomic load.
+
+#ifndef DASH_PM_PMEM_CRASH_POINT_H_
+#define DASH_PM_PMEM_CRASH_POINT_H_
+
+#include <atomic>
+#include <exception>
+#include <string>
+
+namespace dash::pmem {
+
+// Thrown when an armed crash point is reached. Deliberately does not derive
+// from std::exception so generic catch(const std::exception&) handlers in
+// application code do not swallow it.
+struct CrashInjected {
+  std::string point;
+};
+
+namespace internal {
+extern std::atomic<bool> g_crash_injection_enabled;
+void MaybeCrash(const char* name);
+}  // namespace internal
+
+// Arms crash point `name`; the `skip`-th hit (0-based) throws. Only one
+// point may be armed at a time.
+void CrashPointArm(const std::string& name, uint64_t skip = 0);
+
+// Disarms any armed crash point.
+void CrashPointDisarm();
+
+// Returns how many times the armed point was hit (including the throwing
+// hit), or 0 if never armed.
+uint64_t CrashPointHits();
+
+// Instrumentation macro. Near-zero cost when injection is disabled.
+#define CRASH_POINT(name)                                                \
+  do {                                                                   \
+    if (::dash::pmem::internal::g_crash_injection_enabled.load(          \
+            std::memory_order_relaxed)) {                                \
+      ::dash::pmem::internal::MaybeCrash(name);                          \
+    }                                                                    \
+  } while (0)
+
+}  // namespace dash::pmem
+
+#endif  // DASH_PM_PMEM_CRASH_POINT_H_

@@ -1,0 +1,75 @@
+#include "pmem/mini_tx.h"
+
+#include <cassert>
+
+#include "pmem/crash_point.h"
+#include "pmem/persist.h"
+#include "pmem/pool.h"
+#include "util/thread_id.h"
+
+namespace dash::pmem {
+
+TxLog* ThreadTxLog(PmPool* pool) {
+  auto* logs = pool->FromOffset<TxLog>(pool->header()->tx_log_offset);
+  return &logs[util::ThreadId()];
+}
+
+MiniTx::MiniTx(PmPool* pool) : pool_(pool), log_(ThreadTxLog(pool)) {
+  assert(log_->state == TxLog::kIdle && "mini-tx is not reentrant");
+  log_->count = 0;
+}
+
+MiniTx::~MiniTx() {
+  // Abort path: nothing was applied, so resetting the (volatile-until-
+  // commit) entry count discards the transaction. If the commit mark was
+  // already persisted (e.g., a crash is being simulated mid-Commit), the
+  // log must be left untouched for redo at the next pool open.
+  if (!committed_ && log_->state != TxLog::kCommitted) {
+    log_->count = 0;
+  }
+}
+
+void MiniTx::Stage(uint64_t* addr, uint64_t value) {
+  assert(pool_->Contains(addr));
+  assert(log_->count < TxLog::kMaxEntries && "mini-tx log overflow");
+  log_->entries[log_->count] = TxEntry{pool_->ToOffset(addr), value};
+  ++log_->count;
+}
+
+void MiniTx::Commit() {
+  assert(!committed_);
+  // 1. Persist the staged entries and the count.
+  Persist(log_->entries, log_->count * sizeof(TxEntry));
+  Persist(&log_->count, sizeof(log_->count));
+  CRASH_POINT("minitx_before_commit_mark");
+  // 2. Commit point: one atomic persistent store.
+  AtomicPersist64(&log_->state, TxLog::kCommitted);
+  CRASH_POINT("minitx_after_commit_mark");
+  // 3. Apply.
+  for (uint64_t i = 0; i < log_->count; ++i) {
+    const TxEntry& e = log_->entries[i];
+    AtomicPersist64(pool_->FromOffset<uint64_t>(e.addr_off), e.value);
+  }
+  CRASH_POINT("minitx_after_apply");
+  // 4. Done.
+  AtomicPersist64(&log_->state, TxLog::kIdle);
+  committed_ = true;
+}
+
+void RecoverTxLogs(PmPool* pool) {
+  auto* logs = pool->FromOffset<TxLog>(pool->header()->tx_log_offset);
+  for (size_t i = 0; i < kMaxThreads; ++i) {
+    TxLog* log = &logs[i];
+    if (log->state == TxLog::kCommitted) {
+      for (uint64_t j = 0; j < log->count; ++j) {
+        const TxEntry& e = log->entries[j];
+        AtomicPersist64(pool->FromOffset<uint64_t>(e.addr_off), e.value);
+      }
+    }
+    log->state = TxLog::kIdle;
+    log->count = 0;
+    Persist(log, sizeof(uint64_t) * 2);
+  }
+}
+
+}  // namespace dash::pmem

@@ -1,0 +1,78 @@
+// Redo-log mini-transactions: atomically applies a bounded set of 8-byte
+// stores to pool memory. This is the substitute for the PMDK transactions
+// the paper uses for split/merge commit points (§4.7).
+//
+// Protocol (per-thread persistent log):
+//   Stage(addr, value)  — record (addr, value) in the log (volatile until
+//                          commit).
+//   Commit()            — persist the entries, set state=COMMITTED (the
+//                          atomic commit point), apply all stores, persist
+//                          them, then set state=IDLE.
+//
+// On pool open, RecoverTxLogs() re-applies any COMMITTED log (idempotent)
+// and discards any uncommitted one — so the store set is all-or-nothing
+// with respect to crashes.
+
+#ifndef DASH_PM_PMEM_MINI_TX_H_
+#define DASH_PM_PMEM_MINI_TX_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dash::pmem {
+
+class PmPool;
+
+struct TxEntry {
+  uint64_t addr_off;  // pool offset of the target 8-byte word
+  uint64_t value;
+};
+
+struct TxLog {
+  static constexpr uint64_t kIdle = 0;
+  static constexpr uint64_t kCommitted = 1;
+  static constexpr size_t kMaxEntries = 31;
+
+  uint64_t state;
+  uint64_t count;
+  TxEntry entries[kMaxEntries];
+};
+static_assert(sizeof(TxLog) == 512, "TxLog layout is part of the pool format");
+
+// RAII mini-transaction bound to the calling thread's log. Not reentrant.
+class MiniTx {
+ public:
+  explicit MiniTx(PmPool* pool);
+  ~MiniTx();  // aborts (discards staged stores) if Commit() was not called
+  MiniTx(const MiniTx&) = delete;
+  MiniTx& operator=(const MiniTx&) = delete;
+
+  // Stages an 8-byte store of `value` to `addr` (must be inside the pool).
+  void Stage(uint64_t* addr, uint64_t value);
+
+  // Convenience for pointer-valued fields.
+  template <typename T>
+  void StagePtr(T** addr, T* value) {
+    Stage(reinterpret_cast<uint64_t*>(addr), reinterpret_cast<uint64_t>(value));
+  }
+
+  // Atomically applies all staged stores. May be called at most once.
+  void Commit();
+
+  bool committed() const { return committed_; }
+
+ private:
+  PmPool* pool_;
+  TxLog* log_;
+  bool committed_ = false;
+};
+
+// Pool-open recovery for all per-thread logs. Constant work.
+void RecoverTxLogs(PmPool* pool);
+
+// Internal: address of this thread's log within `pool`.
+TxLog* ThreadTxLog(PmPool* pool);
+
+}  // namespace dash::pmem
+
+#endif  // DASH_PM_PMEM_MINI_TX_H_

@@ -1,0 +1,258 @@
+#include "pmem/pool.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "pmem/allocator.h"
+#include "pmem/mini_tx.h"
+#include "pmem/persist.h"
+
+namespace dash::pmem {
+
+namespace {
+
+constexpr size_t kPageSize = 4096;
+
+// Candidate fixed base addresses; chosen high in the VA space to avoid the
+// heap and library mappings (same trick as the paper's MAP_FIXED_NOREPLACE
+// scheme, §6.1). Spaced 2 TB apart so many multi-GB pools coexist.
+constexpr uint64_t kBaseCandidates[] = {
+    0x2000'0000'0000ULL, 0x2200'0000'0000ULL, 0x2400'0000'0000ULL,
+    0x2600'0000'0000ULL, 0x2800'0000'0000ULL, 0x2A00'0000'0000ULL,
+    0x2C00'0000'0000ULL, 0x2E00'0000'0000ULL, 0x3000'0000'0000ULL,
+    0x3200'0000'0000ULL, 0x3400'0000'0000ULL, 0x3600'0000'0000ULL,
+    0x3800'0000'0000ULL, 0x3A00'0000'0000ULL, 0x3C00'0000'0000ULL,
+    0x3E00'0000'0000ULL,
+};
+
+constexpr size_t RoundPage(size_t n) {
+  return (n + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+#ifndef MAP_FIXED_NOREPLACE
+#define MAP_FIXED_NOREPLACE 0x100000
+#endif
+
+void* TryMapAt(uint64_t base, size_t size, int fd) {
+  void* p = ::mmap(reinterpret_cast<void*>(base), size, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_FIXED_NOREPLACE, fd, 0);
+  if (p == MAP_FAILED) return nullptr;
+  if (reinterpret_cast<uint64_t>(p) != base) {
+    // Old kernels ignore MAP_FIXED_NOREPLACE and may map elsewhere.
+    ::munmap(p, size);
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+PmPool::~PmPool() {
+  if (!closed_) CloseDirty();
+}
+
+std::unique_ptr<PmPool> PmPool::Create(const std::string& path,
+                                       const Options& options) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    std::perror("PmPool::Create open");
+    return nullptr;
+  }
+  const size_t size = RoundPage(options.pool_size);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    std::perror("PmPool::Create ftruncate");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return nullptr;
+  }
+
+  void* base = nullptr;
+  uint64_t base_addr = 0;
+  for (uint64_t candidate : kBaseCandidates) {
+    base = TryMapAt(candidate, size, fd);
+    if (base != nullptr) {
+      base_addr = candidate;
+      break;
+    }
+  }
+  if (base == nullptr) {
+    std::fprintf(stderr, "PmPool::Create: no fixed base address available\n");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return nullptr;
+  }
+
+  // Lay out the pool.
+  auto* header = static_cast<PoolHeader*>(base);
+  uint64_t off = RoundPage(sizeof(PoolHeader));
+  header->tx_log_offset = off;
+  off += RoundPage(sizeof(TxLog) * kMaxThreads);
+  header->allocator_offset = off;
+  off += RoundPage(sizeof(AllocatorMeta));
+  header->retire_offset = off;
+  off += RoundPage(sizeof(RetireBuffer));
+  header->root_offset = off;
+  header->root_size = RoundPage(options.root_size);
+  off += header->root_size;
+  header->heap_offset = off;
+
+  header->layout_version = kLayoutVersion;
+  header->pool_size = size;
+  header->base_address = base_addr;
+  header->clean_shutdown = 0;
+
+  auto* meta = reinterpret_cast<AllocatorMeta*>(static_cast<char*>(base) +
+                                                header->allocator_offset);
+  meta->bump = header->heap_offset;
+  meta->heap_end = size;
+  Persist(meta, sizeof(*meta));
+
+  // Publish the header last; magic validates the whole layout.
+  Persist(header, sizeof(*header));
+  header->magic = kPoolMagic;
+  Persist(&header->magic, sizeof(header->magic));
+
+  auto pool = std::unique_ptr<PmPool>(new PmPool());
+  pool->base_ = base;
+  pool->fd_ = fd;
+  pool->recovered_from_crash_ = false;
+  pool->allocator_ = std::make_unique<PmAllocator>(pool.get(), meta);
+  return pool;
+}
+
+std::unique_ptr<PmPool> PmPool::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return nullptr;
+
+  PoolHeader header_copy;
+  if (::pread(fd, &header_copy, sizeof(header_copy), 0) !=
+          static_cast<ssize_t>(sizeof(header_copy)) ||
+      header_copy.magic != kPoolMagic ||
+      header_copy.layout_version != kLayoutVersion) {
+    std::fprintf(stderr, "PmPool::Open: bad pool header in %s\n",
+                 path.c_str());
+    ::close(fd);
+    return nullptr;
+  }
+
+  void* base = TryMapAt(header_copy.base_address, header_copy.pool_size, fd);
+  if (base == nullptr) {
+    std::fprintf(stderr,
+                 "PmPool::Open: cannot map %s at its recorded base %#lx\n",
+                 path.c_str(),
+                 static_cast<unsigned long>(header_copy.base_address));
+    ::close(fd);
+    return nullptr;
+  }
+
+  auto pool = std::unique_ptr<PmPool>(new PmPool());
+  pool->base_ = base;
+  pool->fd_ = fd;
+  auto* header = pool->header();
+  pool->recovered_from_crash_ = header->clean_shutdown == 0;
+
+  // Mark the pool dirty while open.
+  header->clean_shutdown = 0;
+  Persist(&header->clean_shutdown, sizeof(header->clean_shutdown));
+
+  auto* meta = pool->FromOffset<AllocatorMeta>(header->allocator_offset);
+  pool->allocator_ = std::make_unique<PmAllocator>(pool.get(), meta);
+  pool->RunOpenRecovery();
+  return pool;
+}
+
+std::unique_ptr<PmPool> PmPool::OpenOrCreate(const std::string& path,
+                                             const Options& options,
+                                             bool* created) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    if (created != nullptr) *created = false;
+    return Open(path);
+  }
+  if (created != nullptr) *created = true;
+  return Create(path, options);
+}
+
+void PmPool::RunOpenRecovery() {
+  // All three passes are constant work: fixed-size logs, slots and buffer.
+  RecoverTxLogs(this);
+  allocator_->RecoverOnOpen();
+  auto* retire = FromOffset<RetireBuffer>(header()->retire_offset);
+  for (size_t i = 0; i < RetireBuffer::kSlots; ++i) {
+    if (retire->blocks[i] != 0) {
+      allocator_->Free(FromOffset<void>(retire->blocks[i]));
+      retire->blocks[i] = 0;
+      PersistObject(&retire->blocks[i]);
+    }
+  }
+}
+
+void PmPool::CloseClean() {
+  assert(!closed_);
+  header()->clean_shutdown = 1;
+  Persist(&header()->clean_shutdown, sizeof(uint64_t));
+  CloseDirty();
+}
+
+void PmPool::CloseDirty() {
+  if (closed_) return;
+  ::munmap(base_, header() != nullptr ? header()->pool_size : 0);
+  ::close(fd_);
+  closed_ = true;
+  base_ = nullptr;
+  fd_ = -1;
+}
+
+size_t PmPool::AddRetire(void* block) {
+  auto* retire = FromOffset<RetireBuffer>(header()->retire_offset);
+  util::SpinLockGuard guard(retire_lock_);
+  for (size_t i = 0; i < RetireBuffer::kSlots; ++i) {
+    if (retire->blocks[i] == 0 && ((retire_claimed_ >> i) & 1) == 0) {
+      retire->blocks[i] = ToOffset(block);
+      PersistObject(&retire->blocks[i]);
+      retire_claimed_ |= 1ull << i;
+      return i;
+    }
+  }
+  assert(false && "retire buffer full");
+  return RetireBuffer::kSlots;
+}
+
+size_t PmPool::StageRetire(MiniTx* tx, void* block) {
+  auto* retire = FromOffset<RetireBuffer>(header()->retire_offset);
+  util::SpinLockGuard guard(retire_lock_);
+  for (size_t i = 0; i < RetireBuffer::kSlots; ++i) {
+    if (retire->blocks[i] == 0 && ((retire_claimed_ >> i) & 1) == 0) {
+      retire_claimed_ |= 1ull << i;
+      tx->Stage(&retire->blocks[i], ToOffset(block));
+      return i;
+    }
+  }
+  assert(false && "retire buffer full");
+  return RetireBuffer::kSlots;
+}
+
+void PmPool::AbandonRetireClaim(size_t slot) {
+  util::SpinLockGuard guard(retire_lock_);
+  retire_claimed_ &= ~(1ull << slot);
+}
+
+void PmPool::CompleteRetire(size_t slot) {
+  auto* retire = FromOffset<RetireBuffer>(header()->retire_offset);
+  assert(slot < RetireBuffer::kSlots && retire->blocks[slot] != 0);
+  void* block = FromOffset<void>(retire->blocks[slot]);
+  allocator_->Free(block);
+  retire->blocks[slot] = 0;
+  PersistObject(&retire->blocks[slot]);
+  util::SpinLockGuard guard(retire_lock_);
+  retire_claimed_ &= ~(1ull << slot);
+}
+
+}  // namespace dash::pmem

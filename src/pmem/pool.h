@@ -1,0 +1,150 @@
+// Persistent memory pool: the libpmemobj analogue.
+//
+// A pool is a file-backed mapping placed at a *fixed* virtual address so
+// that raw pointers stored inside the pool remain valid across restarts —
+// the same approach the paper takes (§6.1: MAP_FIXED_NOREPLACE so "the
+// application then directly operates on traditional 8-byte pointers").
+//
+// Pool layout:
+//   [PoolHeader][TxLog area][AllocatorMeta][RetireBuffer][Root area][Heap]
+//
+// Crash model: a crash is simulated by CloseDirty() (or simply destroying
+// the process image) — the file keeps whatever was stored; the clean
+// shutdown marker is only written by CloseClean(). Re-opening reports
+// whether recovery is needed.
+
+#ifndef DASH_PM_PMEM_POOL_H_
+#define DASH_PM_PMEM_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/lock.h"
+
+namespace dash::pmem {
+
+class PmAllocator;
+class MiniTx;
+
+inline constexpr uint64_t kPoolMagic = 0xDA5B'0001'CAFE'F00DULL;
+inline constexpr uint64_t kLayoutVersion = 3;
+inline constexpr size_t kMaxThreads = 256;
+
+// On-media pool header (first 4 KB of the pool).
+struct PoolHeader {
+  uint64_t magic;
+  uint64_t layout_version;
+  uint64_t pool_size;
+  uint64_t base_address;
+  uint64_t clean_shutdown;   // 1 = closed via CloseClean()
+  uint64_t tx_log_offset;
+  uint64_t allocator_offset;
+  uint64_t retire_offset;
+  uint64_t root_offset;
+  uint64_t root_size;
+  uint64_t heap_offset;
+};
+
+// A bounded persistent buffer of blocks that are logically unreachable but
+// not yet returned to the allocator (e.g., a replaced directory that epoch
+// reclamation will free). If the process crashes first, pool open returns
+// them to the allocator — so nothing leaks at any crash point.
+struct RetireBuffer {
+  static constexpr size_t kSlots = 64;
+  uint64_t blocks[kSlots];  // pool offsets; 0 = empty slot
+};
+
+class PmPool {
+ public:
+  struct Options {
+    size_t pool_size = 1ull << 30;  // 1 GB default
+    size_t root_size = 4096;
+  };
+
+  PmPool(const PmPool&) = delete;
+  PmPool& operator=(const PmPool&) = delete;
+
+  // Destroys the handle WITHOUT marking a clean shutdown (i.e., like a
+  // crash). Call CloseClean() first for an orderly shutdown.
+  ~PmPool();
+
+  // Creates a new pool file at `path`. Fails if it already exists.
+  static std::unique_ptr<PmPool> Create(const std::string& path,
+                                        const Options& options);
+
+  // Opens an existing pool, mapping it at its recorded base address.
+  static std::unique_ptr<PmPool> Open(const std::string& path);
+
+  // Opens `path` if it exists, otherwise creates it. `created` (optional)
+  // reports which happened.
+  static std::unique_ptr<PmPool> OpenOrCreate(const std::string& path,
+                                              const Options& options,
+                                              bool* created = nullptr);
+
+  // Marks a clean shutdown and unmaps. The object must not be used after.
+  void CloseClean();
+
+  // Unmaps without the clean marker — simulates a power failure for tests.
+  void CloseDirty();
+
+  // True iff the previous session did not CloseClean() (recovery needed).
+  bool recovered_from_crash() const { return recovered_from_crash_; }
+
+  // Application root object area (root_size bytes, zero on creation).
+  void* root() const {
+    return reinterpret_cast<char*>(base_) + header()->root_offset;
+  }
+  size_t root_size() const { return header()->root_size; }
+
+  PmAllocator& allocator() { return *allocator_; }
+
+  // Address range checks (for assertions).
+  bool Contains(const void* p) const {
+    const auto a = reinterpret_cast<uintptr_t>(p);
+    const auto b = reinterpret_cast<uintptr_t>(base_);
+    return a >= b && a < b + header()->pool_size;
+  }
+
+  uint64_t ToOffset(const void* p) const {
+    return reinterpret_cast<uintptr_t>(p) - reinterpret_cast<uintptr_t>(base_);
+  }
+  template <typename T = void>
+  T* FromOffset(uint64_t off) const {
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(base_) + off);
+  }
+
+  // Adds `block` (heap pointer) to the persistent retire buffer. Returns the
+  // slot index. The caller later calls CompleteRetire() once the block has
+  // been freed (after an epoch grace period).
+  size_t AddRetire(void* block);
+  // Transactional variant: claims a free slot and stages the write into
+  // `tx`, so retirement commits atomically with the stores that make the
+  // block unreachable (e.g., the directory-pointer swap on doubling). The
+  // slot is held (volatile claim) until CompleteRetire() or tx abort via
+  // AbandonRetireClaim().
+  size_t StageRetire(MiniTx* tx, void* block);
+  void AbandonRetireClaim(size_t slot);
+  // Frees the block in `slot` back to the allocator and clears the slot.
+  void CompleteRetire(size_t slot);
+
+  PoolHeader* header() const { return static_cast<PoolHeader*>(base_); }
+
+ private:
+  PmPool() = default;
+
+  void RunOpenRecovery();
+
+  void* base_ = nullptr;
+  int fd_ = -1;
+  bool closed_ = false;
+  bool recovered_from_crash_ = false;
+  uint64_t retire_claimed_ = 0;  // volatile claims on staged retire slots
+  util::SpinLock retire_lock_;
+  std::unique_ptr<PmAllocator> allocator_;
+};
+
+}  // namespace dash::pmem
+
+#endif  // DASH_PM_PMEM_POOL_H_

@@ -1,0 +1,102 @@
+#include "pmem/stats.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "util/lock.h"
+
+namespace dash::pmem {
+
+namespace {
+
+uint32_t EnvU32(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return 0;
+  return static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+}
+
+// Registry of all per-thread counter blocks. Blocks are heap-allocated and
+// intentionally never freed: threads may outlive aggregation calls and the
+// blocks are tiny.
+std::mutex g_registry_mutex;
+std::vector<ThreadPmStats*>& Registry() {
+  static std::vector<ThreadPmStats*>* r = new std::vector<ThreadPmStats*>();
+  return *r;
+}
+
+// Calibrated spin loop iterations per nanosecond (x1024).
+uint64_t CalibrateSpinsPerNs1024() {
+  using Clock = std::chrono::steady_clock;
+  volatile uint64_t sink = 0;
+  constexpr uint64_t kIters = 1 << 22;
+  const auto start = Clock::now();
+  for (uint64_t i = 0; i < kIters; ++i) {
+    sink = sink + i;
+    dash::util::CpuRelax();
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - start)
+                      .count();
+  if (ns <= 0) return 1024;
+  return (kIters * 1024) / static_cast<uint64_t>(ns);
+}
+
+}  // namespace
+
+PmEmulationConfig& GetEmulationConfig() {
+  static PmEmulationConfig* config = [] {
+    auto* c = new PmEmulationConfig();
+    c->flush_latency_ns.store(EnvU32("DASH_PM_FLUSH_NS"),
+                              std::memory_order_relaxed);
+    c->read_latency_ns.store(EnvU32("DASH_PM_READ_NS"),
+                             std::memory_order_relaxed);
+    return c;
+  }();
+  return *config;
+}
+
+ThreadPmStats& GetThreadPmStats() {
+  thread_local ThreadPmStats* stats = [] {
+    auto* s = new ThreadPmStats();
+    std::lock_guard<std::mutex> guard(g_registry_mutex);
+    Registry().push_back(s);
+    return s;
+  }();
+  return *stats;
+}
+
+PmStats AggregatePmStats() {
+  std::lock_guard<std::mutex> guard(g_registry_mutex);
+  PmStats total;
+  for (const ThreadPmStats* s : Registry()) {
+    total.clwb += s->clwb.load(std::memory_order_relaxed);
+    total.fence += s->fence.load(std::memory_order_relaxed);
+    total.read_probes += s->read_probes.load(std::memory_order_relaxed);
+    total.nt_stores += s->nt_stores.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ResetPmStats() {
+  std::lock_guard<std::mutex> guard(g_registry_mutex);
+  for (ThreadPmStats* s : Registry()) {
+    s->clwb.store(0, std::memory_order_relaxed);
+    s->fence.store(0, std::memory_order_relaxed);
+    s->read_probes.store(0, std::memory_order_relaxed);
+    s->nt_stores.store(0, std::memory_order_relaxed);
+  }
+}
+
+void SpinNanos(uint32_t ns) {
+  static const uint64_t spins_per_ns_1024 = CalibrateSpinsPerNs1024();
+  volatile uint64_t sink = 0;
+  const uint64_t iters = (static_cast<uint64_t>(ns) * spins_per_ns_1024) >> 10;
+  for (uint64_t i = 0; i < iters; ++i) {
+    sink = sink + i;
+    dash::util::CpuRelax();
+  }
+}
+
+}  // namespace dash::pmem

@@ -1,0 +1,35 @@
+// Hash functions used throughout the library.
+//
+// The paper uses GCC's std::_Hash_bytes (MurmurHash-based) as the hash
+// function for all tables; we provide a from-scratch MurmurHash2 64A
+// implementation with identical statistical behaviour, plus a cheap 64-bit
+// integer mixer for inline keys.
+
+#ifndef DASH_PM_UTIL_HASH_H_
+#define DASH_PM_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dash::util {
+
+// MurmurHash2, 64-bit version for 64-bit platforms (Austin Appleby,
+// public domain). Hashes `len` bytes starting at `key`.
+uint64_t Murmur2_64A(const void* key, size_t len, uint64_t seed = 0xc70f6907ULL);
+
+// Hashes a 64-bit integer key. Specialized fast path equivalent to
+// Murmur2_64A over the 8-byte little-endian representation.
+uint64_t HashInt64(uint64_t key, uint64_t seed = 0xc70f6907ULL);
+
+// Finalization-style 64-bit mixer (splitmix64). Used where a cheap,
+// high-quality scramble of an integer is needed (e.g., workload generation).
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace dash::util
+
+#endif  // DASH_PM_UTIL_HASH_H_

@@ -1,0 +1,203 @@
+// Concurrency primitives used by the hash tables.
+//
+// Three flavours are provided, mirroring the designs the paper compares:
+//  * SpinLock          — plain test-and-set lock (infrastructure, SMO paths).
+//  * RwSpinLock        — reader-writer spinlock; the "pessimistic" baseline
+//                        used by CCEH / Level hashing (Fig. 13 ablation).
+//                        Acquiring even a read lock writes the lock word,
+//                        which on PM costs write bandwidth.
+//  * VersionLock       — Dash's optimistic bucket lock (§4.4): one lock bit
+//                        plus a version counter. Readers never write.
+
+#ifndef DASH_PM_UTIL_LOCK_H_
+#define DASH_PM_UTIL_LOCK_H_
+
+#include <sched.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace dash::util {
+
+// Busy-wait pause hint for spin loops.
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Bounded-spin backoff: pause for short waits, yield the CPU once the
+// owner is clearly descheduled (essential on machines with fewer cores
+// than contending threads — a pure spin burns the owner's quantum).
+class SpinBackoff {
+ public:
+  void Pause() {
+    if (++spins_ < kSpinLimit) {
+      CpuRelax();
+    } else {
+      sched_yield();
+    }
+  }
+
+ private:
+  static constexpr uint32_t kSpinLimit = 128;
+  uint32_t spins_ = 0;
+};
+
+// Plain test-and-set spinlock.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Lock() {
+    SpinBackoff backoff;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) backoff.Pause();
+    }
+  }
+
+  bool TryLock() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// RAII guard for SpinLock.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+// Reader-writer spinlock packed in a single 32-bit word:
+// bit 31 = writer bit; bits 0..30 = reader count.
+// This is the pessimistic locking style the paper's baselines use; on PM,
+// every reader acquisition is a PM write.
+class RwSpinLock {
+ public:
+  RwSpinLock() = default;
+  RwSpinLock(const RwSpinLock&) = delete;
+  RwSpinLock& operator=(const RwSpinLock&) = delete;
+
+  void LockShared() {
+    SpinBackoff backoff;
+    for (;;) {
+      uint32_t v = word_.load(std::memory_order_relaxed);
+      if ((v & kWriterBit) == 0 &&
+          word_.compare_exchange_weak(v, v + 1, std::memory_order_acquire)) {
+        return;
+      }
+      backoff.Pause();
+    }
+  }
+
+  void UnlockShared() { word_.fetch_sub(1, std::memory_order_release); }
+
+  void Lock() {
+    SpinBackoff backoff;
+    for (;;) {
+      uint32_t v = word_.load(std::memory_order_relaxed);
+      if (v == 0 &&
+          word_.compare_exchange_weak(v, kWriterBit,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+      backoff.Pause();
+    }
+  }
+
+  bool TryLock() {
+    uint32_t v = 0;
+    return word_.compare_exchange_strong(v, kWriterBit,
+                                         std::memory_order_acquire);
+  }
+
+  void Unlock() { word_.store(0, std::memory_order_release); }
+
+  // Forcibly clears the lock word; used by recovery (locks held at the
+  // moment of a crash must be released before the structure is reused).
+  void Reset() { word_.store(0, std::memory_order_relaxed); }
+
+ private:
+  static constexpr uint32_t kWriterBit = 1u << 31;
+  std::atomic<uint32_t> word_{0};
+};
+
+// Dash's optimistic version lock (§4.4). Layout of the 32-bit word:
+// bit 31 = lock bit; bits 0..30 = version counter. Writers CAS the lock bit
+// and bump the version on release (single atomic store). Readers snapshot
+// the word, do their reads, and verify the word is unchanged and unlocked.
+class VersionLock {
+ public:
+  VersionLock() = default;
+
+  static constexpr uint32_t kLockBit = 1u << 31;
+
+  // Acquires the exclusive lock, spinning until available.
+  void Lock() {
+    SpinBackoff backoff;
+    for (;;) {
+      uint32_t v = word_.load(std::memory_order_relaxed);
+      if ((v & kLockBit) == 0 &&
+          word_.compare_exchange_weak(v, v | kLockBit,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+      backoff.Pause();
+    }
+  }
+
+  bool TryLock() {
+    uint32_t v = word_.load(std::memory_order_relaxed);
+    return (v & kLockBit) == 0 &&
+           word_.compare_exchange_strong(v, v | kLockBit,
+                                         std::memory_order_acquire);
+  }
+
+  // Releases the lock and increments the version in one atomic store.
+  void Unlock() {
+    const uint32_t v = word_.load(std::memory_order_relaxed);
+    word_.store((v & ~kLockBit) + 1, std::memory_order_release);
+  }
+
+  // Returns a snapshot for optimistic reads. The caller should retry if
+  // IsLocked(snapshot) or a later Verify(snapshot) fails.
+  uint32_t Snapshot() const { return word_.load(std::memory_order_acquire); }
+
+  static bool IsLocked(uint32_t snapshot) { return snapshot & kLockBit; }
+
+  // True iff no writer completed (or is active) since `snapshot` was taken.
+  bool Verify(uint32_t snapshot) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return word_.load(std::memory_order_acquire) == snapshot;
+  }
+
+  // Forcibly clears lock state; used by crash recovery.
+  void Reset() { word_.store(0, std::memory_order_relaxed); }
+
+  bool IsLockedNow() const {
+    return word_.load(std::memory_order_acquire) & kLockBit;
+  }
+
+ private:
+  std::atomic<uint32_t> word_{0};
+};
+
+static_assert(sizeof(VersionLock) == 4, "VersionLock must stay 4 bytes");
+
+}  // namespace dash::util
+
+#endif  // DASH_PM_UTIL_LOCK_H_

@@ -1,0 +1,47 @@
+#include "util/rand.h"
+
+#include "util/hash.h"
+
+namespace dash::util {
+
+namespace {
+constexpr uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  // Seed the state with splitmix64 per the xoshiro authors' recommendation.
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    s = Mix64(x++);
+  }
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+
+  return result;
+}
+
+uint64_t Xoshiro256::NextBounded(uint64_t bound) {
+  // Lemire's multiply-shift rejection-free approximation is fine here; the
+  // tiny modulo bias of a 128-bit multiply reduction is irrelevant for
+  // benchmarking workloads.
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+}
+
+double Xoshiro256::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace dash::util

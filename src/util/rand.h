@@ -1,0 +1,31 @@
+// Fast pseudo-random number generation for workload drivers and tests.
+
+#ifndef DASH_PM_UTIL_RAND_H_
+#define DASH_PM_UTIL_RAND_H_
+
+#include <cstdint>
+
+namespace dash::util {
+
+// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+// Not cryptographically secure; intended for benchmarks and tests.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed);
+
+  // Returns the next 64-bit pseudo-random value.
+  uint64_t Next();
+
+  // Returns a uniformly distributed value in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Returns a uniformly distributed double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dash::util
+
+#endif  // DASH_PM_UTIL_RAND_H_

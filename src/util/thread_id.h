@@ -1,0 +1,27 @@
+// Process-wide small dense thread ids, used to index per-thread persistent
+// structures (allocator reservation slots, tx logs) and epoch slots.
+
+#ifndef DASH_PM_UTIL_THREAD_ID_H_
+#define DASH_PM_UTIL_THREAD_ID_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace dash::util {
+
+inline constexpr uint32_t kMaxThreadId = 256;
+
+// Returns this thread's dense id in [0, kMaxThreadId). Ids are assigned on
+// first call and never recycled; a process must not create more than
+// kMaxThreadId distinct threads that touch PM structures.
+inline uint32_t ThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  assert(id < kMaxThreadId && "too many threads for per-thread PM slots");
+  return id;
+}
+
+}  // namespace dash::util
+
+#endif  // DASH_PM_UTIL_THREAD_ID_H_

@@ -1,0 +1,40 @@
+// Zipfian key-distribution generator for skewed workloads (paper §6.2
+// mentions Zipfian runs; we include them in the harness as an extension).
+
+#ifndef DASH_PM_UTIL_ZIPF_H_
+#define DASH_PM_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/rand.h"
+
+namespace dash::util {
+
+// Generates Zipf-distributed values in [0, n) with skew parameter `theta`
+// (0 < theta < 1; YCSB uses 0.99). Uses the Gray et al. rejection-free
+// method, O(1) per draw after O(1) setup.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  // Returns the next Zipf-distributed rank in [0, n). Rank 0 is the hottest.
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zeta_n_;
+  double eta_;
+  double zeta_theta_;  // zeta(2, theta)
+  Xoshiro256 rng_;
+};
+
+}  // namespace dash::util
+
+#endif  // DASH_PM_UTIL_ZIPF_H_

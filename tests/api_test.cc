@@ -1,0 +1,124 @@
+// Public API tests: factory, kind parsing, adapter behaviour, cross-table
+// behavioural equivalence on the same workload.
+
+#include "api/kv_index.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/rand.h"
+
+namespace dash::api {
+namespace {
+
+TEST(IndexKindTest, NamesRoundTrip) {
+  for (IndexKind kind : {IndexKind::kDashEH, IndexKind::kDashLH,
+                         IndexKind::kCCEH, IndexKind::kLevel}) {
+    IndexKind parsed;
+    ASSERT_TRUE(ParseIndexKind(IndexKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+}
+
+TEST(IndexKindTest, UnknownNameRejected) {
+  IndexKind kind;
+  EXPECT_FALSE(ParseIndexKind("robinhood", &kind));
+  EXPECT_FALSE(ParseIndexKind("", &kind));
+}
+
+class ApiTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(ApiTest, FactoryCreatesWorkingIndex) {
+  test::TempPoolFile file(std::string("api_") + IndexKindName(GetParam()));
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  epoch::EpochManager epochs;
+  DashOptions opts;
+  auto index = CreateKvIndex(GetParam(), pool.get(), &epochs, opts);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->kind(), GetParam());
+
+  EXPECT_TRUE(index->Insert(1, 2));
+  EXPECT_FALSE(index->Insert(1, 3));
+  uint64_t value;
+  EXPECT_TRUE(index->Search(1, &value));
+  EXPECT_EQ(value, 2u);
+  EXPECT_TRUE(index->Delete(1));
+  EXPECT_FALSE(index->Search(1, &value));
+
+  index->CloseClean();
+  pool->CloseClean();
+}
+
+TEST_P(ApiTest, AgreesWithStdMapOnRandomWorkload) {
+  test::TempPoolFile file(std::string("api_model_") +
+                          IndexKindName(GetParam()));
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  epoch::EpochManager epochs;
+  DashOptions opts;
+  opts.buckets_per_segment = 16;
+  opts.lh_base_segments = 4;
+  opts.lh_stride = 2;
+  auto index = CreateKvIndex(GetParam(), pool.get(), &epochs, opts);
+  ASSERT_NE(index, nullptr);
+
+  std::map<uint64_t, uint64_t> model;
+  util::Xoshiro256 rng(2024);
+  for (int iter = 0; iter < 100000; ++iter) {
+    const uint64_t key = rng.NextBounded(5000) + 1;
+    const uint64_t op = rng.NextBounded(5);
+    uint64_t value;
+    switch (op) {
+      case 0:
+      case 1: {
+        const bool inserted = index->Insert(key, iter);
+        ASSERT_EQ(inserted, model.find(key) == model.end())
+            << "iter " << iter << " key " << key;
+        if (inserted) model[key] = iter;
+        break;
+      }
+      case 2: {
+        const bool found = index->Search(key, &value);
+        const auto it = model.find(key);
+        ASSERT_EQ(found, it != model.end()) << "iter " << iter;
+        if (found) {
+          ASSERT_EQ(value, it->second);
+        }
+        break;
+      }
+      case 3: {
+        const bool updated = index->Update(key, iter + 1);
+        const auto it = model.find(key);
+        ASSERT_EQ(updated, it != model.end()) << "iter " << iter;
+        if (updated) it->second = iter + 1;
+        break;
+      }
+      case 4: {
+        const bool deleted = index->Delete(key);
+        ASSERT_EQ(deleted, model.erase(key) == 1) << "iter " << iter;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(index->Stats().records, model.size());
+  index->CloseClean();
+  pool->CloseClean();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTables, ApiTest,
+    ::testing::Values(IndexKind::kDashEH, IndexKind::kDashLH,
+                      IndexKind::kCCEH, IndexKind::kLevel),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      std::string name = IndexKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dash::api

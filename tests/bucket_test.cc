@@ -1,0 +1,191 @@
+#include "dash/bucket.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "dash/key_policy.h"
+
+namespace dash {
+namespace {
+
+class BucketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    void* mem = nullptr;
+    ASSERT_EQ(posix_memalign(&mem, 64, sizeof(Bucket)), 0);
+    std::memset(mem, 0, sizeof(Bucket));
+    bucket_ = static_cast<Bucket*>(mem);
+    bucket_->Clear();
+  }
+  void TearDown() override { free(bucket_); }
+
+  Bucket* bucket_;
+  DashOptions opts_;
+};
+
+TEST_F(BucketTest, LayoutIs256Bytes) {
+  EXPECT_EQ(sizeof(Bucket), 256u);
+  EXPECT_EQ(Bucket::kNumSlots, 14u);
+}
+
+TEST_F(BucketTest, InsertAndFind) {
+  ASSERT_TRUE(bucket_->Insert(/*key=*/77, /*value=*/123, /*fp=*/0xAB,
+                              /*member=*/false));
+  EXPECT_EQ(bucket_->count(), 1u);
+  const int slot = bucket_->FindKey<IntKeyPolicy>(0xAB, 77, opts_);
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(bucket_->record(slot).value, 123u);
+}
+
+TEST_F(BucketTest, FingerprintMismatchSkipsSlots) {
+  ASSERT_TRUE(bucket_->Insert(77, 123, 0xAB, false));
+  EXPECT_LT(bucket_->FindKey<IntKeyPolicy>(0xCD, 77, opts_), 0)
+      << "wrong fingerprint must not match when fingerprints are on";
+}
+
+TEST_F(BucketTest, FingerprintsOffStillFindsKey) {
+  opts_.use_fingerprints = false;
+  ASSERT_TRUE(bucket_->Insert(77, 123, 0xAB, false));
+  EXPECT_GE(bucket_->FindKey<IntKeyPolicy>(0x00, 77, opts_), 0);
+}
+
+TEST_F(BucketTest, FillsToFourteenThenRejects) {
+  for (uint64_t k = 1; k <= Bucket::kNumSlots; ++k) {
+    EXPECT_TRUE(bucket_->Insert(k, k * 10, static_cast<uint8_t>(k), false));
+  }
+  EXPECT_TRUE(bucket_->IsFull());
+  EXPECT_FALSE(bucket_->Insert(99, 990, 0x99, false));
+}
+
+TEST_F(BucketTest, DeleteFreesSlotForReuse) {
+  for (uint64_t k = 1; k <= Bucket::kNumSlots; ++k) {
+    ASSERT_TRUE(bucket_->Insert(k, k, static_cast<uint8_t>(k), false));
+  }
+  const int slot = bucket_->FindKey<IntKeyPolicy>(5, 5, opts_);
+  ASSERT_GE(slot, 0);
+  bucket_->DeleteSlot(slot);
+  EXPECT_EQ(bucket_->count(), Bucket::kNumSlots - 1);
+  EXPECT_LT(bucket_->FindKey<IntKeyPolicy>(5, 5, opts_), 0);
+  EXPECT_TRUE(bucket_->Insert(100, 100, 100, false));
+  EXPECT_TRUE(bucket_->IsFull());
+}
+
+TEST_F(BucketTest, MembershipBitsTracked) {
+  ASSERT_TRUE(bucket_->Insert(1, 1, 1, /*member=*/false));
+  ASSERT_TRUE(bucket_->Insert(2, 2, 2, /*member=*/true));
+  const uint32_t meta = bucket_->meta();
+  const int home = bucket_->FindKey<IntKeyPolicy>(1, 1, opts_);
+  const int moved = bucket_->FindKey<IntKeyPolicy>(2, 2, opts_);
+  EXPECT_FALSE(bucket_->SlotMembership(meta, home));
+  EXPECT_TRUE(bucket_->SlotMembership(meta, moved));
+}
+
+TEST_F(BucketTest, FindVictimByMembership) {
+  ASSERT_TRUE(bucket_->Insert(1, 1, 1, false));
+  ASSERT_TRUE(bucket_->Insert(2, 2, 2, true));
+  const int home_victim = bucket_->FindVictim(/*member=*/false);
+  const int moved_victim = bucket_->FindVictim(/*member=*/true);
+  ASSERT_GE(home_victim, 0);
+  ASSERT_GE(moved_victim, 0);
+  EXPECT_EQ(bucket_->record(home_victim).key, 1u);
+  EXPECT_EQ(bucket_->record(moved_victim).key, 2u);
+}
+
+TEST_F(BucketTest, FindVictimNoneWhenAbsent) {
+  ASSERT_TRUE(bucket_->Insert(1, 1, 1, false));
+  EXPECT_LT(bucket_->FindVictim(/*member=*/true), 0);
+}
+
+TEST_F(BucketTest, CounterMatchesPopcount) {
+  for (uint64_t k = 1; k <= 9; ++k) {
+    ASSERT_TRUE(bucket_->Insert(k, k, static_cast<uint8_t>(k), k % 2 == 0));
+  }
+  const uint32_t meta = bucket_->meta();
+  EXPECT_EQ(Bucket::Count(meta),
+            static_cast<uint32_t>(__builtin_popcount(Bucket::AllocBits(meta))));
+}
+
+// --- overflow metadata (§4.3) ---
+
+TEST_F(BucketTest, OverflowFpRoundTrip) {
+  EXPECT_TRUE(bucket_->TrySetOverflowFp(0xAA, /*stash_pos=*/1, false));
+  EXPECT_EQ(bucket_->OverflowStashHints(0xAA, false), 1u << 1);
+  EXPECT_EQ(bucket_->OverflowStashHints(0xAA, true), 0u)
+      << "membership must be part of the match";
+  EXPECT_EQ(bucket_->OverflowStashHints(0xBB, false), 0u);
+  EXPECT_TRUE(bucket_->ClearOverflowFp(0xAA, 1, false));
+  EXPECT_EQ(bucket_->OverflowStashHints(0xAA, false), 0u);
+}
+
+TEST_F(BucketTest, OverflowFpCapacityIsFour) {
+  for (uint32_t i = 0; i < Bucket::kNumOverflowFps; ++i) {
+    EXPECT_TRUE(bucket_->TrySetOverflowFp(static_cast<uint8_t>(i), 0, false));
+  }
+  EXPECT_FALSE(bucket_->TrySetOverflowFp(0xEE, 0, false))
+      << "fifth overflow fingerprint must be rejected (counter takes over)";
+}
+
+TEST_F(BucketTest, OverflowUnencodablePositionRejected) {
+  EXPECT_FALSE(
+      bucket_->TrySetOverflowFp(0x11, Bucket::kStashPosUnencodable, false));
+}
+
+TEST_F(BucketTest, ClearOverflowFpRequiresExactMatch) {
+  ASSERT_TRUE(bucket_->TrySetOverflowFp(0x42, 2, true));
+  EXPECT_FALSE(bucket_->ClearOverflowFp(0x42, 1, true));   // wrong pos
+  EXPECT_FALSE(bucket_->ClearOverflowFp(0x42, 2, false));  // wrong member
+  EXPECT_TRUE(bucket_->ClearOverflowFp(0x42, 2, true));
+}
+
+TEST_F(BucketTest, OverflowCountSaturatesAtZero) {
+  EXPECT_EQ(bucket_->overflow_count(), 0);
+  bucket_->DecOverflowCount();
+  EXPECT_EQ(bucket_->overflow_count(), 0);
+  bucket_->IncOverflowCount();
+  bucket_->IncOverflowCount();
+  EXPECT_EQ(bucket_->overflow_count(), 2);
+  bucket_->DecOverflowCount();
+  EXPECT_EQ(bucket_->overflow_count(), 1);
+}
+
+TEST_F(BucketTest, ClearOverflowMetadataResetsEverything) {
+  bucket_->TrySetOverflowFp(0x42, 2, true);
+  bucket_->IncOverflowCount();
+  bucket_->ClearOverflowMetadata();
+  EXPECT_FALSE(bucket_->HasAnyOverflow());
+  EXPECT_EQ(bucket_->OverflowStashHints(0x42, true), 0u);
+}
+
+TEST_F(BucketTest, VarKeyFindUsesPointerComparison) {
+  // Emulate a stored VarKey blob without an allocator.
+  alignas(8) char blob_mem[32];
+  auto* blob = reinterpret_cast<VarKey*>(blob_mem);
+  const char* text = "hello-key";
+  blob->length = static_cast<uint32_t>(strlen(text));
+  std::memcpy(blob->data, text, blob->length);
+
+  ASSERT_TRUE(bucket_->Insert(reinterpret_cast<uint64_t>(blob), 7, 0x5A,
+                              false));
+  const int slot =
+      bucket_->FindKey<VarKeyPolicy>(0x5A, std::string_view(text), opts_);
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(bucket_->record(slot).value, 7u);
+  EXPECT_LT(bucket_->FindKey<VarKeyPolicy>(0x5A, std::string_view("hello-kez"),
+                                           opts_),
+            0);
+  EXPECT_LT(
+      bucket_->FindKey<VarKeyPolicy>(0x5A, std::string_view("hello"), opts_),
+      0)
+      << "prefix must not match";
+}
+
+TEST_F(BucketTest, FindStoredKeyInlineAndPointer) {
+  ASSERT_TRUE(bucket_->Insert(42, 1, 0x01, false));
+  EXPECT_GE(bucket_->FindStoredKey<IntKeyPolicy>(0x01, 42, opts_), 0);
+  EXPECT_LT(bucket_->FindStoredKey<IntKeyPolicy>(0x01, 43, opts_), 0);
+}
+
+}  // namespace
+}  // namespace dash

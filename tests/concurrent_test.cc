@@ -1,0 +1,189 @@
+// Multi-threaded correctness tests across all four tables: concurrent
+// inserts, readers racing writers/SMOs, mixed workloads, and delete races.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/kv_index.h"
+#include "test_util.h"
+#include "util/rand.h"
+
+namespace dash {
+namespace {
+
+using api::IndexKind;
+using api::KvIndex;
+
+class ConcurrentTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<test::TempPoolFile>(
+        std::string("concurrent_") + api::IndexKindName(GetParam()));
+    pool_ = test::CreatePool(*file_, 512ull << 20);
+    ASSERT_NE(pool_, nullptr);
+    DashOptions opts;
+    opts.buckets_per_segment = 16;  // force frequent SMOs
+    opts.lh_base_segments = 4;
+    opts.lh_stride = 2;
+    table_ = api::CreateKvIndex(GetParam(), pool_.get(), &epochs_, opts);
+    ASSERT_NE(table_, nullptr);
+  }
+
+  int Threads() const {
+    return std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+  }
+
+  std::unique_ptr<test::TempPoolFile> file_;
+  std::unique_ptr<pmem::PmPool> pool_;
+  epoch::EpochManager epochs_;
+  std::unique_ptr<KvIndex> table_;
+};
+
+TEST_P(ConcurrentTest, DisjointInsertsAllLand) {
+  const int threads = Threads();
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
+        ASSERT_TRUE(table_->Insert(key, key * 2)) << "key " << key;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  uint64_t value;
+  for (uint64_t key = 1;
+       key <= static_cast<uint64_t>(threads) * kPerThread; ++key) {
+    ASSERT_TRUE(table_->Search(key, &value)) << "key " << key;
+    ASSERT_EQ(value, key * 2);
+  }
+  EXPECT_EQ(table_->Stats().records,
+            static_cast<uint64_t>(threads) * kPerThread);
+}
+
+TEST_P(ConcurrentTest, DuplicateRaceExactlyOneWinner) {
+  const int threads = Threads();
+  constexpr uint64_t kKeys = 5000;
+  std::atomic<uint64_t> winners{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (uint64_t key = 1; key <= kKeys; ++key) {
+        if (table_->Insert(key, key)) winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(winners.load(), kKeys)
+      << "each key must be inserted by exactly one thread";
+  EXPECT_EQ(table_->Stats().records, kKeys);
+}
+
+TEST_P(ConcurrentTest, ReadersNeverSeeTornValues) {
+  // Writers keep inserting; readers verify any hit returns value == 3*key.
+  constexpr uint64_t kKeys = 60000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> checked{0};
+  std::thread writer([&] {
+    for (uint64_t key = 1; key <= kKeys; ++key) {
+      table_->Insert(key, key * 3);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < Threads() - 1; ++t) {
+    readers.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 1);
+      uint64_t value;
+      while (!stop.load()) {
+        const uint64_t key = rng.NextBounded(kKeys) + 1;
+        if (table_->Search(key, &value)) {
+          ASSERT_EQ(value, key * 3) << "torn read for key " << key;
+          checked.fetch_add(1);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_GT(checked.load(), 0u);
+}
+
+TEST_P(ConcurrentTest, MixedInsertSearchDelete) {
+  const int threads = Threads();
+  constexpr uint64_t kRange = 20000;
+  std::vector<std::thread> workers;
+  // Each thread owns keys where key % threads == t, eliminating cross-
+  // thread delete/insert conflicts while still sharing buckets.
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 99);
+      std::vector<bool> present(kRange / threads + 2, false);
+      for (int iter = 0; iter < 30000; ++iter) {
+        const uint64_t slot = rng.NextBounded(kRange / threads) + 1;
+        const uint64_t key = slot * threads + t + 1;
+        const uint64_t action = rng.NextBounded(3);
+        uint64_t value;
+        if (action == 0) {
+          const bool inserted = table_->Insert(key, key);
+          ASSERT_EQ(inserted, !present[slot]) << "key " << key;
+          present[slot] = true;
+        } else if (action == 1) {
+          const bool found = table_->Search(key, &value);
+          ASSERT_EQ(found, present[slot]) << "key " << key;
+          if (found) {
+            ASSERT_EQ(value, key);
+          }
+        } else {
+          const bool deleted = table_->Delete(key);
+          ASSERT_EQ(deleted, present[slot]) << "key " << key;
+          present[slot] = false;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+TEST_P(ConcurrentTest, NegativeSearchDuringGrowth) {
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (uint64_t key = 1; key <= 50000; ++key) {
+      table_->Insert(key, key);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      uint64_t value;
+      while (!stop.load()) {
+        // Keys from a disjoint range: must never be found.
+        for (uint64_t key = 10000000; key < 10000100; ++key) {
+          ASSERT_FALSE(table_->Search(key, &value));
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTables, ConcurrentTest,
+    ::testing::Values(IndexKind::kDashEH, IndexKind::kDashLH,
+                      IndexKind::kCCEH, IndexKind::kLevel),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      std::string name = api::IndexKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,94 @@
+// PM emulation layer tests: latency injection wiring and counter
+// semantics under table operations.
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "dash/dash_eh.h"
+#include "pmem/persist.h"
+#include "pmem/stats.h"
+#include "test_util.h"
+
+namespace dash::pmem {
+namespace {
+
+TEST(EmulationTest, FlushLatencyInjectionSlowsPersist) {
+  auto& config = GetEmulationConfig();
+  using Clock = std::chrono::steady_clock;
+  alignas(64) static char line[64];
+
+  constexpr int kIters = 2000;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) Persist(line, 64);
+  const auto base = Clock::now() - t0;
+
+  config.flush_latency_ns.store(5000, std::memory_order_relaxed);
+  const auto t1 = Clock::now();
+  for (int i = 0; i < kIters; ++i) Persist(line, 64);
+  const auto slowed = Clock::now() - t1;
+  config.flush_latency_ns.store(0, std::memory_order_relaxed);
+
+  // 2000 x 5 us >= 10 ms of injected latency; allow generous slack.
+  EXPECT_GT(std::chrono::duration_cast<std::chrono::milliseconds>(slowed)
+                .count(),
+            std::chrono::duration_cast<std::chrono::milliseconds>(base)
+                    .count() +
+                5);
+}
+
+TEST(EmulationTest, TableWorksWithLatencyInjection) {
+  auto& config = GetEmulationConfig();
+  config.flush_latency_ns.store(50, std::memory_order_relaxed);
+  config.read_latency_ns.store(100, std::memory_order_relaxed);
+
+  test::TempPoolFile file("emulation");
+  auto pool = test::CreatePool(file, 64ull << 20);
+  ASSERT_NE(pool, nullptr);
+  epoch::EpochManager epochs;
+  DashOptions opts;
+  opts.buckets_per_segment = 16;
+  DashEH<> table(pool.get(), &epochs, opts);
+  for (uint64_t k = 1; k <= 2000; ++k) {
+    ASSERT_EQ(table.Insert(k, k), OpStatus::kOk);
+  }
+  uint64_t value;
+  for (uint64_t k = 1; k <= 2000; ++k) {
+    ASSERT_EQ(table.Search(k, &value), OpStatus::kOk);
+  }
+  config.flush_latency_ns.store(0, std::memory_order_relaxed);
+  config.read_latency_ns.store(0, std::memory_order_relaxed);
+  table.CloseClean();
+  pool->CloseClean();
+}
+
+TEST(EmulationTest, InsertFlushCountMatchesProtocol) {
+  test::TempPoolFile file("emu_counts");
+  auto pool = test::CreatePool(file, 64ull << 20);
+  ASSERT_NE(pool, nullptr);
+  epoch::EpochManager epochs;
+  DashOptions opts;
+  DashEH<> table(pool.get(), &epochs, opts);
+  // Warm up (allocations, first splits).
+  for (uint64_t k = 1; k <= 1000; ++k) table.Insert(k, k);
+
+  ResetPmStats();
+  for (uint64_t k = 1001; k <= 2000; ++k) table.Insert(k, k);
+  const PmStats stats = AggregatePmStats();
+  // Algorithm 2: record persist (1 line) + metadata persist (1 line) per
+  // insert, plus occasional split/stash overhead.
+  const double clwb_per_insert = static_cast<double>(stats.clwb) / 1000.0;
+  EXPECT_GE(clwb_per_insert, 2.0);
+  EXPECT_LE(clwb_per_insert, 6.0);
+
+  ResetPmStats();
+  uint64_t value;
+  for (uint64_t k = 1; k <= 1000; ++k) table.Search(k, &value);
+  EXPECT_EQ(AggregatePmStats().clwb, 0u)
+      << "optimistic searches must never flush";
+  table.CloseClean();
+  pool->CloseClean();
+}
+
+}  // namespace
+}  // namespace dash::pmem

@@ -1,0 +1,108 @@
+#include "epoch/epoch_manager.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dash::epoch {
+namespace {
+
+TEST(EpochTest, RetireWithoutGuardsReclaimsImmediately) {
+  EpochManager mgr;
+  bool reclaimed = false;
+  mgr.Retire([&] { reclaimed = true; });
+  mgr.TryAdvanceAndReclaim();
+  EXPECT_TRUE(reclaimed);
+}
+
+TEST(EpochTest, ActiveGuardBlocksReclamation) {
+  EpochManager mgr;
+  std::atomic<bool> reclaimed{false};
+  std::atomic<bool> guard_held{false};
+  std::atomic<bool> release{false};
+
+  std::thread reader([&] {
+    EpochManager::Guard guard(mgr);
+    guard_held.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!guard_held.load()) std::this_thread::yield();
+
+  mgr.Retire([&] { reclaimed.store(true); });
+  mgr.TryAdvanceAndReclaim();
+  EXPECT_FALSE(reclaimed.load()) << "guard pinned at retire epoch";
+
+  release.store(true);
+  reader.join();
+  mgr.TryAdvanceAndReclaim();
+  EXPECT_TRUE(reclaimed.load());
+}
+
+TEST(EpochTest, GuardAfterRetireDoesNotBlock) {
+  EpochManager mgr;
+  std::atomic<bool> reclaimed{false};
+  mgr.Retire([&] { reclaimed.store(true); });
+  {
+    // This guard pins an epoch later than the retirement.
+    EpochManager::Guard guard(mgr);
+    mgr.TryAdvanceAndReclaim();
+  }
+  mgr.TryAdvanceAndReclaim();
+  EXPECT_TRUE(reclaimed.load());
+}
+
+TEST(EpochTest, NestedGuardsSupported) {
+  EpochManager mgr;
+  EpochManager::Guard outer(mgr);
+  {
+    EpochManager::Guard inner(mgr);
+  }
+  // Outer still pins; a retirement at this epoch must not run.
+  std::atomic<bool> reclaimed{false};
+  mgr.Retire([&] { reclaimed.store(true); });
+  mgr.TryAdvanceAndReclaim();
+  EXPECT_FALSE(reclaimed.load());
+}
+
+TEST(EpochTest, DrainAllRunsEverything) {
+  EpochManager mgr;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) mgr.Retire([&] { ++count; });
+  mgr.DrainAll();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(mgr.PendingCount(), 0u);
+}
+
+TEST(EpochTest, StressManyReadersAndRetirers) {
+  EpochManager mgr;
+  std::atomic<uint64_t> reclaimed{0};
+  std::atomic<bool> stop{false};
+  constexpr int kRetirements = 2000;
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        EpochManager::Guard guard(mgr);
+      }
+    });
+  }
+  std::vector<std::thread> retirers;
+  for (int t = 0; t < 2; ++t) {
+    retirers.emplace_back([&] {
+      for (int i = 0; i < kRetirements / 2; ++i) {
+        mgr.Retire([&] { reclaimed.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : retirers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  mgr.DrainAll();
+  EXPECT_EQ(reclaimed.load(), static_cast<uint64_t>(kRetirements));
+}
+
+}  // namespace
+}  // namespace dash::epoch

@@ -1,0 +1,77 @@
+#include "util/hash.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dash::util {
+namespace {
+
+TEST(Murmur2Test, DeterministicAcrossCalls) {
+  const char data[] = "persistent memory";
+  EXPECT_EQ(Murmur2_64A(data, sizeof(data)), Murmur2_64A(data, sizeof(data)));
+}
+
+TEST(Murmur2Test, DifferentLengthsDiffer) {
+  const char data[] = "aaaaaaaaaaaaaaaa";
+  std::set<uint64_t> hashes;
+  for (size_t len = 0; len <= sizeof(data); ++len) {
+    hashes.insert(Murmur2_64A(data, len));
+  }
+  EXPECT_EQ(hashes.size(), sizeof(data) + 1);
+}
+
+TEST(Murmur2Test, SeedChangesHash) {
+  const char data[] = "key";
+  EXPECT_NE(Murmur2_64A(data, 3, 1), Murmur2_64A(data, 3, 2));
+}
+
+TEST(Murmur2Test, TailBytesMatter) {
+  // Lengths not divisible by 8 exercise the tail switch.
+  char a[9] = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  char b[9] = {0, 1, 2, 3, 4, 5, 6, 7, 9};
+  EXPECT_NE(Murmur2_64A(a, 9), Murmur2_64A(b, 9));
+}
+
+TEST(HashInt64Test, MatchesByteHash) {
+  const uint64_t key = 0x0123456789abcdefULL;
+  EXPECT_EQ(HashInt64(key), Murmur2_64A(&key, sizeof(key)));
+}
+
+TEST(HashInt64Test, LowByteIsWellDistributed) {
+  // The fingerprint is the least significant byte (§4.2); check rough
+  // uniformity over sequential keys.
+  std::vector<int> histogram(256, 0);
+  constexpr int kKeys = 256 * 64;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    ++histogram[HashInt64(k) & 0xFF];
+  }
+  for (int count : histogram) {
+    EXPECT_GT(count, 16);   // expected 64 per bin
+    EXPECT_LT(count, 256);
+  }
+}
+
+TEST(HashInt64Test, MsbBitsAreWellDistributed) {
+  // Dash-EH addresses segments by MSBs (§4.7); check the top 4 bits.
+  std::vector<int> histogram(16, 0);
+  constexpr int kKeys = 16 * 256;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    ++histogram[HashInt64(k) >> 60];
+  }
+  for (int count : histogram) {
+    EXPECT_GT(count, 128);  // expected 256 per bin
+    EXPECT_LT(count, 512);
+  }
+}
+
+TEST(Mix64Test, Bijective) {
+  // splitmix64 finalizer is a bijection; sample for collisions.
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace dash::util

@@ -1,0 +1,174 @@
+// Level hashing baseline tests: two-level addressing, movement, full-table
+// resize, high load factor, constant-time recovery.
+
+#include "level/level_hashing.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dash::level {
+namespace {
+
+class LevelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<test::TempPoolFile>("level");
+    pool_ = test::CreatePool(*file_);
+    ASSERT_NE(pool_, nullptr);
+    opts_.initial_top_buckets = 64;  // small so resizes happen in tests
+    table_ = std::make_unique<LevelHashing<>>(pool_.get(), &epochs_, opts_);
+  }
+
+  std::unique_ptr<test::TempPoolFile> file_;
+  std::unique_ptr<pmem::PmPool> pool_;
+  epoch::EpochManager epochs_;
+  LevelOptions opts_;
+  std::unique_ptr<LevelHashing<>> table_;
+};
+
+TEST_F(LevelTest, BasicRoundTrip) {
+  EXPECT_TRUE(table_->Insert(1, 10));
+  uint64_t value = 0;
+  EXPECT_TRUE(table_->Search(1, &value));
+  EXPECT_EQ(value, 10u);
+  EXPECT_TRUE(table_->Delete(1));
+  EXPECT_FALSE(table_->Search(1, &value));
+}
+
+TEST_F(LevelTest, DuplicateRejected) {
+  EXPECT_TRUE(table_->Insert(2, 1));
+  EXPECT_FALSE(table_->Insert(2, 9));
+  uint64_t value;
+  ASSERT_TRUE(table_->Search(2, &value));
+  EXPECT_EQ(value, 1u);
+}
+
+TEST_F(LevelTest, ResizesUnderLoadAndKeepsRecords) {
+  constexpr uint64_t kKeys = 20000;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_TRUE(table_->Insert(k, k * 3)) << "key " << k;
+  }
+  const LevelStats stats = table_->Stats();
+  EXPECT_GT(stats.resizes, 0u) << "64-bucket table must have resized";
+  EXPECT_EQ(stats.records, kKeys);
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    uint64_t value = 0;
+    ASSERT_TRUE(table_->Search(k, &value)) << "key " << k;
+    ASSERT_EQ(value, k * 3);
+  }
+}
+
+TEST_F(LevelTest, AchievesHighLoadFactorBeforeResize) {
+  // Insert until just before the second resize and check peak load factor.
+  uint64_t resizes_seen = 0;
+  double peak = 0;
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    ASSERT_TRUE(table_->Insert(k, k));
+    const LevelStats stats = table_->Stats();
+    if (stats.resizes > resizes_seen) {
+      resizes_seen = stats.resizes;
+      if (resizes_seen == 2) break;
+    }
+    peak = std::max(peak, stats.load_factor);
+  }
+  EXPECT_GT(peak, 0.75) << "level hashing reaches a high load factor "
+                           "before resorting to resize (Fig. 12)";
+}
+
+TEST_F(LevelTest, DeleteFromBothLevels) {
+  for (uint64_t k = 1; k <= 3000; ++k) ASSERT_TRUE(table_->Insert(k, k));
+  for (uint64_t k = 1; k <= 3000; ++k) {
+    ASSERT_TRUE(table_->Delete(k)) << "key " << k;
+  }
+  EXPECT_EQ(table_->Size(), 0u);
+}
+
+TEST_F(LevelTest, NegativeSearches) {
+  for (uint64_t k = 1; k <= 5000; ++k) ASSERT_TRUE(table_->Insert(k, k));
+  uint64_t value;
+  for (uint64_t k = 1000000; k < 1001000; ++k) {
+    ASSERT_FALSE(table_->Search(k, &value));
+  }
+}
+
+TEST_F(LevelTest, PersistsAcrossCleanRestart) {
+  for (uint64_t k = 1; k <= 10000; ++k) {
+    ASSERT_TRUE(table_->Insert(k, k ^ 0xABCD));
+  }
+  table_->CloseClean();
+  table_.reset();
+  pool_->CloseClean();
+  pool_.reset();
+
+  pool_ = pmem::PmPool::Open(file_->path());
+  ASSERT_NE(pool_, nullptr);
+  table_ = std::make_unique<LevelHashing<>>(pool_.get(), &epochs_, opts_);
+  for (uint64_t k = 1; k <= 10000; ++k) {
+    uint64_t value = 0;
+    ASSERT_TRUE(table_->Search(k, &value)) << "key " << k;
+    ASSERT_EQ(value, k ^ 0xABCD);
+  }
+}
+
+TEST_F(LevelTest, CrashBeforeResizeCommitKeepsOldTable) {
+  // Fill until a resize is imminent; crash during the resize; the old
+  // structure must be fully intact.
+  uint64_t k = 1;
+  bool crashed = false;
+  pmem::CrashPointArm("level_resize_before_commit");
+  try {
+    for (; k <= 100000 && !crashed; ++k) {
+      table_->Insert(k, k);
+    }
+  } catch (const pmem::CrashInjected&) {
+    crashed = true;
+  }
+  pmem::CrashPointDisarm();
+  ASSERT_TRUE(crashed) << "no resize happened";
+  epochs_.DiscardAll();
+  table_.reset();
+  pool_->CloseDirty();
+  pool_.reset();
+
+  pool_ = pmem::PmPool::Open(file_->path());
+  ASSERT_NE(pool_, nullptr);
+  table_ = std::make_unique<LevelHashing<>>(pool_.get(), &epochs_, opts_);
+  uint64_t value;
+  for (uint64_t j = 1; j < k - 1; ++j) {
+    ASSERT_TRUE(table_->Search(j, &value)) << "key " << j;
+    ASSERT_EQ(value, j);
+  }
+}
+
+TEST_F(LevelTest, CrashAfterResizeCommitUsesNewTable) {
+  uint64_t k = 1;
+  bool crashed = false;
+  pmem::CrashPointArm("level_resize_after_commit");
+  try {
+    for (; k <= 100000 && !crashed; ++k) {
+      table_->Insert(k, k);
+    }
+  } catch (const pmem::CrashInjected&) {
+    crashed = true;
+  }
+  pmem::CrashPointDisarm();
+  ASSERT_TRUE(crashed);
+  epochs_.DiscardAll();  // pending reclaims reference the dying pool
+  table_.reset();
+  pool_->CloseDirty();
+  pool_.reset();
+
+  pool_ = pmem::PmPool::Open(file_->path());
+  ASSERT_NE(pool_, nullptr);
+  table_ = std::make_unique<LevelHashing<>>(pool_.get(), &epochs_, opts_);
+  uint64_t value;
+  // The insert that triggered the resize may not have completed; all
+  // earlier keys must be present.
+  for (uint64_t j = 1; j + 1 < k; ++j) {
+    ASSERT_TRUE(table_->Search(j, &value)) << "key " << j;
+  }
+}
+
+}  // namespace
+}  // namespace dash::level

@@ -1,0 +1,147 @@
+#include "util/lock.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dash/bucket.h"
+
+namespace dash {
+namespace {
+
+TEST(SpinLockTest, MutualExclusion) {
+  util::SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        util::SpinLockGuard guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(SpinLockTest, TryLockFailsWhenHeld) {
+  util::SpinLock lock;
+  ASSERT_TRUE(lock.TryLock());
+  EXPECT_FALSE(lock.TryLock());
+  lock.Unlock();
+  EXPECT_TRUE(lock.TryLock());
+  lock.Unlock();
+}
+
+TEST(RwSpinLockTest, SharedReadersCoexist) {
+  util::RwSpinLock lock;
+  lock.LockShared();
+  lock.LockShared();  // second reader must not block
+  lock.UnlockShared();
+  lock.UnlockShared();
+}
+
+TEST(RwSpinLockTest, WriterExcludesReaders) {
+  util::RwSpinLock lock;
+  lock.Lock();
+  std::atomic<bool> reader_in{false};
+  std::thread reader([&] {
+    lock.LockShared();
+    reader_in.store(true);
+    lock.UnlockShared();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(reader_in.load());
+  lock.Unlock();
+  reader.join();
+  EXPECT_TRUE(reader_in.load());
+}
+
+TEST(RwSpinLockTest, WriterCountsUnderConcurrency) {
+  util::RwSpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        lock.Lock();
+        ++counter;
+        lock.Unlock();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 20000);
+}
+
+TEST(VersionLockTest, VersionAdvancesOnUnlock) {
+  util::VersionLock lock;
+  const uint32_t v0 = lock.Snapshot();
+  lock.Lock();
+  lock.Unlock();
+  EXPECT_TRUE(lock.Verify(lock.Snapshot()));
+  EXPECT_FALSE(lock.Verify(v0));
+}
+
+TEST(VersionLockTest, SnapshotUnlockedBitClear) {
+  util::VersionLock lock;
+  EXPECT_FALSE(util::VersionLock::IsLocked(lock.Snapshot()));
+  lock.Lock();
+  EXPECT_TRUE(lock.IsLockedNow());
+  lock.Unlock();
+  EXPECT_FALSE(lock.IsLockedNow());
+}
+
+// BucketLock: the dual-mode lock used by Dash buckets.
+TEST(BucketLockTest, OptimisticVersioning) {
+  BucketLock lock;
+  const uint32_t snap = lock.Snapshot();
+  EXPECT_TRUE(lock.Verify(snap));
+  lock.LockExclusive(ConcurrencyMode::kOptimistic);
+  lock.UnlockExclusive(ConcurrencyMode::kOptimistic);
+  EXPECT_FALSE(lock.Verify(snap)) << "writer must bump the version";
+}
+
+TEST(BucketLockTest, RwModeSharedReaders) {
+  BucketLock lock;
+  lock.LockShared();
+  lock.LockShared();
+  EXPECT_FALSE(lock.TryLockExclusive(ConcurrencyMode::kRwLock))
+      << "writer must wait for readers";
+  lock.UnlockShared();
+  lock.UnlockShared();
+  EXPECT_TRUE(lock.TryLockExclusive(ConcurrencyMode::kRwLock));
+  lock.UnlockExclusive(ConcurrencyMode::kRwLock);
+}
+
+TEST(BucketLockTest, ResetClearsCrashState) {
+  BucketLock lock;
+  lock.LockExclusive(ConcurrencyMode::kOptimistic);
+  lock.Reset();  // simulated crash recovery
+  EXPECT_TRUE(lock.TryLockExclusive(ConcurrencyMode::kOptimistic));
+  lock.UnlockExclusive(ConcurrencyMode::kOptimistic);
+}
+
+TEST(BucketLockTest, ExclusiveMutualExclusionBothModes) {
+  for (auto mode : {ConcurrencyMode::kOptimistic, ConcurrencyMode::kRwLock}) {
+    BucketLock lock;
+    int counter = 0;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 5000; ++i) {
+          lock.LockExclusive(mode);
+          ++counter;
+          lock.UnlockExclusive(mode);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(counter, 20000);
+  }
+}
+
+}  // namespace
+}  // namespace dash

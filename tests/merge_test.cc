@@ -1,0 +1,199 @@
+// Dash-EH segment merge + directory halving tests (extension feature,
+// §4.6-4.7), including crash injection at every merge boundary.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dash/dash_eh.h"
+#include "pmem/crash_point.h"
+#include "test_util.h"
+
+namespace dash {
+namespace {
+
+class MergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<test::TempPoolFile>("merge");
+    pool_ = test::CreatePool(*file_);
+    ASSERT_NE(pool_, nullptr);
+    opts_.buckets_per_segment = 16;
+    opts_.stash_buckets = 2;
+    opts_.initial_depth = 1;
+    opts_.merge_threshold = 0.3;
+    table_ = std::make_unique<DashEH<>>(pool_.get(), &epochs_, opts_);
+  }
+
+  void GrowThenShrink(uint64_t keys) {
+    for (uint64_t k = 1; k <= keys; ++k) {
+      ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+    }
+    for (uint64_t k = 1; k <= keys; ++k) {
+      ASSERT_EQ(table_->Delete(k), OpStatus::kOk) << "key " << k;
+    }
+  }
+
+  void CrashAndReopen() {
+    epochs_.DiscardAll();
+    table_.reset();
+    pool_->CloseDirty();
+    pool_.reset();
+    pool_ = pmem::PmPool::Open(file_->path());
+    ASSERT_NE(pool_, nullptr);
+    table_ = std::make_unique<DashEH<>>(pool_.get(), &epochs_, opts_);
+  }
+
+  std::unique_ptr<test::TempPoolFile> file_;
+  std::unique_ptr<pmem::PmPool> pool_;
+  epoch::EpochManager epochs_;
+  DashOptions opts_;
+  std::unique_ptr<DashEH<>> table_;
+};
+
+TEST_F(MergeTest, ExplicitMergeCombinesBuddies) {
+  // Grow to at least 4 segments, then empty the table and merge a pair.
+  for (uint64_t k = 1; k <= 2000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  for (uint64_t k = 101; k <= 2000; ++k) {
+    ASSERT_EQ(table_->Delete(k), OpStatus::kOk);
+  }
+  const uint64_t segments_before = table_->Stats().segments;
+  ASSERT_GT(segments_before, 2u);
+  bool merged = false;
+  for (uint64_t probe = 0; probe < 64 && !merged; ++probe) {
+    merged = table_->MergeForTest(util::HashInt64(probe * 977 + 1));
+  }
+  ASSERT_TRUE(merged);
+  EXPECT_EQ(table_->Stats().segments, segments_before - 1);
+  // The surviving keys are all still there.
+  uint64_t value;
+  for (uint64_t k = 1; k <= 100; ++k) {
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk) << "key " << k;
+    ASSERT_EQ(value, k);
+  }
+  EXPECT_EQ(table_->Size(), 100u);
+}
+
+TEST_F(MergeTest, DeleteDrivenMergeShrinksTable) {
+  for (uint64_t k = 1; k <= 30000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  const uint64_t peak_segments = table_->Stats().segments;
+  for (uint64_t k = 1; k <= 30000; ++k) {
+    ASSERT_EQ(table_->Delete(k), OpStatus::kOk) << "key " << k;
+  }
+  // With merge_threshold = 0.3, sampled merges reclaim a good share of the
+  // segments on the way down (full collapse would need repeated passes —
+  // buddies must reach equal depth first).
+  EXPECT_LT(table_->Stats().segments, peak_segments * 2 / 3);
+  EXPECT_EQ(table_->Size(), 0u);
+  // Table remains fully functional.
+  for (uint64_t k = 1; k <= 10000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k * 2), OpStatus::kOk);
+  }
+  uint64_t value;
+  for (uint64_t k = 1; k <= 10000; ++k) {
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk);
+    ASSERT_EQ(value, k * 2);
+  }
+}
+
+TEST_F(MergeTest, DirectoryHalvesWhenAllPairsRedundant) {
+  for (uint64_t k = 1; k <= 20000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  const uint64_t depth_grown = table_->global_depth();
+  ASSERT_GT(depth_grown, 1u);
+  for (uint64_t k = 1; k <= 20000; ++k) {
+    ASSERT_EQ(table_->Delete(k), OpStatus::kOk);
+  }
+  // Push remaining merges explicitly until no more are possible.
+  for (int round = 0; round < 64; ++round) {
+    bool any = false;
+    for (uint64_t probe = 0; probe < 256; ++probe) {
+      any |= table_->MergeForTest(util::HashInt64(probe * 7919 + round));
+    }
+    if (!any) break;
+  }
+  EXPECT_LT(table_->global_depth(), depth_grown)
+      << "directory must have halved after mass deletion";
+}
+
+TEST_F(MergeTest, MergePreservesConcurrentlyLiveKeys) {
+  // Keep every 100th key; merge; verify.
+  std::set<uint64_t> kept;
+  for (uint64_t k = 1; k <= 20000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  for (uint64_t k = 1; k <= 20000; ++k) {
+    if (k % 100 == 0) {
+      kept.insert(k);
+    } else {
+      ASSERT_EQ(table_->Delete(k), OpStatus::kOk);
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    table_->MergeForTest(util::HashInt64(i * 31 + 7));
+  }
+  uint64_t value;
+  for (uint64_t k : kept) {
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk) << "key " << k;
+    ASSERT_EQ(value, k);
+  }
+  EXPECT_EQ(table_->Size(), kept.size());
+}
+
+// Crash injection at each merge boundary: committed records survive, the
+// table converges, nothing leaks (the right sibling is reachable from the
+// left's side-link or the retire buffer at every point).
+class MergeCrashTest : public MergeTest,
+                       public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(MergeCrashTest, MergeCrashIsRecoverable) {
+  for (uint64_t k = 1; k <= 20000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  std::set<uint64_t> kept;
+  for (uint64_t k = 1; k <= 20000; ++k) {
+    if (k % 50 == 0) {
+      kept.insert(k);
+    } else {
+      ASSERT_EQ(table_->Delete(k), OpStatus::kOk);
+    }
+  }
+  pmem::CrashPointArm(GetParam());
+  bool crashed = false;
+  for (int i = 0; i < 400 && !crashed; ++i) {
+    try {
+      table_->MergeForTest(util::HashInt64(i * 131 + 3));
+    } catch (const pmem::CrashInjected&) {
+      crashed = true;
+    }
+  }
+  pmem::CrashPointDisarm();
+  ASSERT_TRUE(crashed) << "crash point " << GetParam() << " never reached";
+  CrashAndReopen();
+
+  uint64_t value;
+  for (uint64_t k : kept) {
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk)
+        << "key " << k << " lost at merge crash point " << GetParam();
+    ASSERT_EQ(value, k);
+  }
+  EXPECT_EQ(table_->Size(), kept.size()) << "duplicates survived recovery";
+  // The table keeps working (inserts may re-split merged segments).
+  for (uint64_t k = 100000; k < 105000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MergeCrashPoints, MergeCrashTest,
+    ::testing::Values("eh_merge_after_mark", "eh_merge_after_drain",
+                      "eh_merge_after_commit_left", "eh_merge_after_dir",
+                      "eh_merge_after_retire", "eh_halve_after_commit"));
+
+}  // namespace
+}  // namespace dash

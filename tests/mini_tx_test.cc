@@ -1,0 +1,191 @@
+#include "pmem/mini_tx.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pmem/crash_point.h"
+#include "pmem/pool.h"
+#include "test_util.h"
+
+namespace dash::pmem {
+namespace {
+
+using test::TempPoolFile;
+
+TEST(MiniTxTest, CommitAppliesAllStores) {
+  TempPoolFile file("tx_commit");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  auto* words = static_cast<uint64_t*>(pool->root());
+  {
+    MiniTx tx(pool.get());
+    tx.Stage(&words[0], 11);
+    tx.Stage(&words[1], 22);
+    tx.Stage(&words[2], 33);
+    tx.Commit();
+  }
+  EXPECT_EQ(words[0], 11u);
+  EXPECT_EQ(words[1], 22u);
+  EXPECT_EQ(words[2], 33u);
+  pool->CloseClean();
+}
+
+TEST(MiniTxTest, AbortAppliesNothing) {
+  TempPoolFile file("tx_abort");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  auto* words = static_cast<uint64_t*>(pool->root());
+  {
+    MiniTx tx(pool.get());
+    tx.Stage(&words[0], 99);
+    // no Commit
+  }
+  EXPECT_EQ(words[0], 0u);
+  // The log must be reusable afterwards.
+  {
+    MiniTx tx(pool.get());
+    tx.Stage(&words[0], 7);
+    tx.Commit();
+  }
+  EXPECT_EQ(words[0], 7u);
+  pool->CloseClean();
+}
+
+TEST(MiniTxTest, StagePtrStoresPointerValue) {
+  TempPoolFile file("tx_ptr");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  auto* root = static_cast<char**>(pool->root());
+  char* target = static_cast<char*>(pool->root()) + 128;
+  {
+    MiniTx tx(pool.get());
+    tx.StagePtr(root, target);
+    tx.Commit();
+  }
+  EXPECT_EQ(*root, target);
+  pool->CloseClean();
+}
+
+// Crash before the commit mark: nothing may be applied after recovery.
+TEST(MiniTxCrashTest, CrashBeforeCommitMarkDiscards) {
+  TempPoolFile file("tx_crash_before");
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    auto* words = static_cast<uint64_t*>(pool->root());
+    CrashPointArm("minitx_before_commit_mark");
+    bool crashed = false;
+    try {
+      MiniTx tx(pool.get());
+      tx.Stage(&words[0], 42);
+      tx.Commit();
+    } catch (const CrashInjected&) {
+      crashed = true;
+    }
+    CrashPointDisarm();
+    ASSERT_TRUE(crashed);
+    pool->CloseDirty();
+  }
+  auto pool = PmPool::Open(file.path());
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(static_cast<uint64_t*>(pool->root())[0], 0u);
+  pool->CloseClean();
+}
+
+// Crash after the commit mark but before application: recovery re-applies.
+TEST(MiniTxCrashTest, CrashAfterCommitMarkRedoes) {
+  TempPoolFile file("tx_crash_after");
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    auto* words = static_cast<uint64_t*>(pool->root());
+    CrashPointArm("minitx_after_commit_mark");
+    bool crashed = false;
+    try {
+      MiniTx tx(pool.get());
+      tx.Stage(&words[0], 42);
+      tx.Stage(&words[1], 43);
+      tx.Commit();
+    } catch (const CrashInjected&) {
+      crashed = true;
+    }
+    CrashPointDisarm();
+    ASSERT_TRUE(crashed);
+    pool->CloseDirty();
+  }
+  auto pool = PmPool::Open(file.path());
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(static_cast<uint64_t*>(pool->root())[0], 42u);
+  EXPECT_EQ(static_cast<uint64_t*>(pool->root())[1], 43u);
+  pool->CloseClean();
+}
+
+// Crash mid-application: the redo log re-applies idempotently.
+TEST(MiniTxCrashTest, CrashDuringApplyRedoes) {
+  TempPoolFile file("tx_crash_apply");
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    auto* words = static_cast<uint64_t*>(pool->root());
+    CrashPointArm("minitx_after_apply");
+    bool crashed = false;
+    try {
+      MiniTx tx(pool.get());
+      tx.Stage(&words[0], 1);
+      tx.Stage(&words[1], 2);
+      tx.Commit();
+    } catch (const CrashInjected&) {
+      crashed = true;
+    }
+    CrashPointDisarm();
+    ASSERT_TRUE(crashed);
+    pool->CloseDirty();
+  }
+  auto pool = PmPool::Open(file.path());
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(static_cast<uint64_t*>(pool->root())[0], 1u);
+  EXPECT_EQ(static_cast<uint64_t*>(pool->root())[1], 2u);
+  pool->CloseClean();
+}
+
+TEST(MiniTxTest, PerThreadLogsAreIndependent) {
+  TempPoolFile file("tx_threads");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  auto* words = static_cast<uint64_t*>(pool->root());
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        MiniTx tx(pool.get());
+        tx.Stage(&words[t], static_cast<uint64_t>(i + 1));
+        tx.Commit();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(words[t], 200u);
+  pool->CloseClean();
+}
+
+TEST(MiniTxTest, MaxEntriesFit) {
+  TempPoolFile file("tx_full");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  auto* words = static_cast<uint64_t*>(pool->root());
+  MiniTx tx(pool.get());
+  for (size_t i = 0; i < TxLog::kMaxEntries; ++i) {
+    tx.Stage(&words[i], i + 1);
+  }
+  tx.Commit();
+  for (size_t i = 0; i < TxLog::kMaxEntries; ++i) {
+    EXPECT_EQ(words[i], i + 1);
+  }
+  pool->CloseClean();
+}
+
+}  // namespace
+}  // namespace dash::pmem

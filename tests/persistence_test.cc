@@ -1,0 +1,152 @@
+// Cross-cutting persistence tests: structural options are persisted and
+// override constructor arguments on reopen; several pools coexist at
+// distinct base addresses; variable-length keys survive crashes.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dash/dash_eh.h"
+#include "dash/dash_lh.h"
+#include "test_util.h"
+
+namespace dash {
+namespace {
+
+TEST(PersistenceTest, StructuralOptionsComeFromThePool) {
+  test::TempPoolFile file("persist_opts");
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    epoch::EpochManager epochs;
+    DashOptions opts;
+    opts.buckets_per_segment = 32;
+    opts.stash_buckets = 4;
+    DashEH<> table(pool.get(), &epochs, opts);
+    for (uint64_t k = 1; k <= 5000; ++k) {
+      ASSERT_EQ(table.Insert(k, k), OpStatus::kOk);
+    }
+    table.CloseClean();
+    pool->CloseClean();
+  }
+  {
+    auto pool = pmem::PmPool::Open(file.path());
+    ASSERT_NE(pool, nullptr);
+    epoch::EpochManager epochs;
+    DashOptions mismatched;  // different structural values on purpose
+    mismatched.buckets_per_segment = 128;
+    mismatched.stash_buckets = 1;
+    DashEH<> table(pool.get(), &epochs, mismatched);
+    EXPECT_EQ(table.options().buckets_per_segment, 32u)
+        << "persisted layout must win over constructor arguments";
+    EXPECT_EQ(table.options().stash_buckets, 4u);
+    uint64_t value;
+    for (uint64_t k = 1; k <= 5000; ++k) {
+      ASSERT_EQ(table.Search(k, &value), OpStatus::kOk);
+    }
+    table.CloseClean();
+    pool->CloseClean();
+  }
+}
+
+TEST(PersistenceTest, TwoPoolsCoexistAtDistinctBases) {
+  test::TempPoolFile file_a("persist_a");
+  test::TempPoolFile file_b("persist_b");
+  auto pool_a = test::CreatePool(file_a, 64ull << 20);
+  auto pool_b = test::CreatePool(file_b, 64ull << 20);
+  ASSERT_NE(pool_a, nullptr);
+  ASSERT_NE(pool_b, nullptr);
+  EXPECT_NE(pool_a->header()->base_address, pool_b->header()->base_address);
+
+  epoch::EpochManager epochs;
+  DashOptions opts;
+  DashEH<> table_a(pool_a.get(), &epochs, opts);
+  DashLH<> table_b(pool_b.get(), &epochs, opts);
+  for (uint64_t k = 1; k <= 2000; ++k) {
+    ASSERT_EQ(table_a.Insert(k, k), OpStatus::kOk);
+    ASSERT_EQ(table_b.Insert(k, k * 2), OpStatus::kOk);
+  }
+  uint64_t value;
+  for (uint64_t k = 1; k <= 2000; ++k) {
+    ASSERT_EQ(table_a.Search(k, &value), OpStatus::kOk);
+    ASSERT_EQ(value, k);
+    ASSERT_EQ(table_b.Search(k, &value), OpStatus::kOk);
+    ASSERT_EQ(value, k * 2);
+  }
+  table_a.CloseClean();
+  table_b.CloseClean();
+  pool_a->CloseClean();
+  pool_b->CloseClean();
+}
+
+TEST(PersistenceTest, VarKeysSurviveCrash) {
+  test::TempPoolFile file("persist_varcrash");
+  constexpr uint64_t kKeys = 8000;
+  auto key_of = [](uint64_t i) {
+    return "user/" + std::to_string(i) + "/profile";
+  };
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    epoch::EpochManager epochs;
+    DashOptions opts;
+    opts.buckets_per_segment = 16;
+    DashEH<VarKeyPolicy> table(pool.get(), &epochs, opts);
+    for (uint64_t i = 1; i <= kKeys; ++i) {
+      ASSERT_EQ(table.Insert(key_of(i), i), OpStatus::kOk);
+    }
+    epochs.DiscardAll();
+    pool->CloseDirty();  // crash
+  }
+  auto pool = pmem::PmPool::Open(file.path());
+  ASSERT_NE(pool, nullptr);
+  epoch::EpochManager epochs;
+  DashOptions opts;
+  DashEH<VarKeyPolicy> table(pool.get(), &epochs, opts);
+  uint64_t value;
+  for (uint64_t i = 1; i <= kKeys; ++i) {
+    ASSERT_EQ(table.Search(key_of(i), &value), OpStatus::kOk)
+        << "key " << key_of(i);
+    ASSERT_EQ(value, i);
+  }
+  EXPECT_EQ(table.Search("user/0/profile", &value), OpStatus::kNotFound);
+  table.CloseClean();
+  pool->CloseClean();
+}
+
+TEST(PersistenceTest, RepeatedCleanReopenCycles) {
+  test::TempPoolFile file("persist_cycles");
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    epoch::EpochManager epochs;
+    DashOptions opts;
+    DashEH<> table(pool.get(), &epochs, opts);
+    table.CloseClean();
+    pool->CloseClean();
+  }
+  for (uint64_t cycle = 0; cycle < 10; ++cycle) {
+    auto pool = pmem::PmPool::Open(file.path());
+    ASSERT_NE(pool, nullptr);
+    EXPECT_FALSE(pool->recovered_from_crash()) << "cycle " << cycle;
+    epoch::EpochManager epochs;
+    DashOptions opts;
+    DashEH<> table(pool.get(), &epochs, opts);
+    // Each cycle adds a disjoint batch and verifies all previous batches.
+    for (uint64_t k = 1; k <= 1000; ++k) {
+      ASSERT_EQ(table.Insert(cycle * 1000 + k, cycle), OpStatus::kOk);
+    }
+    uint64_t value;
+    for (uint64_t c = 0; c <= cycle; ++c) {
+      for (uint64_t k = 1; k <= 1000; k += 97) {
+        ASSERT_EQ(table.Search(c * 1000 + k, &value), OpStatus::kOk);
+        ASSERT_EQ(value, c);
+      }
+    }
+    table.CloseClean();
+    pool->CloseClean();
+  }
+}
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,222 @@
+#include "pmem/allocator.h"
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pmem/crash_point.h"
+#include "pmem/pool.h"
+#include "test_util.h"
+
+namespace dash::pmem {
+namespace {
+
+using test::TempPoolFile;
+
+TEST(AllocatorTest, AllocReturnsZeroedAlignedBlocks) {
+  TempPoolFile file("alloc_basic");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  for (size_t size : {1ul, 64ul, 100ul, 4096ul, 16384ul, 100000ul}) {
+    auto* p = static_cast<unsigned char*>(pool->allocator().Alloc(size));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kAllocAlignment, 0u);
+    for (size_t i = 0; i < size; ++i) ASSERT_EQ(p[i], 0u);
+    std::memset(p, 0xAB, size);  // dirty it for reuse checks
+  }
+  pool->CloseClean();
+}
+
+TEST(AllocatorTest, FreeThenAllocReusesBlock) {
+  TempPoolFile file("alloc_reuse");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  void* a = pool->allocator().Alloc(300);
+  pool->allocator().Free(a);
+  void* b = pool->allocator().Alloc(300);
+  EXPECT_EQ(a, b) << "same size class must reuse the freed block";
+  // And the reused block must be zeroed again.
+  const auto* bytes = static_cast<const unsigned char*>(b);
+  for (size_t i = 0; i < 300; ++i) ASSERT_EQ(bytes[i], 0u);
+  pool->CloseClean();
+}
+
+TEST(AllocatorTest, DistinctSizeClassesDoNotMix) {
+  TempPoolFile file("alloc_classes");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  void* small = pool->allocator().Alloc(64);
+  pool->allocator().Free(small);
+  void* large = pool->allocator().Alloc(128);
+  EXPECT_NE(small, large);
+  pool->CloseClean();
+}
+
+TEST(AllocatorTest, LargeExactSizeClasses) {
+  TempPoolFile file("alloc_large");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  void* a = pool->allocator().Alloc(16 * 1024 + 512);  // segment-ish size
+  ASSERT_NE(a, nullptr);
+  pool->allocator().Free(a);
+  void* b = pool->allocator().Alloc(16 * 1024 + 512);
+  EXPECT_EQ(a, b);
+  pool->CloseClean();
+}
+
+TEST(AllocatorTest, OutOfMemoryReturnsNull) {
+  TempPoolFile file("alloc_oom");
+  auto pool = test::CreatePool(file, /*size=*/4ull << 20);
+  ASSERT_NE(pool, nullptr);
+  // Exhaust the heap.
+  while (pool->allocator().Alloc(256 * 1024) != nullptr) {
+  }
+  EXPECT_EQ(pool->allocator().Alloc(256 * 1024), nullptr);
+  pool->CloseClean();
+}
+
+TEST(AllocatorTest, ReserveCancelReturnsBlock) {
+  TempPoolFile file("alloc_cancel");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  auto r = pool->allocator().Reserve(1000);
+  ASSERT_TRUE(r.valid());
+  pool->allocator().Cancel(r);
+  auto r2 = pool->allocator().Reserve(1000);
+  EXPECT_EQ(r2.ptr, r.ptr);
+  pool->allocator().Cancel(r2);
+  pool->CloseClean();
+}
+
+TEST(AllocatorTest, ActivatePublishesPointer) {
+  TempPoolFile file("alloc_activate");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  auto* dest = static_cast<uint64_t*>(pool->root());
+  auto r = pool->allocator().Reserve(512);
+  ASSERT_TRUE(r.valid());
+  pool->allocator().Activate(r, dest);
+  EXPECT_EQ(*dest, reinterpret_cast<uint64_t>(r.ptr));
+  pool->CloseClean();
+}
+
+// --- crash-safety: every reservation is reclaimed or confirmed on open ---
+
+struct CrashCase {
+  const char* point;
+  bool expect_published;
+};
+
+class AllocatorCrashTest : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(AllocatorCrashTest, NoLeakAtAnyCrashPoint) {
+  const CrashCase& c = GetParam();
+  TempPoolFile file(std::string("alloc_crash_") + c.point);
+  uint64_t heap_used_before = 0;
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    auto* dest = static_cast<uint64_t*>(pool->root());
+    // Prime the size class so both pop and bump paths are exercised.
+    void* primer = pool->allocator().Alloc(2048);
+    pool->allocator().Free(primer);
+    heap_used_before = pool->allocator().bytes_in_use();
+
+    CrashPointArm(c.point);
+    bool crashed = false;
+    try {
+      auto r = pool->allocator().Reserve(2048);
+      ASSERT_TRUE(r.valid());
+      pool->allocator().Activate(r, dest);
+    } catch (const CrashInjected&) {
+      crashed = true;
+    }
+    CrashPointDisarm();
+    ASSERT_TRUE(crashed) << "crash point " << c.point << " never hit";
+    pool->CloseDirty();
+  }
+  auto pool = PmPool::Open(file.path());
+  ASSERT_NE(pool, nullptr);
+  const auto* dest = static_cast<const uint64_t*>(pool->root());
+  if (c.expect_published) {
+    EXPECT_NE(*dest, 0u) << "activation had committed";
+  } else {
+    // Block must be reusable: a fresh allocation of the same class gets it
+    // without growing the heap.
+    void* again = pool->allocator().Alloc(2048);
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(pool->allocator().bytes_in_use(), heap_used_before)
+        << "reclaimed block should satisfy the allocation without bump growth";
+  }
+  pool->CloseClean();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CrashPoints, AllocatorCrashTest,
+    ::testing::Values(
+        CrashCase{"alloc_after_slot_record_pop", false},
+        CrashCase{"alloc_activate_before_publish", false},
+        CrashCase{"alloc_activate_after_publish", true}));
+
+TEST(AllocatorCrashTest2, BumpPathCrashDoesNotCorrupt) {
+  // Crash right after the slot records a bump allocation, before the bump
+  // pointer advances: recovery must treat the block as never allocated.
+  TempPoolFile file("alloc_crash_bump");
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    CrashPointArm("alloc_after_slot_record_bump");
+    bool crashed = false;
+    try {
+      pool->allocator().Reserve(999);
+    } catch (const CrashInjected&) {
+      crashed = true;
+    }
+    CrashPointDisarm();
+    ASSERT_TRUE(crashed);
+    pool->CloseDirty();
+  }
+  auto pool = PmPool::Open(file.path());
+  ASSERT_NE(pool, nullptr);
+  // The allocator must still hand out sane blocks.
+  void* a = pool->allocator().Alloc(999);
+  void* b = pool->allocator().Alloc(999);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  pool->CloseClean();
+}
+
+TEST(AllocatorConcurrencyTest, ParallelAllocFreeNoOverlap) {
+  TempPoolFile file("alloc_mt");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<void*>> blocks(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        void* p = pool->allocator().Alloc(128);
+        ASSERT_NE(p, nullptr);
+        blocks[t].push_back(p);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<void*> all;
+  for (const auto& v : blocks) {
+    for (void* p : v) {
+      EXPECT_TRUE(all.insert(p).second) << "duplicate allocation " << p;
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads) * kPerThread);
+  pool->CloseClean();
+}
+
+}  // namespace
+}  // namespace dash::pmem

@@ -1,0 +1,159 @@
+#include "pmem/pool.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "pmem/allocator.h"
+#include "pmem/persist.h"
+#include "pmem/stats.h"
+#include "test_util.h"
+
+namespace dash::pmem {
+namespace {
+
+using test::TempPoolFile;
+
+TEST(PmPoolTest, CreateAndReopenAtSameBase) {
+  TempPoolFile file("pool_reopen");
+  void* base_at_create;
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    base_at_create = pool->root();
+    std::strcpy(static_cast<char*>(pool->root()), "hello pm");
+    Persist(pool->root(), 16);
+    pool->CloseClean();
+  }
+  {
+    auto pool = PmPool::Open(file.path());
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(pool->root(), base_at_create)
+        << "pool must map at its recorded base so raw pointers stay valid";
+    EXPECT_STREQ(static_cast<char*>(pool->root()), "hello pm");
+    EXPECT_FALSE(pool->recovered_from_crash());
+    pool->CloseClean();
+  }
+}
+
+TEST(PmPoolTest, DirtyCloseReportsCrash) {
+  TempPoolFile file("pool_dirty");
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    pool->CloseDirty();
+  }
+  auto pool = PmPool::Open(file.path());
+  ASSERT_NE(pool, nullptr);
+  EXPECT_TRUE(pool->recovered_from_crash());
+  pool->CloseClean();
+}
+
+TEST(PmPoolTest, DestructorIsDirtyClose) {
+  TempPoolFile file("pool_dtor");
+  { auto pool = test::CreatePool(file); }
+  auto pool = PmPool::Open(file.path());
+  ASSERT_NE(pool, nullptr);
+  EXPECT_TRUE(pool->recovered_from_crash());
+  pool->CloseClean();
+}
+
+TEST(PmPoolTest, CreateFailsIfExists) {
+  TempPoolFile file("pool_exists");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  pool->CloseClean();
+  EXPECT_EQ(PmPool::Create(file.path(), {}), nullptr);
+}
+
+TEST(PmPoolTest, OpenFailsOnGarbageFile) {
+  TempPoolFile file("pool_garbage");
+  FILE* f = fopen(file.path().c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  for (int i = 0; i < 8192; ++i) fputc(i & 0xFF, f);
+  fclose(f);
+  EXPECT_EQ(PmPool::Open(file.path()), nullptr);
+}
+
+TEST(PmPoolTest, OpenOrCreateReportsCreation) {
+  TempPoolFile file("pool_ooc");
+  bool created = false;
+  {
+    auto pool = PmPool::OpenOrCreate(file.path(), {}, &created);
+    ASSERT_NE(pool, nullptr);
+    EXPECT_TRUE(created);
+    pool->CloseClean();
+  }
+  auto pool = PmPool::OpenOrCreate(file.path(), {}, &created);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_FALSE(created);
+  pool->CloseClean();
+}
+
+TEST(PmPoolTest, RootAreaIsZeroOnCreation) {
+  TempPoolFile file("pool_zero_root");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  const auto* bytes = static_cast<const unsigned char*>(pool->root());
+  for (size_t i = 0; i < pool->root_size(); ++i) {
+    ASSERT_EQ(bytes[i], 0u);
+  }
+  pool->CloseClean();
+}
+
+TEST(PmPoolTest, OffsetRoundTrip) {
+  TempPoolFile file("pool_offsets");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  void* p = pool->root();
+  EXPECT_TRUE(pool->Contains(p));
+  EXPECT_EQ(pool->FromOffset<void>(pool->ToOffset(p)), p);
+  pool->CloseClean();
+}
+
+TEST(PmPoolTest, RetireBufferFreedOnCrashOpen) {
+  TempPoolFile file("pool_retire");
+  uint64_t free_before;
+  {
+    auto pool = test::CreatePool(file);
+    ASSERT_NE(pool, nullptr);
+    void* block = pool->allocator().Alloc(1024);
+    ASSERT_NE(block, nullptr);
+    free_before = pool->allocator().CountFreeBlocks();
+    pool->AddRetire(block);
+    pool->CloseDirty();  // crash before CompleteRetire
+  }
+  auto pool = PmPool::Open(file.path());
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->allocator().CountFreeBlocks(), free_before + 1)
+      << "open recovery must return retired blocks to the allocator";
+  pool->CloseClean();
+}
+
+TEST(PmPoolTest, PersistCountsFlushes) {
+  TempPoolFile file("pool_stats");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  ResetPmStats();
+  // 256 bytes = 4 cachelines -> 4 CLWBs + 1 fence.
+  Persist(pool->root(), 256);
+  const PmStats stats = AggregatePmStats();
+  EXPECT_EQ(stats.clwb, 4u);
+  EXPECT_EQ(stats.fence, 1u);
+  pool->CloseClean();
+}
+
+TEST(PmPoolTest, UnalignedPersistCoversStraddledLines) {
+  TempPoolFile file("pool_straddle");
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  ResetPmStats();
+  // 8 bytes straddling a cacheline boundary -> 2 lines.
+  char* p = static_cast<char*>(pool->root()) + 60;
+  Persist(p, 8);
+  EXPECT_EQ(AggregatePmStats().clwb, 2u);
+  pool->CloseClean();
+}
+
+}  // namespace
+}  // namespace dash::pmem

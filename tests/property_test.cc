@@ -1,0 +1,247 @@
+// Property-based tests: structural invariants of Dash tables checked after
+// randomized workloads, swept across the full option space (fingerprints,
+// overflow metadata, balanced insert, displacement, stash count,
+// concurrency mode).
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dash/dash_eh.h"
+#include "dash/dash_lh.h"
+#include "test_util.h"
+#include "util/rand.h"
+
+namespace dash {
+namespace {
+
+struct PropertyCase {
+  bool fingerprints;
+  bool overflow_metadata;
+  bool balanced;
+  bool displacement;
+  uint32_t stash;
+  ConcurrencyMode mode;
+
+  std::string Name() const {
+    std::ostringstream os;
+    os << (fingerprints ? "fp" : "nofp") << "_"
+       << (overflow_metadata ? "md" : "nomd") << "_"
+       << (balanced ? "bal" : "nobal") << "_"
+       << (displacement ? "disp" : "nodisp") << "_s" << stash << "_"
+       << (mode == ConcurrencyMode::kOptimistic ? "opt" : "rw");
+    return os.str();
+  }
+};
+
+// Structural invariants of a segment (checked quiescently):
+//  1. the packed counter equals the popcount of the allocation bitmap;
+//  2. a record with membership=0 lives in its home bucket; membership=1
+//     lives in home+1 (balanced insert / displacement target, §4.3);
+//  3. every stash record is discoverable: a matching overflow fingerprint
+//     in the home or probing bucket, or a positive overflow counter on the
+//     home bucket (otherwise searches would early-stop and miss it, §4.3).
+void CheckSegmentInvariants(Segment* seg, const DashOptions& opts) {
+  const uint32_t nb = seg->num_buckets();
+  const uint32_t mask = nb - 1;
+  for (uint32_t i = 0; i < nb + seg->num_stash(); ++i) {
+    Bucket* b = seg->bucket(i);
+    const uint32_t meta = b->meta();
+    ASSERT_EQ(Bucket::Count(meta),
+              static_cast<uint32_t>(
+                  __builtin_popcount(Bucket::AllocBits(meta))))
+        << "bucket " << i << ": counter out of sync";
+    if (i >= nb) continue;  // membership semantics apply to normal buckets
+    for (uint32_t slot = 0; slot < Bucket::kNumSlots; ++slot) {
+      if (((Bucket::AllocBits(meta) >> slot) & 1) == 0) continue;
+      const uint64_t h = IntKeyPolicy::HashStored(b->record(slot).key);
+      const uint32_t home = Segment::BucketIndex(h, nb);
+      if (b->SlotMembership(meta, slot)) {
+        ASSERT_EQ((home + 1) & mask, i)
+            << "member=1 record must sit in its probing bucket";
+      } else {
+        ASSERT_EQ(home, i) << "member=0 record must sit in its home bucket";
+      }
+      ASSERT_EQ(Segment::Fingerprint(h), b->fingerprint(slot))
+          << "stored fingerprint must match the key hash";
+    }
+  }
+  if (!opts.use_overflow_metadata) return;
+  for (uint32_t s = 0; s < seg->num_stash(); ++s) {
+    Bucket* stash = seg->stash_bucket(s);
+    const uint32_t meta = stash->meta();
+    for (uint32_t slot = 0; slot < Bucket::kNumSlots; ++slot) {
+      if (((Bucket::AllocBits(meta) >> slot) & 1) == 0) continue;
+      const uint64_t h = IntKeyPolicy::HashStored(stash->record(slot).key);
+      const uint32_t home = Segment::BucketIndex(h, nb);
+      const uint8_t fp = Segment::Fingerprint(h);
+      Bucket* hb = seg->bucket(home);
+      Bucket* pb = seg->bucket((home + 1) & mask);
+      const bool hinted =
+          (hb->OverflowStashHints(fp, false) & (1u << s)) != 0 ||
+          (pb->OverflowStashHints(fp, true) & (1u << s)) != 0;
+      ASSERT_TRUE(hinted || hb->overflow_count() > 0)
+          << "stash record would be invisible to searches";
+    }
+  }
+}
+
+class EhPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(EhPropertyTest, RandomWorkloadKeepsInvariants) {
+  const PropertyCase& c = GetParam();
+  test::TempPoolFile file("prop_eh_" + c.Name());
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  epoch::EpochManager epochs;
+  DashOptions opts;
+  opts.buckets_per_segment = 16;
+  opts.stash_buckets = c.stash;
+  opts.use_fingerprints = c.fingerprints;
+  opts.use_overflow_metadata = c.overflow_metadata;
+  opts.use_balanced_insert = c.balanced;
+  opts.use_displacement = c.displacement;
+  opts.concurrency = c.mode;
+  DashEH<> table(pool.get(), &epochs, opts);
+
+  std::map<uint64_t, uint64_t> model;
+  util::Xoshiro256 rng(0xD45Bu);
+  for (int iter = 0; iter < 60000; ++iter) {
+    const uint64_t key = rng.NextBounded(8000) + 1;
+    uint64_t value;
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        const bool inserted = table.Insert(key, key + iter) == OpStatus::kOk;
+        ASSERT_EQ(inserted, !model.count(key)) << c.Name();
+        if (inserted) model[key] = key + iter;
+        break;
+      }
+      case 2: {
+        const bool found = table.Search(key, &value) == OpStatus::kOk;
+        ASSERT_EQ(found, model.count(key) == 1) << c.Name();
+        if (found) {
+          ASSERT_EQ(value, model[key]);
+        }
+        break;
+      }
+      default: {
+        const bool deleted = table.Delete(key) == OpStatus::kOk;
+        ASSERT_EQ(deleted, model.erase(key) == 1) << c.Name();
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(table.Size(), model.size());
+  table.ForEachSegment(
+      [&](Segment* seg) { CheckSegmentInvariants(seg, opts); });
+  table.CloseClean();
+  pool->CloseClean();
+}
+
+std::vector<PropertyCase> EhCases() {
+  std::vector<PropertyCase> cases;
+  // Full stack in both concurrency modes and several stash counts.
+  for (uint32_t stash : {0u, 1u, 2u, 4u}) {
+    cases.push_back({true, true, true, true, stash,
+                     ConcurrencyMode::kOptimistic});
+  }
+  cases.push_back({true, true, true, true, 2, ConcurrencyMode::kRwLock});
+  // Each technique disabled individually.
+  cases.push_back({false, true, true, true, 2,
+                   ConcurrencyMode::kOptimistic});
+  cases.push_back({true, false, true, true, 2,
+                   ConcurrencyMode::kOptimistic});
+  cases.push_back({true, true, false, true, 2,
+                   ConcurrencyMode::kOptimistic});
+  cases.push_back({true, true, true, false, 2,
+                   ConcurrencyMode::kOptimistic});
+  // Minimal configuration.
+  cases.push_back({false, false, false, false, 0,
+                   ConcurrencyMode::kOptimistic});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(OptionSweep, EhPropertyTest,
+                         ::testing::ValuesIn(EhCases()),
+                         [](const ::testing::TestParamInfo<PropertyCase>& i) {
+                           return i.param.Name();
+                         });
+
+class LhPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(LhPropertyTest, RandomWorkloadKeepsInvariants) {
+  const PropertyCase& c = GetParam();
+  test::TempPoolFile file("prop_lh_" + c.Name());
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  epoch::EpochManager epochs;
+  DashOptions opts;
+  opts.buckets_per_segment = 16;
+  opts.stash_buckets = c.stash;
+  opts.use_fingerprints = c.fingerprints;
+  opts.use_overflow_metadata = c.overflow_metadata;
+  opts.use_balanced_insert = c.balanced;
+  opts.use_displacement = c.displacement;
+  opts.concurrency = c.mode;
+  opts.lh_base_segments = 4;
+  opts.lh_stride = 2;
+  DashLH<> table(pool.get(), &epochs, opts);
+
+  std::map<uint64_t, uint64_t> model;
+  util::Xoshiro256 rng(0x1A5Bu);
+  for (int iter = 0; iter < 60000; ++iter) {
+    const uint64_t key = rng.NextBounded(8000) + 1;
+    uint64_t value;
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        const bool inserted = table.Insert(key, key + iter) == OpStatus::kOk;
+        ASSERT_EQ(inserted, !model.count(key)) << c.Name();
+        if (inserted) model[key] = key + iter;
+        break;
+      }
+      case 2: {
+        const bool found = table.Search(key, &value) == OpStatus::kOk;
+        ASSERT_EQ(found, model.count(key) == 1) << c.Name();
+        if (found) {
+          ASSERT_EQ(value, model[key]);
+        }
+        break;
+      }
+      default: {
+        const bool deleted = table.Delete(key) == OpStatus::kOk;
+        ASSERT_EQ(deleted, model.erase(key) == 1) << c.Name();
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(table.Size(), model.size());
+  table.ForEachSegment([&](Segment* seg) {
+    if (seg->state() == Segment::kNew) return;  // pre-created empty buddy
+    CheckSegmentInvariants(seg, opts);
+  });
+  table.CloseClean();
+  pool->CloseClean();
+}
+
+std::vector<PropertyCase> LhCases() {
+  return {
+      {true, true, true, true, 2, ConcurrencyMode::kOptimistic},
+      {true, true, true, true, 1, ConcurrencyMode::kOptimistic},
+      {false, true, true, true, 2, ConcurrencyMode::kOptimistic},
+      {true, false, true, true, 2, ConcurrencyMode::kOptimistic},
+      {true, true, true, true, 2, ConcurrencyMode::kRwLock},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(OptionSweep, LhPropertyTest,
+                         ::testing::ValuesIn(LhCases()),
+                         [](const ::testing::TestParamInfo<PropertyCase>& i) {
+                           return i.param.Name();
+                         });
+
+}  // namespace
+}  // namespace dash

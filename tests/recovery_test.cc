@@ -1,0 +1,322 @@
+// Dash instant-recovery tests (§4.8): constant-work open, lazy per-segment
+// recovery, and crash injection at every SMO persistence boundary for both
+// Dash-EH and Dash-LH.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dash/dash_eh.h"
+#include "dash/dash_lh.h"
+#include "pmem/crash_point.h"
+#include "test_util.h"
+
+namespace dash {
+namespace {
+
+class EhRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<test::TempPoolFile>("eh_recovery");
+    pool_ = test::CreatePool(*file_);
+    ASSERT_NE(pool_, nullptr);
+    opts_.buckets_per_segment = 16;
+    opts_.stash_buckets = 2;
+    table_ = std::make_unique<DashEH<>>(pool_.get(), &epochs_, opts_);
+  }
+
+  // Simulates a power failure and re-opens the pool + table.
+  void CrashAndReopen() {
+    epochs_.DiscardAll();
+    table_.reset();
+    pool_->CloseDirty();
+    pool_.reset();
+    pool_ = pmem::PmPool::Open(file_->path());
+    ASSERT_NE(pool_, nullptr);
+    ASSERT_TRUE(pool_->recovered_from_crash());
+    table_ = std::make_unique<DashEH<>>(pool_.get(), &epochs_, opts_);
+  }
+
+  // Inserts keys [1, n]; returns the first key whose insert crashed (and
+  // did not complete), or n+1 if no crash fired.
+  uint64_t InsertUntilCrash(uint64_t n, const std::string& point) {
+    pmem::CrashPointArm(point);
+    for (uint64_t k = 1; k <= n; ++k) {
+      try {
+        table_->Insert(k, k);
+      } catch (const pmem::CrashInjected&) {
+        pmem::CrashPointDisarm();
+        return k;
+      }
+    }
+    pmem::CrashPointDisarm();
+    return n + 1;
+  }
+
+  void VerifyKeys(uint64_t upto, uint64_t maybe_missing) {
+    uint64_t value = 0;
+    for (uint64_t k = 1; k <= upto; ++k) {
+      if (k == maybe_missing) continue;
+      ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk)
+          << "key " << k << " lost in crash";
+      ASSERT_EQ(value, k);
+    }
+  }
+
+  std::unique_ptr<test::TempPoolFile> file_;
+  std::unique_ptr<pmem::PmPool> pool_;
+  epoch::EpochManager epochs_;
+  DashOptions opts_;
+  std::unique_ptr<DashEH<>> table_;
+};
+
+TEST_F(EhRecoveryTest, CleanRestartNeedsNoRecovery) {
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  table_->CloseClean();
+  table_.reset();
+  pool_->CloseClean();
+  pool_.reset();
+  pool_ = pmem::PmPool::Open(file_->path());
+  table_ = std::make_unique<DashEH<>>(pool_.get(), &epochs_, opts_);
+  VerifyKeys(1000, 0);
+}
+
+TEST_F(EhRecoveryTest, CrashWithoutSmoKeepsAllCommittedInserts) {
+  for (uint64_t k = 1; k <= 2000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  CrashAndReopen();
+  VerifyKeys(2000, 0);
+  // Table remains fully operational.
+  for (uint64_t k = 2001; k <= 4000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  VerifyKeys(4000, 0);
+}
+
+TEST_F(EhRecoveryTest, HeldLocksAreClearedLazily) {
+  for (uint64_t k = 1; k <= 500; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  // Leave a bucket lock held, as a crash mid-insert would.
+  table_->SplitForTest(IntKeyPolicy::Hash(1));  // make several segments
+  CrashAndReopen();
+  // Every operation must succeed — lazy recovery resets the locks.
+  VerifyKeys(500, 0);
+  for (uint64_t k = 501; k <= 1000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+}
+
+// Crash injection at each split boundary: no committed record may be lost,
+// the interrupted key may be absent, and the table must work afterwards.
+class EhSplitCrashTest : public EhRecoveryTest,
+                         public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(EhSplitCrashTest, SplitCrashIsRecoverable) {
+  const uint64_t crashed_key = InsertUntilCrash(60000, GetParam());
+  ASSERT_LE(crashed_key, 60000u) << "crash point " << GetParam()
+                                 << " never reached";
+  CrashAndReopen();
+  VerifyKeys(crashed_key - 1, 0);
+  // The crashed key may or may not have committed; either way it must be
+  // insertable/searchable now.
+  uint64_t value;
+  if (table_->Search(crashed_key, &value) == OpStatus::kNotFound) {
+    ASSERT_EQ(table_->Insert(crashed_key, crashed_key), OpStatus::kOk);
+  }
+  // Table continues to grow correctly after recovery.
+  for (uint64_t k = crashed_key + 1; k <= crashed_key + 5000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk) << "key " << k;
+  }
+  VerifyKeys(crashed_key + 5000, 0);
+  // No duplicate records survived recovery.
+  const DashTableStats stats = table_->Stats();
+  EXPECT_EQ(stats.records, crashed_key + 5000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SplitCrashPoints, EhSplitCrashTest,
+    ::testing::Values("eh_split_after_mark", "eh_split_after_activate",
+                      "eh_split_after_rehash", "eh_split_after_dir_update",
+                      "eh_split_after_commit", "eh_double_before_commit",
+                      "eh_double_after_commit", "minitx_after_commit_mark"));
+
+TEST_F(EhRecoveryTest, CrashDuringDisplacementRemovesDuplicate) {
+  // Arm the displacement crash point; drive inserts until it fires.
+  pmem::CrashPointArm("displace_after_insert");
+  uint64_t crashed_key = 0;
+  for (uint64_t k = 1; k <= 60000 && crashed_key == 0; ++k) {
+    try {
+      table_->Insert(k, k);
+    } catch (const pmem::CrashInjected&) {
+      crashed_key = k;
+    }
+  }
+  pmem::CrashPointDisarm();
+  ASSERT_NE(crashed_key, 0u) << "displacement never happened";
+  CrashAndReopen();
+  VerifyKeys(crashed_key - 1, 0);
+  // Dedup must leave exactly one copy of every key.
+  uint64_t total = table_->Stats().records;
+  uint64_t found = 0;
+  uint64_t value;
+  for (uint64_t k = 1; k <= crashed_key; ++k) {
+    if (table_->Search(k, &value) == OpStatus::kOk) ++found;
+  }
+  EXPECT_EQ(found, total) << "duplicates survived recovery";
+}
+
+TEST_F(EhRecoveryTest, RepeatedCrashesConverge) {
+  // Crash during a split, then crash again during the recovery of that
+  // split, and verify the third incarnation is consistent.
+  const uint64_t crashed_key = InsertUntilCrash(60000, "eh_split_after_rehash");
+  ASSERT_LE(crashed_key, 60000u);
+
+  epochs_.DiscardAll();
+  table_.reset();
+  pool_->CloseDirty();
+  pool_.reset();
+  pool_ = pmem::PmPool::Open(file_->path());
+  ASSERT_NE(pool_, nullptr);
+  table_ = std::make_unique<DashEH<>>(pool_.get(), &epochs_, opts_);
+
+  // Trigger lazy recovery and crash inside its roll-forward.
+  pmem::CrashPointArm("eh_split_after_dir_update");
+  uint64_t value;
+  bool crashed_again = false;
+  for (uint64_t k = 1; k < crashed_key && !crashed_again; ++k) {
+    try {
+      table_->Search(k, &value);
+    } catch (const pmem::CrashInjected&) {
+      crashed_again = true;
+    }
+  }
+  pmem::CrashPointDisarm();
+  // Whether or not the second crash fired (the roll-forward may not pass
+  // that exact point), the third incarnation must be consistent.
+  CrashAndReopen();
+  VerifyKeys(crashed_key - 1, 0);
+}
+
+TEST_F(EhRecoveryTest, VersionWrapAroundForcesFullRecovery) {
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  // Crash-reopen 300 times to exercise the 1-byte version wrap (§4.8).
+  for (int i = 0; i < 300; ++i) {
+    epochs_.DiscardAll();
+    table_.reset();
+    pool_->CloseDirty();
+    pool_.reset();
+    pool_ = pmem::PmPool::Open(file_->path());
+    ASSERT_NE(pool_, nullptr);
+    table_ = std::make_unique<DashEH<>>(pool_.get(), &epochs_, opts_);
+  }
+  VerifyKeys(1000, 0);
+  for (uint64_t k = 1001; k <= 1100; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+}
+
+// ---- Dash-LH ----
+
+class LhRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<test::TempPoolFile>("lh_recovery");
+    pool_ = test::CreatePool(*file_);
+    ASSERT_NE(pool_, nullptr);
+    opts_.buckets_per_segment = 16;
+    opts_.stash_buckets = 2;
+    opts_.lh_base_segments = 4;
+    opts_.lh_stride = 2;
+    table_ = std::make_unique<DashLH<>>(pool_.get(), &epochs_, opts_);
+  }
+
+  void CrashAndReopen() {
+    epochs_.DiscardAll();
+    table_.reset();
+    pool_->CloseDirty();
+    pool_.reset();
+    pool_ = pmem::PmPool::Open(file_->path());
+    ASSERT_NE(pool_, nullptr);
+    table_ = std::make_unique<DashLH<>>(pool_.get(), &epochs_, opts_);
+  }
+
+  std::unique_ptr<test::TempPoolFile> file_;
+  std::unique_ptr<pmem::PmPool> pool_;
+  epoch::EpochManager epochs_;
+  DashOptions opts_;
+  std::unique_ptr<DashLH<>> table_;
+};
+
+TEST_F(LhRecoveryTest, CrashWithoutSmoKeepsRecords) {
+  for (uint64_t k = 1; k <= 3000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  CrashAndReopen();
+  uint64_t value;
+  for (uint64_t k = 1; k <= 3000; ++k) {
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk) << "key " << k;
+  }
+}
+
+class LhSplitCrashTest : public LhRecoveryTest,
+                         public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(LhSplitCrashTest, ExpansionCrashIsRecoverable) {
+  pmem::CrashPointArm(GetParam());
+  uint64_t crashed_key = 0;
+  for (uint64_t k = 1; k <= 80000 && crashed_key == 0; ++k) {
+    try {
+      ASSERT_NE(table_->Insert(k, k), OpStatus::kOutOfMemory);
+    } catch (const pmem::CrashInjected&) {
+      crashed_key = k;
+    }
+  }
+  pmem::CrashPointDisarm();
+  ASSERT_NE(crashed_key, 0u) << "crash point " << GetParam()
+                             << " never reached";
+  CrashAndReopen();
+  uint64_t value;
+  for (uint64_t k = 1; k < crashed_key; ++k) {
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk)
+        << "key " << k << " lost (crash point " << GetParam() << ")";
+    ASSERT_EQ(value, k);
+  }
+  if (table_->Search(crashed_key, &value) == OpStatus::kNotFound) {
+    ASSERT_EQ(table_->Insert(crashed_key, crashed_key), OpStatus::kOk);
+  }
+  for (uint64_t k = crashed_key + 1; k <= crashed_key + 5000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  EXPECT_EQ(table_->Size(), crashed_key + 5000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LhCrashPoints, LhSplitCrashTest,
+    ::testing::Values("lh_expand_after_buddy", "lh_expand_after_advance",
+                      "lh_split_after_mark", "lh_split_after_rehash",
+                      "lh_split_after_commit", "lh_chain_after_publish",
+                      "lh_after_buddy_publish"));
+
+TEST_F(LhRecoveryTest, InstantOpenThenLazySegmentRecovery) {
+  for (uint64_t k = 1; k <= 20000; ++k) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  }
+  CrashAndReopen();
+  // All segments recover lazily on first touch; spot-check and then do a
+  // full verification pass.
+  uint64_t value;
+  for (uint64_t k = 1; k <= 20000; ++k) {
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk) << "key " << k;
+    ASSERT_EQ(value, k);
+  }
+}
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,385 @@
+// Segment-level tests: balanced insert, displacement, stashing, overflow
+// metadata, and the recovery passes (dedup, metadata rebuild).
+
+#include "dash/segment.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dash/key_policy.h"
+#include "pmem/pool.h"
+#include "test_util.h"
+#include "util/hash.h"
+
+namespace dash {
+namespace {
+
+constexpr auto kNoVerify = [] { return true; };
+
+class SegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<test::TempPoolFile>("segment");
+    pool_ = test::CreatePool(*file_);
+    ASSERT_NE(pool_, nullptr);
+    seg_ = NewSegment(opts_);
+  }
+
+  Segment* NewSegment(const DashOptions& opts) {
+    auto* seg = static_cast<Segment*>(pool_->allocator().Alloc(
+        Segment::AllocSize(opts.buckets_per_segment, opts.stash_buckets)));
+    seg->Initialize(opts.buckets_per_segment, opts.stash_buckets,
+                    /*depth=*/0, /*pattern=*/0, Segment::kClean,
+                    /*version=*/1);
+    return seg;
+  }
+
+  OpStatus Insert(uint64_t key, uint64_t value) {
+    return seg_->Insert<IntKeyPolicy>(key, value, util::HashInt64(key), opts_,
+                                      &pool_->allocator(),
+                                      /*allow_stash_chain=*/false, kNoVerify);
+  }
+  OpStatus Search(uint64_t key, uint64_t* out) {
+    return seg_->Search<IntKeyPolicy>(key, util::HashInt64(key), opts_, out,
+                                      kNoVerify);
+  }
+  OpStatus Delete(uint64_t key) {
+    return seg_->Delete<IntKeyPolicy>(key, util::HashInt64(key), opts_,
+                                      &pool_->allocator(), kNoVerify);
+  }
+
+  std::unique_ptr<test::TempPoolFile> file_;
+  std::unique_ptr<pmem::PmPool> pool_;
+  Segment* seg_ = nullptr;
+  DashOptions opts_;
+};
+
+TEST_F(SegmentTest, InsertSearchDeleteRoundTrip) {
+  EXPECT_EQ(Insert(101, 1), OpStatus::kOk);
+  uint64_t value = 0;
+  EXPECT_EQ(Search(101, &value), OpStatus::kOk);
+  EXPECT_EQ(value, 1u);
+  EXPECT_EQ(Delete(101), OpStatus::kOk);
+  EXPECT_EQ(Search(101, &value), OpStatus::kNotFound);
+  EXPECT_EQ(Delete(101), OpStatus::kNotFound);
+}
+
+TEST_F(SegmentTest, DuplicateInsertRejected) {
+  EXPECT_EQ(Insert(7, 1), OpStatus::kOk);
+  EXPECT_EQ(Insert(7, 2), OpStatus::kExists);
+  uint64_t value = 0;
+  ASSERT_EQ(Search(7, &value), OpStatus::kOk);
+  EXPECT_EQ(value, 1u) << "duplicate insert must not overwrite";
+}
+
+TEST_F(SegmentTest, ManyKeysAllRetrievable) {
+  std::vector<uint64_t> inserted;
+  for (uint64_t k = 1; k < 500; ++k) {
+    if (Insert(k, k * 3) == OpStatus::kOk) {
+      inserted.push_back(k);
+    } else {
+      break;  // segment full
+    }
+  }
+  EXPECT_GT(inserted.size(), 300u);
+  for (uint64_t k : inserted) {
+    uint64_t value = 0;
+    ASSERT_EQ(Search(k, &value), OpStatus::kOk) << "key " << k;
+    ASSERT_EQ(value, k * 3);
+  }
+  EXPECT_EQ(seg_->RecordCount(), inserted.size());
+}
+
+TEST_F(SegmentTest, NegativeSearchOnPopulatedSegment) {
+  for (uint64_t k = 1; k <= 200; ++k) ASSERT_EQ(Insert(k, k), OpStatus::kOk);
+  uint64_t value;
+  for (uint64_t k = 1000000; k < 1000200; ++k) {
+    ASSERT_EQ(Search(k, &value), OpStatus::kNotFound);
+  }
+}
+
+TEST_F(SegmentTest, FillUntilNeedSplitAndLoadFactorHigh) {
+  uint64_t k = 1;
+  while (Insert(k, k) == OpStatus::kOk) ++k;
+  // With balanced insert + displacement + 2 stash buckets, a 16 KB segment
+  // reaches a high load factor before demanding a split (paper Fig. 11).
+  EXPECT_GT(seg_->Fullness(), 0.75);
+}
+
+TEST_F(SegmentTest, BucketizedModeFillsLess) {
+  DashOptions bucketized;
+  bucketized.use_probing_bucket = false;
+  bucketized.use_balanced_insert = false;
+  bucketized.use_displacement = false;
+  bucketized.stash_buckets = 0;
+  Segment* seg = NewSegment(bucketized);
+  uint64_t k = 1;
+  while (seg->Insert<IntKeyPolicy>(k, k, util::HashInt64(k), bucketized,
+                                   &pool_->allocator(), false,
+                                   kNoVerify) == OpStatus::kOk) {
+    ++k;
+  }
+  // The first full bucket stops the fill early: load factor below the full
+  // technique stack's (this gap is exactly Fig. 11's message).
+  EXPECT_LT(seg->Fullness(), 0.8);
+  EXPECT_GT(seg->Fullness(), 0.05);
+}
+
+TEST_F(SegmentTest, TechniqueStackImprovesLoadFactor) {
+  // Each added technique must not *reduce* achievable load factor.
+  auto fill = [&](const DashOptions& o) {
+    Segment* seg = NewSegment(o);
+    uint64_t k = 1;
+    while (seg->Insert<IntKeyPolicy>(k, k, util::HashInt64(k), o,
+                                     &pool_->allocator(), false,
+                                     kNoVerify) == OpStatus::kOk) {
+      ++k;
+    }
+    return seg->Fullness();
+  };
+  DashOptions bucketized;
+  bucketized.use_probing_bucket = false;
+  bucketized.use_balanced_insert = false;
+  bucketized.use_displacement = false;
+  bucketized.stash_buckets = 0;
+  DashOptions probing = bucketized;
+  probing.use_probing_bucket = true;
+  DashOptions balanced = probing;
+  balanced.use_balanced_insert = true;
+  DashOptions displaced = balanced;
+  displaced.use_displacement = true;
+  DashOptions stashed = displaced;
+  stashed.stash_buckets = 2;
+
+  const double lf_bucketized = fill(bucketized);
+  const double lf_probing = fill(probing);
+  const double lf_balanced = fill(balanced);
+  const double lf_displaced = fill(displaced);
+  const double lf_stashed = fill(stashed);
+  EXPECT_GE(lf_probing, lf_bucketized);
+  EXPECT_GE(lf_balanced, lf_probing * 0.95);
+  EXPECT_GE(lf_displaced, lf_balanced * 0.95);
+  EXPECT_GT(lf_stashed, lf_displaced);
+  EXPECT_GT(lf_stashed, 0.75);
+}
+
+TEST_F(SegmentTest, StashRecordsFoundViaOverflowMetadata) {
+  // Fill until some records must be in the stash; all must stay findable.
+  std::vector<uint64_t> keys;
+  uint64_t k = 1;
+  while (Insert(k, k + 7) == OpStatus::kOk) {
+    keys.push_back(k);
+    ++k;
+  }
+  uint64_t stash_records = 0;
+  for (uint32_t i = 0; i < seg_->num_stash(); ++i) {
+    stash_records += seg_->stash_bucket(i)->count();
+  }
+  EXPECT_GT(stash_records, 0u) << "fill must have reached the stash";
+  for (uint64_t key : keys) {
+    uint64_t value = 0;
+    ASSERT_EQ(Search(key, &value), OpStatus::kOk) << "key " << key;
+    ASSERT_EQ(value, key + 7);
+  }
+}
+
+TEST_F(SegmentTest, DeleteStashRecordMaintainsMetadata) {
+  std::vector<uint64_t> keys;
+  uint64_t k = 1;
+  while (Insert(k, k) == OpStatus::kOk) keys.push_back(k++);
+  // Find a key that lives in the stash.
+  uint64_t stash_key = 0;
+  for (uint64_t key : keys) {
+    const uint64_t h = util::HashInt64(key);
+    const uint8_t fp = Segment::Fingerprint(h);
+    for (uint32_t i = 0; i < seg_->num_stash() && stash_key == 0; ++i) {
+      if (seg_->stash_bucket(i)->FindKey<IntKeyPolicy>(fp, key, opts_) >= 0) {
+        stash_key = key;
+      }
+    }
+    if (stash_key != 0) break;
+  }
+  ASSERT_NE(stash_key, 0u);
+  EXPECT_EQ(Delete(stash_key), OpStatus::kOk);
+  uint64_t value;
+  EXPECT_EQ(Search(stash_key, &value), OpStatus::kNotFound);
+  // All other keys still present.
+  for (uint64_t key : keys) {
+    if (key == stash_key) continue;
+    ASSERT_EQ(Search(key, &value), OpStatus::kOk);
+  }
+}
+
+TEST_F(SegmentTest, ForEachRecordSeesEverything) {
+  for (uint64_t k = 1; k <= 100; ++k) ASSERT_EQ(Insert(k, k), OpStatus::kOk);
+  std::set<uint64_t> seen;
+  seg_->ForEachRecord([&](Bucket* b, int slot) {
+    seen.insert(b->record(slot).key);
+  });
+  EXPECT_EQ(seen.size(), 100u);
+  for (uint64_t k = 1; k <= 100; ++k) EXPECT_TRUE(seen.count(k));
+}
+
+TEST_F(SegmentTest, DedupAdjacentRemovesDisplacedDuplicate) {
+  // Manufacture the crash state of an interrupted displacement: the same
+  // key in bucket y (home, member=0) and bucket y+1 (member=1).
+  const uint64_t key = 4242;
+  const uint64_t h = util::HashInt64(key);
+  const uint8_t fp = Segment::Fingerprint(h);
+  const uint32_t y = Segment::BucketIndex(h, seg_->num_buckets());
+  const uint32_t y1 = (y + 1) & (seg_->num_buckets() - 1);
+  ASSERT_TRUE(seg_->bucket(y)->Insert(key, 1, fp, /*member=*/false));
+  ASSERT_TRUE(seg_->bucket(y1)->Insert(key, 1, fp, /*member=*/true));
+
+  seg_->DedupAdjacent<IntKeyPolicy>(opts_);
+  EXPECT_EQ(seg_->RecordCount(), 1u);
+  uint64_t value = 0;
+  EXPECT_EQ(Search(key, &value), OpStatus::kOk);
+  EXPECT_EQ(value, 1u);
+}
+
+TEST_F(SegmentTest, DedupKeepsDistinctKeys) {
+  for (uint64_t k = 1; k <= 50; ++k) ASSERT_EQ(Insert(k, k), OpStatus::kOk);
+  const uint64_t before = seg_->RecordCount();
+  seg_->DedupAdjacent<IntKeyPolicy>(opts_);
+  EXPECT_EQ(seg_->RecordCount(), before);
+}
+
+TEST_F(SegmentTest, RebuildOverflowMetadataRestoresHints) {
+  std::vector<uint64_t> keys;
+  uint64_t k = 1;
+  while (Insert(k, k) == OpStatus::kOk) keys.push_back(k++);
+  // Wipe the (non-persisted) metadata, as a crash would.
+  for (uint32_t i = 0; i < seg_->num_buckets(); ++i) {
+    seg_->bucket(i)->ClearOverflowMetadata();
+  }
+  seg_->RebuildOverflowMetadata<IntKeyPolicy>(opts_);
+  for (uint64_t key : keys) {
+    uint64_t value = 0;
+    ASSERT_EQ(Search(key, &value), OpStatus::kOk) << "key " << key;
+  }
+}
+
+TEST_F(SegmentTest, ResetAllLocksClearsCrashLocks) {
+  seg_->bucket(3)->lock().LockExclusive(opts_.concurrency);
+  seg_->stash_bucket(0)->lock().LockExclusive(opts_.concurrency);
+  seg_->ResetAllLocks();
+  EXPECT_EQ(Insert(12345, 1), OpStatus::kOk) << "locks must be clear";
+}
+
+TEST_F(SegmentTest, StashChainAbsorbsOverflow) {
+  // With chaining allowed (Dash-LH mode), inserts never fail.
+  uint64_t k = 1;
+  OpStatus status = OpStatus::kOk;
+  for (; k <= 2000 && status == OpStatus::kOk; ++k) {
+    status = seg_->Insert<IntKeyPolicy>(k, k, util::HashInt64(k), opts_,
+                                        &pool_->allocator(),
+                                        /*allow_stash_chain=*/true, kNoVerify);
+  }
+  EXPECT_EQ(status, OpStatus::kOk);
+  EXPECT_NE(seg_->stash_chain(), nullptr);
+  for (uint64_t key = 1; key < k; ++key) {
+    uint64_t value = 0;
+    ASSERT_EQ(Search(key, &value), OpStatus::kOk) << "key " << key;
+  }
+  EXPECT_EQ(seg_->RecordCount(), k - 1);
+}
+
+TEST_F(SegmentTest, UpdateInNormalAndStashBuckets) {
+  // Fill so some records reach the stash, then update everything.
+  std::vector<uint64_t> keys;
+  uint64_t k = 1;
+  while (Insert(k, k) == OpStatus::kOk) keys.push_back(k++);
+  for (uint64_t key : keys) {
+    ASSERT_EQ(seg_->Update<IntKeyPolicy>(key, key * 9, util::HashInt64(key),
+                                         opts_, kNoVerify),
+              OpStatus::kOk)
+        << "key " << key;
+  }
+  for (uint64_t key : keys) {
+    uint64_t value = 0;
+    ASSERT_EQ(Search(key, &value), OpStatus::kOk);
+    ASSERT_EQ(value, key * 9);
+  }
+  EXPECT_EQ(seg_->Update<IntKeyPolicy>(10'000'000, 1,
+                                       util::HashInt64(10'000'000), opts_,
+                                       kNoVerify),
+            OpStatus::kNotFound);
+}
+
+TEST_F(SegmentTest, SimdFingerprintMatchAgreesWithScalar) {
+  // Insert records with colliding and distinct fingerprints and verify the
+  // match mask equals a scalar recomputation.
+  for (uint64_t k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(seg_->bucket(0)->Insert(k, k, static_cast<uint8_t>(k % 3),
+                                        false));
+  }
+  Bucket* b = seg_->bucket(0);
+  const uint32_t alloc = Bucket::AllocBits(b->meta());
+  for (uint8_t fp = 0; fp < 5; ++fp) {
+    uint32_t scalar = 0;
+    for (uint32_t slot = 0; slot < Bucket::kNumSlots; ++slot) {
+      if (((alloc >> slot) & 1) != 0 && b->fingerprint(slot) == fp) {
+        scalar |= 1u << slot;
+      }
+    }
+    EXPECT_EQ(b->MatchFingerprints(fp, alloc), scalar) << "fp " << int{fp};
+  }
+}
+
+TEST_F(SegmentTest, RwLockModeRoundTrip) {
+  opts_.concurrency = ConcurrencyMode::kRwLock;
+  EXPECT_EQ(Insert(5, 50), OpStatus::kOk);
+  uint64_t value = 0;
+  EXPECT_EQ(Search(5, &value), OpStatus::kOk);
+  EXPECT_EQ(value, 50u);
+  EXPECT_EQ(Delete(5), OpStatus::kOk);
+}
+
+TEST_F(SegmentTest, VerifyFailureReturnsRetry) {
+  auto fail = [] { return false; };
+  EXPECT_EQ(seg_->Insert<IntKeyPolicy>(1, 1, util::HashInt64(1), opts_,
+                                       &pool_->allocator(), false, fail),
+            OpStatus::kRetry);
+  uint64_t value;
+  EXPECT_EQ(
+      seg_->Search<IntKeyPolicy>(1, util::HashInt64(1), opts_, &value, fail),
+      OpStatus::kRetry);
+  EXPECT_EQ(seg_->Delete<IntKeyPolicy>(1, util::HashInt64(1), opts_,
+                                       &pool_->allocator(), fail),
+            OpStatus::kRetry);
+}
+
+// Parameterized sweep over segment sizes (Fig. 11's x-axis): all sizes must
+// sustain a high load factor with the full technique stack.
+class SegmentSizeSweep : public SegmentTest,
+                         public ::testing::WithParamInterface<uint32_t> {};
+
+TEST_P(SegmentSizeSweep, HighLoadFactorAtEverySize) {
+  DashOptions o;
+  o.buckets_per_segment = GetParam();
+  o.stash_buckets = 2;
+  Segment* seg = NewSegment(o);
+  uint64_t k = 1;
+  while (seg->Insert<IntKeyPolicy>(k, k, util::HashInt64(k), o,
+                                   &pool_->allocator(), false,
+                                   kNoVerify) == OpStatus::kOk) {
+    ++k;
+  }
+  EXPECT_GT(seg->Fullness(), 0.70) << "buckets=" << GetParam();
+  // Everything inserted must be findable.
+  for (uint64_t key = 1; key < k; ++key) {
+    uint64_t value;
+    ASSERT_EQ(seg->Search<IntKeyPolicy>(key, util::HashInt64(key), o, &value,
+                                        kNoVerify),
+              OpStatus::kOk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SegmentSizeSweep,
+                         ::testing::Values(4, 16, 64, 128, 256));
+
+}  // namespace
+}  // namespace dash

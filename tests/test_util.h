@@ -1,0 +1,44 @@
+// Shared test helpers: temp pool files, crash simulation harness.
+
+#ifndef DASH_PM_TESTS_TEST_UTIL_H_
+#define DASH_PM_TESTS_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "pmem/pool.h"
+
+namespace dash::test {
+
+// Returns a fresh pool file path in a tmpfs-backed directory when
+// available. The file is removed in the destructor.
+class TempPoolFile {
+ public:
+  explicit TempPoolFile(const std::string& tag) {
+    const char* base = access("/dev/shm", W_OK) == 0 ? "/dev/shm" : "/tmp";
+    path_ = std::string(base) + "/dash_test_" + tag + "_" +
+            std::to_string(getpid()) + "_" + std::to_string(counter_++);
+    std::remove(path_.c_str());
+  }
+  ~TempPoolFile() { std::remove(path_.c_str()); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+inline std::unique_ptr<pmem::PmPool> CreatePool(const TempPoolFile& file,
+                                                size_t size = 256ull << 20) {
+  pmem::PmPool::Options options;
+  options.pool_size = size;
+  return pmem::PmPool::Create(file.path(), options);
+}
+
+}  // namespace dash::test
+
+#endif  // DASH_PM_TESTS_TEST_UTIL_H_

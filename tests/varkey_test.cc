@@ -1,0 +1,136 @@
+// Variable-length key tests (§4.5): pointer-mode storage, fingerprint-
+// guided probing, and behaviour across all four tables.
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/kv_index.h"
+#include "test_util.h"
+#include "util/rand.h"
+
+namespace dash::api {
+namespace {
+
+std::string MakeKey(uint64_t i, size_t len = 16) {
+  std::string key = "key-" + std::to_string(i) + "-";
+  while (key.size() < len) key.push_back('x');
+  return key;
+}
+
+class VarKeyTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<test::TempPoolFile>(
+        std::string("varkey_") + IndexKindName(GetParam()));
+    pool_ = test::CreatePool(*file_, 512ull << 20);
+    ASSERT_NE(pool_, nullptr);
+    DashOptions opts;
+    opts.buckets_per_segment = 16;
+    opts.lh_base_segments = 4;
+    opts.lh_stride = 2;
+    index_ = CreateVarKvIndex(GetParam(), pool_.get(), &epochs_, opts);
+    ASSERT_NE(index_, nullptr);
+  }
+
+  std::unique_ptr<test::TempPoolFile> file_;
+  std::unique_ptr<pmem::PmPool> pool_;
+  epoch::EpochManager epochs_;
+  std::unique_ptr<VarKvIndex> index_;
+};
+
+TEST_P(VarKeyTest, BasicRoundTrip) {
+  EXPECT_TRUE(index_->Insert("hello", 1));
+  uint64_t value = 0;
+  EXPECT_TRUE(index_->Search("hello", &value));
+  EXPECT_EQ(value, 1u);
+  EXPECT_FALSE(index_->Search("hellp", &value));
+  EXPECT_TRUE(index_->Delete("hello"));
+  EXPECT_FALSE(index_->Search("hello", &value));
+}
+
+TEST_P(VarKeyTest, DuplicateContentRejectedEvenWithDifferentPointers) {
+  const std::string a = MakeKey(7);
+  const std::string b = MakeKey(7);  // same content, different buffer
+  EXPECT_TRUE(index_->Insert(a, 1));
+  EXPECT_FALSE(index_->Insert(b, 2));
+}
+
+TEST_P(VarKeyTest, PrefixAndSuffixDiffer) {
+  EXPECT_TRUE(index_->Insert("alpha", 1));
+  EXPECT_TRUE(index_->Insert("alphabet", 2));
+  uint64_t value;
+  ASSERT_TRUE(index_->Search("alpha", &value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(index_->Search("alphabet", &value));
+  EXPECT_EQ(value, 2u);
+}
+
+TEST_P(VarKeyTest, ManyKeysWithGrowth) {
+  constexpr uint64_t kKeys = 20000;
+  for (uint64_t i = 1; i <= kKeys; ++i) {
+    ASSERT_TRUE(index_->Insert(MakeKey(i), i)) << "key " << i;
+  }
+  uint64_t value;
+  for (uint64_t i = 1; i <= kKeys; ++i) {
+    ASSERT_TRUE(index_->Search(MakeKey(i), &value)) << "key " << i;
+    ASSERT_EQ(value, i);
+  }
+  for (uint64_t i = kKeys + 1; i <= kKeys + 500; ++i) {
+    ASSERT_FALSE(index_->Search(MakeKey(i), &value));
+  }
+  EXPECT_EQ(index_->Stats().records, kKeys);
+}
+
+TEST_P(VarKeyTest, MixedLengthKeys) {
+  for (size_t len : {1u, 5u, 8u, 9u, 16u, 64u, 255u}) {
+    const std::string key(len, 'k');
+    ASSERT_TRUE(index_->Insert(key, len)) << "len " << len;
+  }
+  uint64_t value;
+  for (size_t len : {1u, 5u, 8u, 9u, 16u, 64u, 255u}) {
+    const std::string key(len, 'k');
+    ASSERT_TRUE(index_->Search(key, &value)) << "len " << len;
+    ASSERT_EQ(value, len);
+  }
+}
+
+TEST_P(VarKeyTest, UpdateInPlace) {
+  ASSERT_FALSE(index_->Update("missing", 1));
+  ASSERT_TRUE(index_->Insert("profile", 10));
+  ASSERT_TRUE(index_->Update("profile", 20));
+  uint64_t value = 0;
+  ASSERT_TRUE(index_->Search("profile", &value));
+  EXPECT_EQ(value, 20u);
+  EXPECT_EQ(index_->Stats().records, 1u);
+}
+
+TEST_P(VarKeyTest, DeleteInterleaved) {
+  constexpr uint64_t kKeys = 5000;
+  for (uint64_t i = 1; i <= kKeys; ++i) {
+    ASSERT_TRUE(index_->Insert(MakeKey(i), i));
+  }
+  for (uint64_t i = 1; i <= kKeys; i += 2) {
+    ASSERT_TRUE(index_->Delete(MakeKey(i)));
+  }
+  uint64_t value;
+  for (uint64_t i = 1; i <= kKeys; ++i) {
+    ASSERT_EQ(index_->Search(MakeKey(i), &value), i % 2 == 0) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTables, VarKeyTest,
+    ::testing::Values(IndexKind::kDashEH, IndexKind::kDashLH,
+                      IndexKind::kCCEH, IndexKind::kLevel),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      std::string name = IndexKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dash::api
