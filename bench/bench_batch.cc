@@ -1,0 +1,173 @@
+// Batched vs single-op throughput (the batch pipeline with software
+// prefetching, see src/util/prefetch.h and the MultiSearch/MultiInsert
+// implementations in each table).
+//
+// For every table kind the same uniform-random key stream is driven once
+// through the single-op loop and once through Multi* batches; the batch
+// path should win by overlapping memory stalls across the group and by
+// amortizing one epoch guard over the batch. Results are printed as the
+// usual human-readable rows plus one JSON line per measurement (and one
+// speedup summary line per table) for the perf trajectory.
+//
+// Flags: --preload=N --ops=M --batch=B (defaults 3M / 2M / 16) plus the
+// common --pool-gb/--pool-dir flags.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+
+namespace dash::bench {
+namespace {
+
+constexpr size_t kMaxBatch = 256;
+
+PhaseResult BatchSearchPhase(api::KvIndex* table, uint64_t preloaded,
+                             uint64_t ops, size_t batch) {
+  return RunParallel(
+      1, ops, [table, preloaded, batch](int, uint64_t begin, uint64_t end) {
+        uint64_t keys[kMaxBatch];
+        uint64_t values[kMaxBatch];
+        bool found[kMaxBatch];
+        uint64_t i = begin;
+        while (i < end) {
+          const size_t n =
+              std::min<uint64_t>(batch, end - i);
+          for (size_t j = 0; j < n; ++j) {
+            keys[j] = UniformKey(i + j, preloaded);
+          }
+          table->MultiSearch(keys, n, values, found);
+          i += n;
+        }
+      });
+}
+
+PhaseResult BatchInsertPhase(api::KvIndex* table, uint64_t base, uint64_t n,
+                             size_t batch) {
+  return RunParallel(
+      1, n, [table, base, batch](int, uint64_t begin, uint64_t end) {
+        uint64_t keys[kMaxBatch];
+        uint64_t values[kMaxBatch];
+        bool inserted[kMaxBatch];
+        uint64_t i = begin;
+        while (i < end) {
+          const size_t count = std::min<uint64_t>(batch, end - i);
+          for (size_t j = 0; j < count; ++j) {
+            keys[j] = base + i + j + 1;
+            values[j] = i + j;
+          }
+          table->MultiInsert(keys, values, count, inserted);
+          i += count;
+        }
+      });
+}
+
+void PrintJson(const std::string& table, const std::string& op,
+               const std::string& mode, size_t batch,
+               const PhaseResult& result) {
+  std::printf(
+      "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"op\":\"%s\","
+      "\"mode\":\"%s\",\"batch\":%zu,\"threads\":1,\"mops\":%.4f,"
+      "\"reads_per_op\":%.2f,\"clwb_per_op\":%.2f}\n",
+      table.c_str(), op.c_str(), mode.c_str(), batch, result.mops,
+      result.reads_per_op, result.clwb_per_op);
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace dash::bench
+
+int main(int argc, char** argv) {
+  using namespace dash;
+  using namespace dash::bench;
+
+  BenchConfig config = ParseArgs(argc, argv);
+  uint64_t preload = 3'000'000;
+  uint64_t ops = 2'000'000;
+  size_t batch = 16;
+  std::string only_table;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--preload=", 10) == 0) {
+      preload = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      ops = std::strtoull(argv[i] + 6, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      batch = std::clamp<size_t>(std::strtoull(argv[i] + 8, nullptr, 10), 1,
+                                 kMaxBatch);
+    } else if (std::strncmp(argv[i], "--table=", 8) == 0) {
+      only_table = argv[i] + 8;
+    }
+  }
+  const uint64_t insert_ops = std::min<uint64_t>(ops / 2, preload);
+
+  PrintHeader("bench_batch");
+  for (api::IndexKind kind :
+       {api::IndexKind::kDashEH, api::IndexKind::kDashLH,
+        api::IndexKind::kCCEH, api::IndexKind::kLevel}) {
+    const std::string name = api::IndexKindName(kind);
+    if (!only_table.empty() && only_table != name) continue;
+    DashOptions options;
+
+    // Searches do not mutate the table, so both modes share one table.
+    PhaseResult single_search, batch_search;
+    {
+      TableHandle handle = MakeTable(kind, config, options);
+      Preload(handle.table.get(), preload, /*threads=*/1);
+      single_search =
+          PositiveSearchPhase(handle.table.get(), preload, ops, 1);
+      PrintRow("bench_batch", name, "search-single", 1, single_search);
+      PrintJson(name, "search", "single", 1, single_search);
+
+      batch_search = BatchSearchPhase(handle.table.get(), preload, ops, batch);
+      PrintRow("bench_batch", name, "search-batch", 1, batch_search);
+      PrintJson(name, "search", "batch", batch, batch_search);
+    }
+
+    // Fresh-key inserts: a fresh preloaded table per mode, so both modes
+    // start from the same load factor and hit the same split/resize
+    // schedule.
+    PhaseResult single_insert, batch_insert;
+    {
+      TableHandle handle = MakeTable(kind, config, options);
+      Preload(handle.table.get(), preload, /*threads=*/1);
+      single_insert = InsertPhase(handle.table.get(), preload, insert_ops, 1);
+      PrintRow("bench_batch", name, "insert-single", 1, single_insert);
+      PrintJson(name, "insert", "single", 1, single_insert);
+    }
+    {
+      TableHandle handle = MakeTable(kind, config, options);
+      Preload(handle.table.get(), preload, /*threads=*/1);
+      batch_insert =
+          BatchInsertPhase(handle.table.get(), preload, insert_ops, batch);
+      PrintRow("bench_batch", name, "insert-batch", 1, batch_insert);
+      PrintJson(name, "insert", "batch", batch, batch_insert);
+    }
+
+    std::printf(
+        "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"batch\":%zu,"
+        "\"search_speedup_vs_single\":%.3f,"
+        "\"insert_speedup_vs_single\":%.3f}\n",
+        name.c_str(), batch, batch_search.mops / single_search.mops,
+        batch_insert.mops / single_insert.mops);
+    std::fflush(stdout);
+  }
+
+  // Batch-size sweep on Dash-EH: how wide the group must be before the
+  // pipeline covers the memory latency.
+  if (only_table.empty() || only_table == "dash-eh") {
+    DashOptions options;
+    TableHandle handle =
+        MakeTable(api::IndexKind::kDashEH, config, options);
+    Preload(handle.table.get(), preload, /*threads=*/1);
+    for (size_t b : {2, 4, 8, 16, 32, 64}) {
+      const PhaseResult r =
+          BatchSearchPhase(handle.table.get(), preload, ops, b);
+      PrintRow("bench_batch", "dash-eh", "search-b" + std::to_string(b), 1,
+               r);
+      PrintJson("dash-eh", "search-sweep", "batch", b, r);
+    }
+  }
+  return 0;
+}

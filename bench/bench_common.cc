@@ -139,8 +139,7 @@ PhaseResult PositiveSearchPhase(api::KvIndex* table, uint64_t preloaded,
       threads, ops, [table, preloaded](int, uint64_t begin, uint64_t end) {
         uint64_t value;
         for (uint64_t i = begin; i < end; ++i) {
-          // Uniform over the preloaded keys, cheap stride walk.
-          const uint64_t key = (i * 2654435761u) % preloaded + 1;
+          const uint64_t key = UniformKey(i, preloaded);
           table->Search(key, &value);
         }
       });
@@ -178,7 +177,7 @@ PhaseResult MixedPhase(api::KvIndex* table, uint64_t preloaded, uint64_t ops,
           if (i % 5 == 0) {  // 20% inserts
             table->Insert(insert_base + i, i);
           } else {  // 80% searches
-            const uint64_t key = (i * 2654435761u) % preloaded + 1;
+            const uint64_t key = UniformKey(i, preloaded);
             table->Search(key, &value);
           }
         }

@@ -44,6 +44,13 @@ struct BenchConfig {
 // Parses --scale=X, --threads=a,b,c, --pool-gb=N; ignores unknown flags.
 BenchConfig ParseArgs(int argc, char** argv);
 
+// Cheap uniform stride walk over the preloaded key space [1, preloaded].
+// Single-op and batched phases must draw from this one definition so their
+// key streams stay byte-identical.
+inline uint64_t UniformKey(uint64_t i, uint64_t preloaded) {
+  return (i * 2654435761u) % preloaded + 1;
+}
+
 // A freshly created pool + table of `kind`, at a unique temp path.
 struct TableHandle {
   std::unique_ptr<pmem::PmPool> pool;

@@ -77,6 +77,39 @@ class IndexAdapter : public Base {
       return table_.Delete(key);
     }
   }
+  // Batch entry points: forward to the table's native prefetch pipeline
+  // when it has one; otherwise fall back to the generic per-op loop from
+  // the interface defaults.
+  void MultiSearch(const Key* keys, size_t count, uint64_t* values,
+                   bool* found) override {
+    if constexpr (requires(Table& t) {
+                    t.MultiSearch(keys, count, values, found);
+                  }) {
+      table_.MultiSearch(keys, count, values, found);
+    } else {
+      Base::MultiSearch(keys, count, values, found);
+    }
+  }
+  void MultiInsert(const Key* keys, const uint64_t* values, size_t count,
+                   bool* inserted) override {
+    if constexpr (requires(Table& t) {
+                    t.MultiInsert(keys, values, count, inserted);
+                  }) {
+      table_.MultiInsert(keys, values, count, inserted);
+    } else {
+      Base::MultiInsert(keys, values, count, inserted);
+    }
+  }
+  void MultiDelete(const Key* keys, size_t count, bool* deleted) override {
+    if constexpr (requires(Table& t) {
+                    t.MultiDelete(keys, count, deleted);
+                  }) {
+      table_.MultiDelete(keys, count, deleted);
+    } else {
+      Base::MultiDelete(keys, count, deleted);
+    }
+  }
+
   void CloseClean() override { table_.CloseClean(); }
   IndexStats Stats() override {
     const auto s = table_.Stats();

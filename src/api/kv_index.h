@@ -7,6 +7,7 @@
 #ifndef DASH_PM_API_KV_INDEX_H_
 #define DASH_PM_API_KV_INDEX_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -51,6 +52,33 @@ class KvIndex {
   virtual bool Update(uint64_t key, uint64_t value) = 0;
   // Deletes key; returns false if absent.
   virtual bool Delete(uint64_t key) = 0;
+
+  // ---- batched operations ----
+  //
+  // Semantically identical to looping the single-op calls over the spans,
+  // with per-slot results written to the output arrays (all arrays hold
+  // `count` entries). The native table implementations run each group of
+  // operations through a software-prefetching pipeline and amortize one
+  // epoch guard per group; these defaults are the generic loop fallback
+  // used when a table has no native batch path.
+
+  // found[i] = Search(keys[i], &values[i]).
+  virtual void MultiSearch(const uint64_t* keys, size_t count,
+                           uint64_t* values, bool* found) {
+    for (size_t i = 0; i < count; ++i) found[i] = Search(keys[i], &values[i]);
+  }
+  // inserted[i] = Insert(keys[i], values[i]).
+  virtual void MultiInsert(const uint64_t* keys, const uint64_t* values,
+                           size_t count, bool* inserted) {
+    for (size_t i = 0; i < count; ++i) {
+      inserted[i] = Insert(keys[i], values[i]);
+    }
+  }
+  // deleted[i] = Delete(keys[i]).
+  virtual void MultiDelete(const uint64_t* keys, size_t count, bool* deleted) {
+    for (size_t i = 0; i < count; ++i) deleted[i] = Delete(keys[i]);
+  }
+
   // Marks a clean shutdown (before closing the pool).
   virtual void CloseClean() = 0;
   virtual IndexStats Stats() = 0;
@@ -66,6 +94,24 @@ class VarKvIndex {
   virtual bool Search(std::string_view key, uint64_t* value) = 0;
   virtual bool Update(std::string_view key, uint64_t value) = 0;
   virtual bool Delete(std::string_view key) = 0;
+
+  // Batched operations; same contract as KvIndex.
+  virtual void MultiSearch(const std::string_view* keys, size_t count,
+                           uint64_t* values, bool* found) {
+    for (size_t i = 0; i < count; ++i) found[i] = Search(keys[i], &values[i]);
+  }
+  virtual void MultiInsert(const std::string_view* keys,
+                           const uint64_t* values, size_t count,
+                           bool* inserted) {
+    for (size_t i = 0; i < count; ++i) {
+      inserted[i] = Insert(keys[i], values[i]);
+    }
+  }
+  virtual void MultiDelete(const std::string_view* keys, size_t count,
+                           bool* deleted) {
+    for (size_t i = 0; i < count; ++i) deleted[i] = Delete(keys[i]);
+  }
+
   virtual void CloseClean() = 0;
   virtual IndexStats Stats() = 0;
   virtual IndexKind kind() const = 0;

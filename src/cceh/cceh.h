@@ -19,6 +19,7 @@
 #ifndef DASH_PM_CCEH_CCEH_H_
 #define DASH_PM_CCEH_CCEH_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -32,6 +33,7 @@
 #include "pmem/persist.h"
 #include "pmem/pool.h"
 #include "util/lock.h"
+#include "util/prefetch.h"
 
 namespace dash::cceh {
 
@@ -172,6 +174,82 @@ class CCEH {
   bool Insert(KeyArg key, uint64_t value) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
+    return InsertWithHash(key, value, h);
+  }
+
+  bool Search(KeyArg key, uint64_t* out) {
+    const uint64_t h = KP::Hash(key);
+    epoch::EpochManager::Guard guard(*epochs_);
+    return SearchWithHash(key, h, out);
+  }
+
+  bool Delete(KeyArg key) {
+    const uint64_t h = KP::Hash(key);
+    epoch::EpochManager::Guard guard(*epochs_);
+    return DeleteWithHash(key, h);
+  }
+
+  // In-place payload update; returns false if the key is absent.
+  bool Update(KeyArg key, uint64_t value) {
+    const uint64_t h = KP::Hash(key);
+    epoch::EpochManager::Guard guard(*epochs_);
+    return UpdateWithHash(key, value, h);
+  }
+
+  // ---- batched operations (AMAC-style interleaved probing) ----
+  //
+  // Same three-stage pipeline as the Dash tables: hash + directory-entry
+  // prefetch, segment resolution + prefetch, then the ordinary per-op
+  // logic with one epoch guard per group. The segment header is fetched
+  // for writing — even a CCEH search writes the PM-resident rw-lock word —
+  // and the whole bounded linear-probe window (4 cachelines) is prefetched
+  // since a probe may touch all of it.
+
+  void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
+                   bool* found) {
+    ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
+      found[i] = SearchWithHash(key, h, &values[i]);
+    });
+  }
+
+  void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
+                   bool* inserted) {
+    ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
+      inserted[i] = InsertWithHash(key, values[i], h);
+    });
+  }
+
+  void MultiDelete(const KeyArg* keys, size_t count, bool* deleted) {
+    ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
+      deleted[i] = DeleteWithHash(key, h);
+    });
+  }
+
+ private:
+  // Batch scaffold: per group of
+  // kBatchGroupWidth operations run the prefetch stages and invoke
+  // exec(global_index, key, hash) for each. No for_write flag: every CCEH
+  // op (search included) writes the segment's PM-resident rw-lock, so the
+  // prefetch stage always fetches the header for ownership.
+  template <typename ExecFn>
+  void ForEachGroup(const KeyArg* keys, size_t count, ExecFn exec) {
+    uint64_t hashes[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      // One guard per group: amortizes the seq-cst epoch pin over
+      // kBatchGroupWidth ops without stalling reclamation for the whole
+      // (unbounded) batch.
+      epoch::EpochManager::Guard guard(*epochs_);
+      PrefetchGroup(keys + base, n, hashes);
+      for (size_t i = 0; i < n; ++i) {
+        exec(base + i, keys[base + i], hashes[i]);
+      }
+    }
+  }
+
+  // ---- per-op bodies (caller holds an epoch guard) ----
+
+  bool InsertWithHash(KeyArg key, uint64_t value, uint64_t h) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
       seg->lock.Lock();
@@ -201,9 +279,7 @@ class CCEH {
     }
   }
 
-  bool Search(KeyArg key, uint64_t* out) {
-    const uint64_t h = KP::Hash(key);
-    epoch::EpochManager::Guard guard(*epochs_);
+  bool SearchWithHash(KeyArg key, uint64_t h, uint64_t* out) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
       // Pessimistic read lock: a PM write per acquisition/release — the
@@ -225,9 +301,7 @@ class CCEH {
     }
   }
 
-  bool Delete(KeyArg key) {
-    const uint64_t h = KP::Hash(key);
-    epoch::EpochManager::Guard guard(*epochs_);
+  bool DeleteWithHash(KeyArg key, uint64_t h) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
       seg->lock.Lock();
@@ -248,10 +322,7 @@ class CCEH {
     }
   }
 
-  // In-place payload update; returns false if the key is absent.
-  bool Update(KeyArg key, uint64_t value) {
-    const uint64_t h = KP::Hash(key);
-    epoch::EpochManager::Guard guard(*epochs_);
+  bool UpdateWithHash(KeyArg key, uint64_t value, uint64_t h) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
       seg->lock.Lock();
@@ -269,6 +340,34 @@ class CCEH {
     }
   }
 
+  // Stages 1-2 of the batch pipeline: hash the group and prefetch each
+  // directory entry, then resolve the segments and prefetch the header
+  // (written by the rw-lock on every op) plus the bounded linear-probe
+  // window around the target bucket. The directory snapshot may go stale;
+  // the execute stage revalidates under the segment lock as usual.
+  void PrefetchGroup(const KeyArg* keys, size_t n, uint64_t* hashes) {
+    CcehDirectory* dir = Dir();
+    const uint64_t gd = dir->global_depth;
+    std::atomic<uint64_t>* entries = dir->entries();
+    for (size_t i = 0; i < n; ++i) {
+      hashes[i] = KP::Hash(keys[i]);
+      const uint64_t idx = gd == 0 ? 0 : (hashes[i] >> (64 - gd));
+      util::PrefetchRead(&entries[idx]);
+    }
+    const uint32_t mask = opts_.buckets_per_segment - 1;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t idx = gd == 0 ? 0 : (hashes[i] >> (64 - gd));
+      CcehSegment* seg = dir->entry(idx);
+      util::PrefetchWrite(seg);  // header line holds the PM-resident lock
+      const uint32_t y =
+          CcehSegment::BucketIndex(hashes[i], opts_.buckets_per_segment);
+      for (uint64_t p = 0; p < kProbeBuckets; ++p) {
+        util::PrefetchRead(seg->bucket((y + p) & mask));
+      }
+    }
+  }
+
+ public:
   uint64_t global_depth() const { return Dir()->global_depth; }
 
   template <typename Fn>

@@ -40,6 +40,7 @@
 #include "pmem/persist.h"
 #include "pmem/pool.h"
 #include "util/lock.h"
+#include "util/prefetch.h"
 
 namespace dash {
 
@@ -113,49 +114,21 @@ class DashEH {
   OpStatus Insert(KeyArg key, uint64_t value) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
-    for (;;) {
-      Segment* seg = LookupLive(h);
-      const OpStatus status = seg->template Insert<KP>(
-          key, value, h, opts_, alloc_, /*allow_stash_chain=*/false,
-          [&] { return SegmentValid(seg, h); });
-      switch (status) {
-        case OpStatus::kOk:
-        case OpStatus::kExists:
-        case OpStatus::kOutOfMemory:
-          return status;
-        case OpStatus::kRetry:
-          break;
-        case OpStatus::kNeedSplit:
-          if (!Split(seg, h)) return OpStatus::kOutOfMemory;
-          break;
-        default:
-          assert(false);
-      }
-    }
+    return InsertWithHash(key, value, h);
   }
 
   // Replaces the payload of an existing key. Returns kOk or kNotFound.
   OpStatus Update(KeyArg key, uint64_t value) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
-    for (;;) {
-      Segment* seg = LookupLive(h);
-      const OpStatus status = seg->template Update<KP>(
-          key, value, h, opts_, [&] { return SegmentValid(seg, h); });
-      if (status != OpStatus::kRetry) return status;
-    }
+    return UpdateWithHash(key, value, h);
   }
 
   // Looks up `key`; stores the value in *out. Returns kOk or kNotFound.
   OpStatus Search(KeyArg key, uint64_t* out) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
-    for (;;) {
-      Segment* seg = LookupLive(h);
-      const OpStatus status = seg->template Search<KP>(
-          key, h, opts_, out, [&] { return SegmentValid(seg, h); });
-      if (status != OpStatus::kRetry) return status;
-    }
+    return SearchWithHash(key, h, out);
   }
 
   // Deletes `key`. Returns kOk or kNotFound. When merging is enabled
@@ -164,19 +137,44 @@ class DashEH {
   OpStatus Delete(KeyArg key) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
-    for (;;) {
-      Segment* seg = LookupLive(h);
-      const OpStatus status = seg->template Delete<KP>(
-          key, h, opts_, alloc_, [&] { return SegmentValid(seg, h); });
-      if (status == OpStatus::kRetry) continue;
-      if (status == OpStatus::kOk && opts_.merge_threshold > 0) {
-        thread_local uint32_t delete_counter = 0;
-        if ((++delete_counter & 31) == 0) {
-          TryMerge(h, std::min(opts_.merge_threshold, 0.5));
-        }
-      }
-      return status;
-    }
+    return DeleteWithHash(key, h);
+  }
+
+  // ---- batched operations (AMAC-style interleaved probing) ----
+  //
+  // Each group of up to util::kBatchGroupWidth operations runs in three
+  // stages: (1) hash every key and prefetch its directory entry, (2)
+  // resolve the segment pointers and prefetch each segment header plus the
+  // target/probing bucket metadata lines, (3) execute the ordinary per-op
+  // logic, whose probes now hit warm cachelines — one op's memory stall is
+  // overlapped with the next op's prefetch. One epoch guard covers each
+  // group. Stage 3 reuses the single-op retry loops verbatim, so
+  // concurrent SMOs and lazy recovery behave exactly as in the single-op
+  // path.
+
+  void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
+                   bool* found) {
+    ForEachGroup(keys, count, /*for_write=*/false,
+                 [&](size_t i, KeyArg key, uint64_t h) {
+                   found[i] = SearchWithHash(key, h, &values[i]) ==
+                              OpStatus::kOk;
+                 });
+  }
+
+  void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
+                   bool* inserted) {
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h) {
+                   inserted[i] =
+                       InsertWithHash(key, values[i], h) == OpStatus::kOk;
+                 });
+  }
+
+  void MultiDelete(const KeyArg* keys, size_t count, bool* deleted) {
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h) {
+                   deleted[i] = DeleteWithHash(key, h) == OpStatus::kOk;
+                 });
   }
 
   // Test/maintenance hook: attempts one merge of the buddy pair covering
@@ -233,6 +231,107 @@ class DashEH {
   bool SplitForTest(uint64_t h) { return Split(LookupLive(h), h); }
 
  private:
+  // Batch scaffold: per group of
+  // kBatchGroupWidth operations run the prefetch stages and invoke
+  // exec(global_index, key, hash) for each.
+  template <typename ExecFn>
+  void ForEachGroup(const KeyArg* keys, size_t count, bool for_write,
+                    ExecFn exec) {
+    uint64_t hashes[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      // One guard per group: amortizes the seq-cst epoch pin over
+      // kBatchGroupWidth ops without stalling reclamation for the whole
+      // (unbounded) batch.
+      epoch::EpochManager::Guard guard(*epochs_);
+      PrefetchGroup(keys + base, n, hashes, for_write);
+      for (size_t i = 0; i < n; ++i) {
+        exec(base + i, keys[base + i], hashes[i]);
+      }
+    }
+  }
+
+  // ---- per-op bodies (caller holds an epoch guard) ----
+
+  OpStatus InsertWithHash(KeyArg key, uint64_t value, uint64_t h) {
+    for (;;) {
+      Segment* seg = LookupLive(h);
+      const OpStatus status = seg->template Insert<KP>(
+          key, value, h, opts_, alloc_, /*allow_stash_chain=*/false,
+          [&] { return SegmentValid(seg, h); });
+      switch (status) {
+        case OpStatus::kOk:
+        case OpStatus::kExists:
+        case OpStatus::kOutOfMemory:
+          return status;
+        case OpStatus::kRetry:
+          break;
+        case OpStatus::kNeedSplit:
+          if (!Split(seg, h)) return OpStatus::kOutOfMemory;
+          break;
+        default:
+          assert(false);
+      }
+    }
+  }
+
+  OpStatus UpdateWithHash(KeyArg key, uint64_t value, uint64_t h) {
+    for (;;) {
+      Segment* seg = LookupLive(h);
+      const OpStatus status = seg->template Update<KP>(
+          key, value, h, opts_, [&] { return SegmentValid(seg, h); });
+      if (status != OpStatus::kRetry) return status;
+    }
+  }
+
+  OpStatus SearchWithHash(KeyArg key, uint64_t h, uint64_t* out) {
+    for (;;) {
+      Segment* seg = LookupLive(h);
+      const OpStatus status = seg->template Search<KP>(
+          key, h, opts_, out, [&] { return SegmentValid(seg, h); });
+      if (status != OpStatus::kRetry) return status;
+    }
+  }
+
+  OpStatus DeleteWithHash(KeyArg key, uint64_t h) {
+    for (;;) {
+      Segment* seg = LookupLive(h);
+      const OpStatus status = seg->template Delete<KP>(
+          key, h, opts_, alloc_, [&] { return SegmentValid(seg, h); });
+      if (status == OpStatus::kRetry) continue;
+      if (status == OpStatus::kOk && opts_.merge_threshold > 0) {
+        thread_local uint32_t delete_counter = 0;
+        if ((++delete_counter & 31) == 0) {
+          TryMerge(h, std::min(opts_.merge_threshold, 0.5));
+        }
+      }
+      return status;
+    }
+  }
+
+  // Stages 1-2 of the batch pipeline: hashes the group's keys into
+  // `hashes`, prefetching the directory entry line for each, then resolves
+  // the segment pointers and prefetches each segment header and target
+  // bucket lines. The directory snapshot may go stale concurrently; the
+  // execute stage revalidates through the normal LookupLive/SegmentValid
+  // path, so a stale prefetch costs at most an extra miss.
+  void PrefetchGroup(const KeyArg* keys, size_t n, uint64_t* hashes,
+                     bool for_write) {
+    EhDirectory* dir = CurrentDir();
+    const uint64_t gd = dir->global_depth;
+    std::atomic<uint64_t>* entries = dir->entries();
+    for (size_t i = 0; i < n; ++i) {
+      hashes[i] = KP::Hash(keys[i]);
+      util::PrefetchRead(&entries[DirIndex(hashes[i], gd)]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      Segment* seg = dir->entry(DirIndex(hashes[i], gd));
+      util::PrefetchRead(seg);  // header: version / depth-state / pattern
+      seg->PrefetchProbe(hashes[i], opts_.buckets_per_segment,
+                         opts_.use_probing_bucket, for_write);
+    }
+  }
+
   // ---- creation / open ----
 
   void CreateNew() {

@@ -19,6 +19,7 @@
 #ifndef DASH_PM_DASH_DASH_LH_H_
 #define DASH_PM_DASH_DASH_LH_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -34,6 +35,7 @@
 #include "pmem/persist.h"
 #include "pmem/pool.h"
 #include "util/lock.h"
+#include "util/prefetch.h"
 
 namespace dash {
 
@@ -93,66 +95,73 @@ class DashLH {
   OpStatus Insert(KeyArg key, uint64_t value) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
-    for (;;) {
-      Segment* seg = LookupLive(h);
-      const uint64_t chain_before =
-          reinterpret_cast<uint64_t>(seg->stash_chain());
-      const OpStatus status = seg->template Insert<KP>(
-          key, value, h, opts_, alloc_, /*allow_stash_chain=*/true,
-          [&] { return SegmentValid(seg, h); });
-      switch (status) {
-        case OpStatus::kOk:
-          // §5.1: a split is triggered whenever a chained stash bucket was
-          // allocated to absorb the overflow.
-          if (reinterpret_cast<uint64_t>(seg->stash_chain()) !=
-              chain_before) {
-            TriggerExpand();
-          }
-          return OpStatus::kOk;
-        case OpStatus::kExists:
-        case OpStatus::kOutOfMemory:
-          return status;
-        case OpStatus::kRetry:
-          break;
-        default:
-          assert(false && "Dash-LH insert cannot require an in-place split");
-          return OpStatus::kOutOfMemory;
-      }
-    }
+    return InsertWithHash(key, value, h);
   }
 
   OpStatus Search(KeyArg key, uint64_t* out) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
-    for (;;) {
-      Segment* seg = LookupLive(h);
-      const OpStatus status = seg->template Search<KP>(
-          key, h, opts_, out, [&] { return SegmentValid(seg, h); });
-      if (status != OpStatus::kRetry) return status;
-    }
+    return SearchWithHash(key, h, out);
   }
 
   // Replaces the payload of an existing key. Returns kOk or kNotFound.
   OpStatus Update(KeyArg key, uint64_t value) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
-    for (;;) {
-      Segment* seg = LookupLive(h);
-      const OpStatus status = seg->template Update<KP>(
-          key, value, h, opts_, [&] { return SegmentValid(seg, h); });
-      if (status != OpStatus::kRetry) return status;
-    }
+    return UpdateWithHash(key, value, h);
   }
 
   OpStatus Delete(KeyArg key) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
-    for (;;) {
-      Segment* seg = LookupLive(h);
-      const OpStatus status = seg->template Delete<KP>(
-          key, h, opts_, alloc_, [&] { return SegmentValid(seg, h); });
-      if (status != OpStatus::kRetry) return status;
-    }
+    return DeleteWithHash(key, h);
+  }
+
+  // ---- batched operations (AMAC-style interleaved probing) ----
+  //
+  // Same three-stage pipeline as Dash-EH (see dash_eh.h): hash + directory
+  // prefetch, segment resolution + bucket prefetch, then the ordinary
+  // per-op logic over warm cachelines, one epoch guard per group.
+  // Stage 2 walks the hybrid-expansion directory (§5.2): the root's entry
+  // table is a single hot cacheline, so only the segment-pointer array
+  // slot and the segment itself are worth prefetching.
+
+  void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
+                   bool* found) {
+    ForEachGroup(
+        keys, count, /*for_write=*/false,
+        [&](size_t i, KeyArg key, uint64_t h, Segment* seg) {
+          // Probe the stage-2 segment directly, skipping the second
+          // hybrid-directory resolution; SegmentValid (state + pattern)
+          // rejects a stale pointer and the full retry path takes over.
+          OpStatus status = OpStatus::kRetry;
+          if (seg != nullptr && seg->version() == root_->global_version &&
+              seg->state() != Segment::kNew) {
+            status = seg->template Search<KP>(
+                key, h, opts_, &values[i],
+                [&] { return SegmentValid(seg, h); });
+          }
+          if (status == OpStatus::kRetry) {
+            status = SearchWithHash(key, h, &values[i]);
+          }
+          found[i] = status == OpStatus::kOk;
+        });
+  }
+
+  void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
+                   bool* inserted) {
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h, Segment*) {
+                   inserted[i] =
+                       InsertWithHash(key, values[i], h) == OpStatus::kOk;
+                 });
+  }
+
+  void MultiDelete(const KeyArg* keys, size_t count, bool* deleted) {
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h, Segment*) {
+                   deleted[i] = DeleteWithHash(key, h) == OpStatus::kOk;
+                 });
   }
 
   // ---- introspection ----
@@ -209,6 +218,116 @@ class DashLH {
   void ExpandForTest() { TriggerExpand(); }
 
  private:
+  // Batch scaffold: per group of
+  // kBatchGroupWidth operations run the prefetch stages and invoke
+  // exec(global_index, key, hash, segment) — the segment pointer resolved
+  // by stage 2 (possibly stale or null; the exec body must revalidate).
+  template <typename ExecFn>
+  void ForEachGroup(const KeyArg* keys, size_t count, bool for_write,
+                    ExecFn exec) {
+    uint64_t hashes[util::kBatchGroupWidth];
+    Segment* segs[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      // One guard per group: amortizes the seq-cst epoch pin over
+      // kBatchGroupWidth ops without stalling reclamation for the whole
+      // (unbounded) batch.
+      epoch::EpochManager::Guard guard(*epochs_);
+      PrefetchGroup(keys + base, n, hashes, for_write, segs);
+      for (size_t i = 0; i < n; ++i) {
+        exec(base + i, keys[base + i], hashes[i], segs[i]);
+      }
+    }
+  }
+
+  // ---- per-op bodies (caller holds an epoch guard) ----
+
+  OpStatus InsertWithHash(KeyArg key, uint64_t value, uint64_t h) {
+    for (;;) {
+      Segment* seg = LookupLive(h);
+      const uint64_t chain_before =
+          reinterpret_cast<uint64_t>(seg->stash_chain());
+      const OpStatus status = seg->template Insert<KP>(
+          key, value, h, opts_, alloc_, /*allow_stash_chain=*/true,
+          [&] { return SegmentValid(seg, h); });
+      switch (status) {
+        case OpStatus::kOk:
+          // §5.1: a split is triggered whenever a chained stash bucket was
+          // allocated to absorb the overflow.
+          if (reinterpret_cast<uint64_t>(seg->stash_chain()) !=
+              chain_before) {
+            TriggerExpand();
+          }
+          return OpStatus::kOk;
+        case OpStatus::kExists:
+        case OpStatus::kOutOfMemory:
+          return status;
+        case OpStatus::kRetry:
+          break;
+        default:
+          assert(false && "Dash-LH insert cannot require an in-place split");
+          return OpStatus::kOutOfMemory;
+      }
+    }
+  }
+
+  OpStatus SearchWithHash(KeyArg key, uint64_t h, uint64_t* out) {
+    for (;;) {
+      Segment* seg = LookupLive(h);
+      const OpStatus status = seg->template Search<KP>(
+          key, h, opts_, out, [&] { return SegmentValid(seg, h); });
+      if (status != OpStatus::kRetry) return status;
+    }
+  }
+
+  OpStatus UpdateWithHash(KeyArg key, uint64_t value, uint64_t h) {
+    for (;;) {
+      Segment* seg = LookupLive(h);
+      const OpStatus status = seg->template Update<KP>(
+          key, value, h, opts_, [&] { return SegmentValid(seg, h); });
+      if (status != OpStatus::kRetry) return status;
+    }
+  }
+
+  OpStatus DeleteWithHash(KeyArg key, uint64_t h) {
+    for (;;) {
+      Segment* seg = LookupLive(h);
+      const OpStatus status = seg->template Delete<KP>(
+          key, h, opts_, alloc_, [&] { return SegmentValid(seg, h); });
+      if (status != OpStatus::kRetry) return status;
+    }
+  }
+
+  // Stages 1-2 of the batch pipeline: hash the group, prefetch each key's
+  // segment-pointer array slot, then the segment header and target bucket
+  // lines. The (N, Next) snapshot may advance concurrently; the execute
+  // stage revalidates through LookupLive, so a stale prefetch costs at
+  // most an extra miss.
+  void PrefetchGroup(const KeyArg* keys, size_t n, uint64_t* hashes,
+                     bool for_write, Segment** segs) {
+    const uint64_t meta = root_->meta.load(std::memory_order_acquire);
+    const uint32_t rounds = DashLhRoot::MetaN(meta);
+    const uint32_t next = DashLhRoot::MetaNext(meta);
+    uint64_t idxs[util::kBatchGroupWidth];
+    for (size_t i = 0; i < n; ++i) {
+      hashes[i] = KP::Hash(keys[i]);
+      idxs[i] = IndexFor(SegBits(hashes[i]), rounds, next);
+      const size_t e = EntryFor(idxs[i]);
+      std::atomic<uint64_t>* array = ArrayAt(e);
+      if (array != nullptr) {
+        util::PrefetchRead(&array[idxs[i] - starts_[e]]);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      Segment* seg = SlotAt(idxs[i]);
+      segs[i] = seg;
+      if (seg == nullptr) continue;
+      util::PrefetchRead(seg);  // header: version / depth-state / pattern
+      seg->PrefetchProbe(hashes[i], opts_.buckets_per_segment,
+                         opts_.use_probing_bucket, for_write);
+    }
+  }
+
   // Segment-addressing bits: the upper 32 bits of the hash, disjoint from
   // the fingerprint (bits 0-7) and in-segment bucket bits (bits 8+).
   static uint64_t SegBits(uint64_t h) { return h >> 32; }

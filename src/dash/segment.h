@@ -22,6 +22,7 @@
 #include "pmem/crash_point.h"
 #include "pmem/persist.h"
 #include "util/lock.h"
+#include "util/prefetch.h"
 
 namespace dash {
 
@@ -162,6 +163,29 @@ class Segment {
   // Persists the entire segment (after construction).
   void PersistAll() {
     pmem::Persist(this, AllocSize(num_buckets_, num_stash_));
+  }
+
+  // Prefetches the metadata cachelines a subsequent probe of `hash` will
+  // touch: the target bucket's 32-byte metadata block (lock, bitmap word,
+  // fingerprints, overflow/stash hints — all in its first line) and the
+  // probing bucket's. `num_buckets` is the table-wide structural constant
+  // passed in by the caller so the prefetch itself never stalls on this
+  // segment's header; bucket() is pure pointer arithmetic.
+  void PrefetchProbe(uint64_t hash, uint32_t num_buckets, bool probing_bucket,
+                     bool for_write) const {
+    const uint32_t y0 = BucketIndex(hash, num_buckets);
+    const Bucket* b0 = bucket(y0);
+    // The whole 256-byte target bucket: the probe reads the metadata line
+    // first, but the matching record is in one of the three record lines.
+    util::PrefetchRange(b0, sizeof(Bucket), for_write);
+    if (probing_bucket) {
+      const Bucket* b1 = bucket((y0 + 1) & (num_buckets - 1));
+      if (for_write) {
+        util::PrefetchWrite(b1);
+      } else {
+        util::PrefetchRead(b1);
+      }
+    }
   }
 
   // ---- record operations ----

@@ -42,7 +42,7 @@ uint64_t EpochManager::MinActiveEpoch() const {
   return min_epoch;
 }
 
-void EpochManager::Retire(std::function<void()> reclaim) {
+void EpochManager::Retire(RetireFn reclaim) {
   {
     std::lock_guard<std::mutex> lock(retired_mutex_);
     retired_.push_back(

@@ -18,14 +18,87 @@
 #define DASH_PM_EPOCH_EPOCH_MANAGER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <mutex>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/thread_id.h"
 
 namespace dash::epoch {
+
+// Move-only callable for retirement callbacks. The table SMOs retire with
+// tiny trivially-copyable lambdas ({pool, slot} captures), which are stored
+// inline — no heap allocation on the delete/SMO hot path, unlike
+// std::function. Larger or non-trivial callables fall back to the heap.
+class RetireFn {
+ public:
+  static constexpr size_t kInlineBytes = 32;
+
+  RetireFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, RetireFn>>>
+  RetireFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* target) { (*static_cast<Fn*>(target))(); };
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      invoke_ = [](void* target) { (*static_cast<Fn*>(target))(); };
+      destroy_ = [](void* target) { delete static_cast<Fn*>(target); };
+    }
+  }
+
+  RetireFn(RetireFn&& other) noexcept { MoveFrom(other); }
+  RetireFn& operator=(RetireFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  RetireFn(const RetireFn&) = delete;
+  RetireFn& operator=(const RetireFn&) = delete;
+
+  ~RetireFn() { Reset(); }
+
+  void operator()() { invoke_(heap_ != nullptr ? heap_ : storage_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void MoveFrom(RetireFn& other) {
+    // Inline callables are trivially copyable by construction, so a byte
+    // copy of the storage is a valid move.
+    for (size_t i = 0; i < kInlineBytes; ++i) storage_[i] = other.storage_[i];
+    heap_ = other.heap_;
+    invoke_ = other.invoke_;
+    destroy_ = other.destroy_;
+    other.heap_ = nullptr;
+    other.invoke_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  void Reset() {
+    if (destroy_ != nullptr) destroy_(heap_);
+    heap_ = nullptr;
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  void* heap_ = nullptr;
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;  // set only for heap-allocated callables
+};
 
 class EpochManager {
  public:
@@ -49,8 +122,9 @@ class EpochManager {
   };
 
   // Schedules `reclaim` to run once no epoch pinned at or before the current
-  // epoch remains active.
-  void Retire(std::function<void()> reclaim);
+  // epoch remains active. Small trivially-copyable callables are stored
+  // inline (see RetireFn) — the SMO/delete hot path does not allocate.
+  void Retire(RetireFn reclaim);
 
   // Attempts to advance the global epoch and run due reclamations. Called
   // opportunistically (e.g., by Retire and by tests).
@@ -82,7 +156,7 @@ class EpochManager {
 
   struct Retired {
     uint64_t epoch;
-    std::function<void()> reclaim;
+    RetireFn reclaim;
   };
 
   void Enter();

@@ -29,6 +29,7 @@
 #include "pmem/pool.h"
 #include "util/hash.h"
 #include "util/lock.h"
+#include "util/prefetch.h"
 
 namespace dash::level {
 
@@ -130,57 +131,21 @@ class LevelHashing {
     const uint64_t h1 = KP::Hash(key);
     const uint64_t h2 = util::Mix64(h1);
     epoch::EpochManager::Guard guard(*epochs_);
-    for (;;) {
-      resize_lock_.LockShared();
-      const AttemptResult result = InsertAttempt(key, value, h1, h2);
-      resize_lock_.UnlockShared();
-      if (result == AttemptResult::kInserted) return true;
-      if (result == AttemptResult::kDuplicate) return false;
-      // Out of room: full-table resize (blocks all operations).
-      Resize(root_->top_buckets);
-    }
+    return InsertWithHashes(key, value, h1, h2);
   }
 
   bool Search(KeyArg key, uint64_t* out) {
     const uint64_t h1 = KP::Hash(key);
     const uint64_t h2 = util::Mix64(h1);
     epoch::EpochManager::Guard guard(*epochs_);
-    resize_lock_.LockShared();
-    Candidates c = Locate(h1, h2);
-    bool found = false;
-    for (int i = 0; i < 4 && !found; ++i) {
-      const uint32_t stripe = StripeOf(c.ids[i]);
-      locks_[stripe].LockShared();
-      const int slot = FindIn(c.buckets[i], KP::Hash(key) & 0xFF, key);
-      if (slot >= 0) {
-        *out = c.buckets[i]->records[slot].value;
-        found = true;
-      }
-      locks_[stripe].UnlockShared();
-    }
-    resize_lock_.UnlockShared();
-    return found;
+    return SearchWithHashes(key, h1, h2, out);
   }
 
   bool Delete(KeyArg key) {
     const uint64_t h1 = KP::Hash(key);
     const uint64_t h2 = util::Mix64(h1);
     epoch::EpochManager::Guard guard(*epochs_);
-    resize_lock_.LockShared();
-    Candidates c = Locate(h1, h2);
-    LockAll(c);
-    bool found = false;
-    for (int i = 0; i < 4 && !found; ++i) {
-      const int slot = FindIn(c.buckets[i], KP::Hash(key) & 0xFF, key);
-      if (slot >= 0) {
-        KP::FreeStored(c.buckets[i]->records[slot].key, alloc_);
-        c.buckets[i]->Delete(slot);
-        found = true;
-      }
-    }
-    UnlockAll(c);
-    resize_lock_.UnlockShared();
-    return found;
+    return DeleteWithHashes(key, h1, h2);
   }
 
   // In-place payload update; returns false if the key is absent.
@@ -188,20 +153,38 @@ class LevelHashing {
     const uint64_t h1 = KP::Hash(key);
     const uint64_t h2 = util::Mix64(h1);
     epoch::EpochManager::Guard guard(*epochs_);
-    resize_lock_.LockShared();
-    Candidates c = Locate(h1, h2);
-    LockAll(c);
-    bool found = false;
-    for (int i = 0; i < 4 && !found; ++i) {
-      const int slot = FindIn(c.buckets[i], 0, key);
-      if (slot >= 0) {
-        pmem::AtomicPersist64(&c.buckets[i]->records[slot].value, value);
-        found = true;
-      }
-    }
-    UnlockAll(c);
-    resize_lock_.UnlockShared();
-    return found;
+    return UpdateWithHashes(key, value, h1, h2);
+  }
+
+  // ---- batched operations (AMAC-style interleaved probing) ----
+  //
+  // Stage 1 computes both hash choices for every key in the group and
+  // prefetches all four candidate buckets (two top, two bottom); stage 2
+  // runs the ordinary per-op logic over warm cachelines under one
+  // epoch guard per group. There is no directory here, so the pipeline has
+  // one prefetch stage instead of two.
+
+  void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
+                   bool* found) {
+    ForEachGroup(keys, count, /*for_write=*/false,
+                 [&](size_t i, KeyArg key, uint64_t h1, uint64_t h2) {
+                   found[i] = SearchWithHashes(key, h1, h2, &values[i]);
+                 });
+  }
+
+  void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
+                   bool* inserted) {
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h1, uint64_t h2) {
+                   inserted[i] = InsertWithHashes(key, values[i], h1, h2);
+                 });
+  }
+
+  void MultiDelete(const KeyArg* keys, size_t count, bool* deleted) {
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h1, uint64_t h2) {
+                   deleted[i] = DeleteWithHashes(key, h1, h2);
+                 });
   }
 
   LevelStats Stats() const {
@@ -226,6 +209,125 @@ class LevelHashing {
 
  private:
   static constexpr uint32_t kStripes = 4096;
+
+  // Batch scaffold: per group of
+  // kBatchGroupWidth operations run the prefetch stage and invoke
+  // exec(global_index, key, h1, h2) for each.
+  template <typename ExecFn>
+  void ForEachGroup(const KeyArg* keys, size_t count, bool for_write,
+                    ExecFn exec) {
+    uint64_t h1s[util::kBatchGroupWidth];
+    uint64_t h2s[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      // One guard per group: amortizes the seq-cst epoch pin over
+      // kBatchGroupWidth ops without stalling reclamation for the whole
+      // (unbounded) batch.
+      epoch::EpochManager::Guard guard(*epochs_);
+      PrefetchGroup(keys + base, n, h1s, h2s, for_write);
+      for (size_t i = 0; i < n; ++i) {
+        exec(base + i, keys[base + i], h1s[i], h2s[i]);
+      }
+    }
+  }
+
+  // ---- per-op bodies (caller holds an epoch guard) ----
+
+  bool InsertWithHashes(KeyArg key, uint64_t value, uint64_t h1,
+                        uint64_t h2) {
+    for (;;) {
+      resize_lock_.LockShared();
+      const AttemptResult result = InsertAttempt(key, value, h1, h2);
+      resize_lock_.UnlockShared();
+      if (result == AttemptResult::kInserted) return true;
+      if (result == AttemptResult::kDuplicate) return false;
+      // Out of room: full-table resize (blocks all operations).
+      Resize(root_->top_buckets);
+    }
+  }
+
+  bool SearchWithHashes(KeyArg key, uint64_t h1, uint64_t h2, uint64_t* out) {
+    resize_lock_.LockShared();
+    Candidates c = Locate(h1, h2);
+    bool found = false;
+    for (int i = 0; i < 4 && !found; ++i) {
+      const uint32_t stripe = StripeOf(c.ids[i]);
+      locks_[stripe].LockShared();
+      const int slot = FindIn(c.buckets[i], h1 & 0xFF, key);
+      if (slot >= 0) {
+        *out = c.buckets[i]->records[slot].value;
+        found = true;
+      }
+      locks_[stripe].UnlockShared();
+    }
+    resize_lock_.UnlockShared();
+    return found;
+  }
+
+  bool DeleteWithHashes(KeyArg key, uint64_t h1, uint64_t h2) {
+    resize_lock_.LockShared();
+    Candidates c = Locate(h1, h2);
+    LockAll(c);
+    bool found = false;
+    for (int i = 0; i < 4 && !found; ++i) {
+      const int slot = FindIn(c.buckets[i], h1 & 0xFF, key);
+      if (slot >= 0) {
+        KP::FreeStored(c.buckets[i]->records[slot].key, alloc_);
+        c.buckets[i]->Delete(slot);
+        found = true;
+      }
+    }
+    UnlockAll(c);
+    resize_lock_.UnlockShared();
+    return found;
+  }
+
+  bool UpdateWithHashes(KeyArg key, uint64_t value, uint64_t h1,
+                        uint64_t h2) {
+    resize_lock_.LockShared();
+    Candidates c = Locate(h1, h2);
+    LockAll(c);
+    bool found = false;
+    for (int i = 0; i < 4 && !found; ++i) {
+      const int slot = FindIn(c.buckets[i], 0, key);
+      if (slot >= 0) {
+        pmem::AtomicPersist64(&c.buckets[i]->records[slot].value, value);
+        found = true;
+      }
+    }
+    UnlockAll(c);
+    resize_lock_.UnlockShared();
+    return found;
+  }
+
+  // Stage 1 of the batch pipeline: hash the group and prefetch the first
+  // cacheline (bitmap word + first records) of all four candidate buckets.
+  // The top/bottom pointers and bucket count may be swapped by a
+  // concurrent resize (hence the atomic snapshot of the count — the
+  // resize commit writes it); the snapshot triple may be mutually
+  // inconsistent, which is fine because prefetches are never
+  // dereferenced, and the execute stage re-locates under the resize
+  // lock. A stale prefetch costs at most an extra miss.
+  void PrefetchGroup(const KeyArg* keys, size_t n, uint64_t* h1s,
+                     uint64_t* h2s, bool for_write) const {
+    const uint64_t buckets =
+        reinterpret_cast<const std::atomic<uint64_t>*>(&root_->top_buckets)
+            ->load(std::memory_order_acquire);
+    LevelBucket* top = Top();
+    LevelBucket* bottom = Bottom();
+    for (size_t i = 0; i < n; ++i) {
+      h1s[i] = KP::Hash(keys[i]);
+      h2s[i] = util::Mix64(h1s[i]);
+      const LevelBucket* candidates[4] = {
+          &top[h1s[i] & (buckets - 1)], &top[h2s[i] & (buckets - 1)],
+          &bottom[h1s[i] & (buckets / 2 - 1)],
+          &bottom[h2s[i] & (buckets / 2 - 1)]};
+      for (const LevelBucket* b : candidates) {
+        // Both cachelines: records 3-6 live entirely in the second line.
+        util::PrefetchRange(b, sizeof(LevelBucket), for_write);
+      }
+    }
+  }
 
   struct Candidates {
     // 0,1 = top choices; 2,3 = bottom (standby) choices.
