@@ -10,7 +10,10 @@
 // speedup summary line per table) for the perf trajectory.
 //
 // Flags: --preload=N --ops=M --batch=B (defaults 3M / 2M / 16) plus the
-// common --pool-gb/--pool-dir flags.
+// common --pool-gb/--pool-dir flags. --shards=N (N >= 1) switches to the
+// ShardedStore facade: the same key stream runs once through single-op
+// calls and once through mixed-op MultiExecute descriptor batches that
+// are scattered/regrouped per shard — the serving-path configuration.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,6 +21,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "util/hash.h"
 
 namespace dash::bench {
 namespace {
@@ -30,7 +34,7 @@ PhaseResult BatchSearchPhase(api::KvIndex* table, uint64_t preloaded,
       1, ops, [table, preloaded, batch](int, uint64_t begin, uint64_t end) {
         uint64_t keys[kMaxBatch];
         uint64_t values[kMaxBatch];
-        bool found[kMaxBatch];
+        api::Status statuses[kMaxBatch];
         uint64_t i = begin;
         while (i < end) {
           const size_t n =
@@ -38,7 +42,7 @@ PhaseResult BatchSearchPhase(api::KvIndex* table, uint64_t preloaded,
           for (size_t j = 0; j < n; ++j) {
             keys[j] = UniformKey(i + j, preloaded);
           }
-          table->MultiSearch(keys, n, values, found);
+          table->MultiSearch(keys, n, values, statuses);
           i += n;
         }
       });
@@ -50,7 +54,7 @@ PhaseResult BatchInsertPhase(api::KvIndex* table, uint64_t base, uint64_t n,
       1, n, [table, base, batch](int, uint64_t begin, uint64_t end) {
         uint64_t keys[kMaxBatch];
         uint64_t values[kMaxBatch];
-        bool inserted[kMaxBatch];
+        api::Status statuses[kMaxBatch];
         uint64_t i = begin;
         while (i < end) {
           const size_t count = std::min<uint64_t>(batch, end - i);
@@ -58,7 +62,7 @@ PhaseResult BatchInsertPhase(api::KvIndex* table, uint64_t base, uint64_t n,
             keys[j] = base + i + j + 1;
             values[j] = i + j;
           }
-          table->MultiInsert(keys, values, count, inserted);
+          table->MultiInsert(keys, values, count, statuses);
           i += count;
         }
       });
@@ -66,14 +70,107 @@ PhaseResult BatchInsertPhase(api::KvIndex* table, uint64_t base, uint64_t n,
 
 void PrintJson(const std::string& table, const std::string& op,
                const std::string& mode, size_t batch,
-               const PhaseResult& result) {
+               const PhaseResult& result, size_t shards = 0) {
   std::printf(
       "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"op\":\"%s\","
-      "\"mode\":\"%s\",\"batch\":%zu,\"threads\":1,\"mops\":%.4f,"
+      "\"mode\":\"%s\",\"batch\":%zu,\"threads\":1,\"shards\":%zu,"
+      "\"mops\":%.4f,"
       "\"reads_per_op\":%.2f,\"clwb_per_op\":%.2f}\n",
-      table.c_str(), op.c_str(), mode.c_str(), batch, result.mops,
+      table.c_str(), op.c_str(), mode.c_str(), batch, shards, result.mops,
       result.reads_per_op, result.clwb_per_op);
   std::fflush(stdout);
+}
+
+// ---- ShardedStore phases (mixed-op descriptor batches) ----
+
+void ShardedPreload(api::ShardedStore* store, uint64_t n) {
+  RunParallel(1, n, [store](int, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) store->Insert(i + 1, i + 1);
+  });
+}
+
+PhaseResult ShardedSingleSearchPhase(api::ShardedStore* store,
+                                     uint64_t preloaded, uint64_t ops) {
+  return RunParallel(1, ops,
+                     [store, preloaded](int, uint64_t begin, uint64_t end) {
+                       uint64_t value = 0;
+                       for (uint64_t i = begin; i < end; ++i) {
+                         store->Search(UniformKey(i, preloaded), &value);
+                       }
+                     });
+}
+
+PhaseResult ShardedBatchSearchPhase(api::ShardedStore* store,
+                                    uint64_t preloaded, uint64_t ops,
+                                    size_t batch) {
+  return RunParallel(
+      1, ops,
+      [store, preloaded, batch](int, uint64_t begin, uint64_t end) {
+        uint64_t keys[kMaxBatch];
+        uint64_t values[kMaxBatch];
+        api::Status statuses[kMaxBatch];
+        uint64_t i = begin;
+        while (i < end) {
+          const size_t n = std::min<uint64_t>(batch, end - i);
+          for (size_t j = 0; j < n; ++j) {
+            keys[j] = UniformKey(i + j, preloaded);
+          }
+          store->MultiSearch(keys, n, values, statuses);
+          i += n;
+        }
+      });
+}
+
+// 50% search / 25% update / 25% fresh insert mixed stream; both modes
+// derive the identical op stream from the index, so the comparison only
+// measures the descriptor batch path.
+api::Op MixedOp(uint64_t i, uint64_t preloaded, uint64_t insert_base) {
+  const uint64_t r = util::Mix64(i);
+  switch (r & 3) {
+    case 0:
+    case 1: return api::Op::Search(UniformKey(i, preloaded));
+    case 2: return api::Op::Update(UniformKey(i, preloaded), i);
+    default: return api::Op::Insert(insert_base + i + 1, i);
+  }
+}
+
+PhaseResult ShardedSingleMixedPhase(api::ShardedStore* store,
+                                    uint64_t preloaded, uint64_t insert_base,
+                                    uint64_t ops) {
+  return RunParallel(
+      1, ops,
+      [store, preloaded, insert_base](int, uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i) {
+          api::Op op = MixedOp(i, preloaded, insert_base);
+          switch (op.type) {
+            case api::OpType::kSearch: store->Search(op.key, &op.value); break;
+            case api::OpType::kInsert: store->Insert(op.key, op.value); break;
+            case api::OpType::kUpdate: store->Update(op.key, op.value); break;
+            case api::OpType::kDelete: store->Delete(op.key); break;
+          }
+        }
+      });
+}
+
+PhaseResult ShardedBatchMixedPhase(api::ShardedStore* store,
+                                   uint64_t preloaded, uint64_t insert_base,
+                                   uint64_t ops, size_t batch) {
+  return RunParallel(
+      1, ops,
+      [store, preloaded, insert_base, batch](int, uint64_t begin,
+                                             uint64_t end) {
+        api::Op descriptors[kMaxBatch];
+        api::Status statuses[kMaxBatch];
+        uint64_t i = begin;
+        while (i < end) {
+          const size_t n = std::min<uint64_t>(batch, end - i);
+          for (size_t j = 0; j < n; ++j) {
+            descriptors[j] = MixedOp(i + j, preloaded, insert_base);
+          }
+          store->MultiExecute(descriptors, n, statuses);
+          i += n;
+        }
+      });
 }
 
 }  // namespace
@@ -87,6 +184,7 @@ int main(int argc, char** argv) {
   uint64_t preload = 3'000'000;
   uint64_t ops = 2'000'000;
   size_t batch = 16;
+  size_t shards = 0;
   std::string only_table;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--preload=", 10) == 0) {
@@ -96,6 +194,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
       batch = std::clamp<size_t>(std::strtoull(argv[i] + 8, nullptr, 10), 1,
                                  kMaxBatch);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::strtoull(argv[i] + 9, nullptr, 10);
     } else if (std::strncmp(argv[i], "--table=", 8) == 0) {
       only_table = argv[i] + 8;
     }
@@ -103,6 +203,49 @@ int main(int argc, char** argv) {
   const uint64_t insert_ops = std::min<uint64_t>(ops / 2, preload);
 
   PrintHeader("bench_batch");
+
+  // --shards=N: the serving-path configuration — one ShardedStore, the
+  // single-op facade vs mixed-op MultiExecute descriptor batches.
+  if (shards > 0) {
+    api::IndexKind kind = api::IndexKind::kDashEH;
+    if (!only_table.empty() && !api::ParseIndexKind(only_table, &kind)) {
+      std::fprintf(stderr, "unknown table kind %s\n", only_table.c_str());
+      return 1;
+    }
+    const std::string name =
+        std::string(api::IndexKindName(kind)) + "-x" + std::to_string(shards);
+    DashOptions options;
+    StoreHandle handle = MakeShardedStore(kind, shards, config, options);
+    ShardedPreload(handle.store.get(), preload);
+
+    const PhaseResult single_search =
+        ShardedSingleSearchPhase(handle.store.get(), preload, ops);
+    PrintRow("bench_batch", name, "search-single", 1, single_search);
+    PrintJson(name, "search", "single", 1, single_search, shards);
+    const PhaseResult batch_search =
+        ShardedBatchSearchPhase(handle.store.get(), preload, ops, batch);
+    PrintRow("bench_batch", name, "search-batch", 1, batch_search);
+    PrintJson(name, "search", "batch", batch, batch_search, shards);
+
+    const uint64_t mixed_ops = std::min<uint64_t>(ops, preload * 2);
+    const PhaseResult single_mixed = ShardedSingleMixedPhase(
+        handle.store.get(), preload, preload, mixed_ops);
+    PrintRow("bench_batch", name, "mixed-single", 1, single_mixed);
+    PrintJson(name, "mixed", "single", 1, single_mixed, shards);
+    const PhaseResult batch_mixed = ShardedBatchMixedPhase(
+        handle.store.get(), preload, preload + mixed_ops, mixed_ops, batch);
+    PrintRow("bench_batch", name, "mixed-batch", 1, batch_mixed);
+    PrintJson(name, "mixed", "batch", batch, batch_mixed, shards);
+
+    std::printf(
+        "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"shards\":%zu,"
+        "\"batch\":%zu,\"search_speedup_vs_single\":%.3f,"
+        "\"mixed_speedup_vs_single\":%.3f}\n",
+        name.c_str(), shards, batch, batch_search.mops / single_search.mops,
+        batch_mixed.mops / single_mixed.mops);
+    std::fflush(stdout);
+    return 0;
+  }
   for (api::IndexKind kind :
        {api::IndexKind::kDashEH, api::IndexKind::kDashLH,
         api::IndexKind::kCCEH, api::IndexKind::kLevel}) {

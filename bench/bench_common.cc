@@ -3,6 +3,7 @@
 #include <pthread.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -79,6 +80,42 @@ TableHandle MakeTable(api::IndexKind kind, const BenchConfig& config,
   handle.epochs = std::make_unique<epoch::EpochManager>();
   handle.table =
       api::CreateKvIndex(kind, handle.pool.get(), handle.epochs.get(), options);
+  return handle;
+}
+
+StoreHandle::~StoreHandle() { Reset(); }
+
+void StoreHandle::Reset() {
+  if (store != nullptr) store->CloseClean();
+  store.reset();
+  if (prefix.empty()) return;  // default-constructed or moved-from
+  for (size_t i = 0; i < shards; ++i) {
+    std::remove((prefix + ".shard" + std::to_string(i)).c_str());
+  }
+  std::remove((prefix + ".manifest").c_str());
+  prefix.clear();
+  shards = 0;
+}
+
+StoreHandle MakeShardedStore(api::IndexKind kind, size_t shards,
+                             const BenchConfig& config,
+                             const DashOptions& options) {
+  StoreHandle handle;
+  handle.prefix = UniquePoolPath(config.pool_dir) + "_store";
+  handle.shards = shards;
+  api::ShardedStoreOptions store_options;
+  store_options.kind = kind;
+  store_options.shards = shards;
+  store_options.path_prefix = handle.prefix;
+  store_options.shard_pool_size =
+      std::max<size_t>((config.pool_gb << 30) / shards, 1ull << 30);
+  store_options.table = options;
+  handle.store = api::ShardedStore::Open(store_options);
+  if (handle.store == nullptr) {
+    std::fprintf(stderr, "cannot create sharded store at %s\n",
+                 handle.prefix.c_str());
+    std::exit(1);
+  }
   return handle;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/kv_index.h"
+#include "api/sharded_store.h"
 #include "epoch/epoch_manager.h"
 #include "pmem/pool.h"
 #include "pmem/stats.h"
@@ -66,6 +67,48 @@ struct TableHandle {
 
 TableHandle MakeTable(api::IndexKind kind, const BenchConfig& config,
                       const DashOptions& options);
+
+// A freshly created ShardedStore over `shards` pools at unique temp
+// paths; the per-shard pool size divides config.pool_gb. Closed cleanly
+// and unlinked on destruction.
+struct StoreHandle {
+  std::unique_ptr<api::ShardedStore> store;
+  std::string prefix;
+  size_t shards = 0;
+
+  StoreHandle() = default;
+  // Moves must disarm the source (its destructor would otherwise remove
+  // `.shard<i>` files at whatever path its moved-from prefix holds), and
+  // move-assignment must first close and unlink whatever the target
+  // currently owns.
+  StoreHandle(StoreHandle&& other) noexcept
+      : store(std::move(other.store)),
+        prefix(std::move(other.prefix)),
+        shards(other.shards) {
+    other.prefix.clear();
+    other.shards = 0;
+  }
+  StoreHandle& operator=(StoreHandle&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      store = std::move(other.store);
+      prefix = std::move(other.prefix);
+      shards = other.shards;
+      other.prefix.clear();
+      other.shards = 0;
+    }
+    return *this;
+  }
+  ~StoreHandle();
+
+ private:
+  // Closes the store cleanly and unlinks the shard pools + manifest.
+  void Reset();
+};
+
+StoreHandle MakeShardedStore(api::IndexKind kind, size_t shards,
+                             const BenchConfig& config,
+                             const DashOptions& options);
 
 // Phase result: throughput and PM counters per op.
 struct PhaseResult {

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
 
   uint64_t keys[kBatch];
   uint64_t values[kBatch];
-  bool ok[kBatch];
+  api::Status ok[kBatch];
 
   const auto t0 = std::chrono::steady_clock::now();
   for (uint64_t base = 0; base < kTotal; base += kBatch) {
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
       keys[i] = (base + i) * 2654435761u % kTotal + 1;
     }
     table->MultiSearch(keys, kBatch, values, ok);
-    for (size_t i = 0; i < kBatch; ++i) hits += ok[i];
+    for (size_t i = 0; i < kBatch; ++i) hits += api::IsOk(ok[i]);
   }
   const auto t2 = std::chrono::steady_clock::now();
 

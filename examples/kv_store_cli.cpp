@@ -3,11 +3,16 @@
 //
 // Usage:
 //   ./kv_store_cli [--pool=/path] [--table=dash-eh|dash-lh|cceh|level]
-//   > put <key> <number>
+//   > put <key> <number>      (insert; EXISTS if present)
+//   > upsert <key> <number>   (insert-or-update)
 //   > get <key>
 //   > del <key>
 //   > stats
 //   > quit
+//
+// Ported to API v2: every operation prints its Status name, so the shell
+// surfaces EXISTS / NOT_FOUND / INVALID_ARGUMENT (e.g. an empty key)
+// exactly as the store reports them.
 
 #include <cstdio>
 #include <cstring>
@@ -62,33 +67,44 @@ int main(int argc, char** argv) {
     if (cmd == "put") {
       uint64_t value;
       if (in >> key >> value) {
-        std::printf(table->Insert(key, value) ? "OK\n" : "EXISTS\n");
+        std::printf("%s\n", api::StatusName(table->Insert(key, value)));
       } else {
         std::printf("usage: put <key> <number>\n");
+      }
+    } else if (cmd == "upsert") {
+      uint64_t value;
+      if (in >> key >> value) {
+        api::Status status = table->Insert(key, value);
+        if (status == api::Status::kExists) status = table->Update(key, value);
+        std::printf("%s\n", api::StatusName(status));
+      } else {
+        std::printf("usage: upsert <key> <number>\n");
       }
     } else if (cmd == "get") {
       uint64_t value;
       if (in >> key) {
-        if (table->Search(key, &value)) {
+        const api::Status status = table->Search(key, &value);
+        if (api::IsOk(status)) {
           std::printf("%lu\n", static_cast<unsigned long>(value));
         } else {
-          std::printf("NOT FOUND\n");
+          std::printf("%s\n", api::StatusName(status));
         }
       }
     } else if (cmd == "del") {
       if (in >> key) {
-        std::printf(table->Delete(key) ? "OK\n" : "NOT FOUND\n");
+        std::printf("%s\n", api::StatusName(table->Delete(key)));
       }
     } else if (cmd == "stats") {
       const api::IndexStats stats = table->Stats();
-      std::printf("records=%lu capacity=%lu load_factor=%.3f\n",
-                  static_cast<unsigned long>(stats.records),
-                  static_cast<unsigned long>(stats.capacity_slots),
-                  stats.load_factor);
+      std::printf(
+          "records=%lu capacity=%lu load_factor=%.3f bytes_used=%lu\n",
+          static_cast<unsigned long>(stats.records),
+          static_cast<unsigned long>(stats.capacity_slots),
+          stats.load_factor, static_cast<unsigned long>(stats.bytes_used));
     } else if (cmd == "quit" || cmd == "exit") {
       break;
     } else if (!cmd.empty()) {
-      std::printf("commands: put get del stats quit\n");
+      std::printf("commands: put upsert get del stats quit\n");
     }
   }
   table->CloseClean();

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
         api::CreateKvIndex(api::IndexKind::kDashEH, pool.get(), &epochs, opts);
 
     uint64_t value = 0;
-    const bool found = table->Search(217, &value);
+    const bool found = api::IsOk(table->Search(217, &value));
     std::printf("session 2: reopened; table[217] %s= %lu (records: %lu)\n",
                 found ? "" : "NOT FOUND ",
                 static_cast<unsigned long>(value),
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
 
     table->Delete(217);
     std::printf("session 2: deleted key 217; search now %s\n",
-                table->Search(217, &value) ? "hits" : "misses");
+                api::IsOk(table->Search(217, &value)) ? "hits" : "misses");
 
     table->CloseClean();
     pool->CloseClean();

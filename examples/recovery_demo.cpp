@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
     // Verify nothing was lost.
     uint64_t missing = 0;
     for (uint64_t k = 1; k <= records; ++k) {
-      if (!table->Search(k, &value)) ++missing;
+      if (!api::IsOk(table->Search(k, &value))) ++missing;
     }
     std::printf("verification: %lu/%lu records intact (%s)\n",
                 static_cast<unsigned long>(records - missing),

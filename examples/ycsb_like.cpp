@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
                            : zipf.Next() + 1;
         if (static_cast<int>(rng.NextBounded(100)) < read_pct) {
           uint64_t value;
-          if (!table->Search(key, &value)) ++local_misses;
+          if (!api::IsOk(table->Search(key, &value))) ++local_misses;
           ++local_reads;
         } else if (insert_for_writes) {
           table->Insert(insert_cursor.fetch_add(1) + 1, i);

@@ -1,11 +1,12 @@
-#include "api/kv_index.h"
-
+#include <algorithm>
 #include <cstring>
 
+#include "api/kv_index.h"
 #include "cceh/cceh.h"
 #include "dash/dash_eh.h"
 #include "dash/dash_lh.h"
 #include "level/level_hashing.h"
+#include "pmem/allocator.h"
 
 namespace dash::api {
 
@@ -33,80 +34,120 @@ level::LevelOptions ToLevelOptions(const DashOptions& o) {
   return l;
 }
 
+// Batch processing window of the adapter layer: bounds the stack arrays
+// used for reserved-key compaction and mixed-op type partitioning, and is
+// the reordering window MultiExecute documents. A multiple of the tables'
+// prefetch group width so chunking never truncates a pipeline group.
+constexpr size_t kAdapterChunk = 256;
+
 template <typename Table, typename Key, IndexKind Kind, typename Base>
 class IndexAdapter : public Base {
  public:
+  using OpDesc = typename Base::OpDesc;
+
   template <typename Options>
   IndexAdapter(pmem::PmPool* pool, epoch::EpochManager* epochs,
                const Options& options)
-      : table_(pool, epochs, options) {}
+      : pool_(pool), table_(pool, epochs, options) {}
 
-  bool Insert(Key key, uint64_t value) override {
-    if constexpr (requires(Table& t) {
-                    { t.Insert(key, value) } -> std::same_as<OpStatus>;
-                  }) {
-      return table_.Insert(key, value) == OpStatus::kOk;
-    } else {
-      return table_.Insert(key, value);
-    }
+  Status Insert(Key key, uint64_t value) override {
+    if (IsReservedKey(key)) return Status::kInvalidArgument;
+    return FromOpStatus(table_.Insert(key, value));
   }
-  bool Search(Key key, uint64_t* value) override {
-    if constexpr (requires(Table& t) {
-                    { t.Search(key, value) } -> std::same_as<OpStatus>;
-                  }) {
-      return table_.Search(key, value) == OpStatus::kOk;
-    } else {
-      return table_.Search(key, value);
-    }
+  Status Search(Key key, uint64_t* value) override {
+    if (IsReservedKey(key)) return Status::kInvalidArgument;
+    return FromOpStatus(table_.Search(key, value));
   }
-  bool Update(Key key, uint64_t value) override {
-    if constexpr (requires(Table& t) {
-                    { t.Update(key, value) } -> std::same_as<OpStatus>;
-                  }) {
-      return table_.Update(key, value) == OpStatus::kOk;
-    } else {
-      return table_.Update(key, value);
-    }
+  Status Update(Key key, uint64_t value) override {
+    if (IsReservedKey(key)) return Status::kInvalidArgument;
+    return FromOpStatus(table_.Update(key, value));
   }
-  bool Delete(Key key) override {
-    if constexpr (requires(Table& t) {
-                    { t.Delete(key) } -> std::same_as<OpStatus>;
-                  }) {
-      return table_.Delete(key) == OpStatus::kOk;
-    } else {
-      return table_.Delete(key);
-    }
+  Status Delete(Key key) override {
+    if (IsReservedKey(key)) return Status::kInvalidArgument;
+    return FromOpStatus(table_.Delete(key));
   }
+
   // Batch entry points: forward to the table's native prefetch pipeline
-  // when it has one; otherwise fall back to the generic per-op loop from
-  // the interface defaults.
+  // when it has one, otherwise loop the single-op bodies. Reserved keys
+  // are compacted out per chunk (they get kInvalidArgument and never
+  // reach the table); the common no-reserved-key chunk dispatches on the
+  // caller's arrays with zero copying. ForEachValidChunk owns that
+  // protocol; each entry point only supplies the native dispatch and how
+  // to scatter value outputs.
+
   void MultiSearch(const Key* keys, size_t count, uint64_t* values,
-                   bool* found) override {
-    if constexpr (requires(Table& t) {
-                    t.MultiSearch(keys, count, values, found);
-                  }) {
-      table_.MultiSearch(keys, count, values, found);
-    } else {
-      Base::MultiSearch(keys, count, values, found);
-    }
+                   Status* statuses) override {
+    ForEachValidChunk(
+        keys, count, statuses,
+        [&](const Key* k, const uint32_t* idx, size_t n, size_t base) {
+          OpStatus raw[kAdapterChunk];
+          if (idx == nullptr) {
+            NativeMultiSearch(k, n, values + base, raw);
+            ConvertStatuses(raw, n, statuses + base);
+          } else {
+            uint64_t cvals[kAdapterChunk];
+            NativeMultiSearch(k, n, cvals, raw);
+            for (size_t j = 0; j < n; ++j) {
+              statuses[base + idx[j]] = FromOpStatus(raw[j]);
+              if (raw[j] == OpStatus::kOk) values[base + idx[j]] = cvals[j];
+            }
+          }
+        });
   }
+
   void MultiInsert(const Key* keys, const uint64_t* values, size_t count,
-                   bool* inserted) override {
-    if constexpr (requires(Table& t) {
-                    t.MultiInsert(keys, values, count, inserted);
-                  }) {
-      table_.MultiInsert(keys, values, count, inserted);
-    } else {
-      Base::MultiInsert(keys, values, count, inserted);
+                   Status* statuses) override {
+    MultiWrite(keys, values, count, statuses, [this](const Key* k,
+                                                     const uint64_t* v,
+                                                     size_t n, OpStatus* out) {
+      NativeMultiInsert(k, v, n, out);
+    });
+  }
+
+  void MultiUpdate(const Key* keys, const uint64_t* values, size_t count,
+                   Status* statuses) override {
+    MultiWrite(keys, values, count, statuses, [this](const Key* k,
+                                                     const uint64_t* v,
+                                                     size_t n, OpStatus* out) {
+      NativeMultiUpdate(k, v, n, out);
+    });
+  }
+
+  void MultiDelete(const Key* keys, size_t count,
+                   Status* statuses) override {
+    ForEachValidChunk(
+        keys, count, statuses,
+        [&](const Key* k, const uint32_t* idx, size_t n, size_t base) {
+          OpStatus raw[kAdapterChunk];
+          NativeMultiDelete(k, n, raw);
+          if (idx == nullptr) {
+            ConvertStatuses(raw, n, statuses + base);
+          } else {
+            for (size_t j = 0; j < n; ++j) {
+              statuses[base + idx[j]] = FromOpStatus(raw[j]);
+            }
+          }
+        });
+  }
+
+  // Mixed-operation batch (API v2 tentpole): each chunk is stably
+  // partitioned by op type and every type group runs through the table's
+  // native batch pipeline, so a heterogeneous batch gets the same
+  // prefetch overlap as four homogeneous ones. Results are scattered back
+  // to the caller's descriptor order.
+  void MultiExecute(OpDesc* ops, size_t count, Status* statuses) override {
+    for (size_t base = 0; base < count; base += kAdapterChunk) {
+      const size_t n = std::min(kAdapterChunk, count - base);
+      ExecuteChunk(ops + base, n, statuses + base);
     }
   }
-  void MultiDelete(const Key* keys, size_t count, bool* deleted) override {
+
+  void PrefetchBatch(const Key* keys, size_t count,
+                     bool for_write) override {
     if constexpr (requires(Table& t) {
-                    t.MultiDelete(keys, count, deleted);
+                    t.PrefetchBatch(keys, count, for_write);
                   }) {
-      table_.MultiDelete(keys, count, deleted);
-    } else {
-      Base::MultiDelete(keys, count, deleted);
+      table_.PrefetchBatch(keys, count, for_write);
     }
   }
 
@@ -117,6 +158,7 @@ class IndexAdapter : public Base {
     out.records = s.records;
     out.capacity_slots = s.capacity_slots;
     out.load_factor = s.load_factor;
+    out.bytes_used = pool_->allocator().bytes_in_use();
     return out;
   }
   IndexKind kind() const override { return Kind; }
@@ -124,6 +166,171 @@ class IndexAdapter : public Base {
   Table& table() { return table_; }
 
  private:
+  // Writes kInvalidArgument for reserved slots and records the original
+  // position of every valid slot in `idx`; returns the valid count.
+  static size_t CompactReserved(const Key* keys, size_t n, Status* statuses,
+                                uint32_t* idx) {
+    size_t m = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (IsReservedKey(keys[i])) {
+        statuses[i] = Status::kInvalidArgument;
+      } else {
+        idx[m++] = static_cast<uint32_t>(i);
+      }
+    }
+    return m;
+  }
+
+  static void ConvertStatuses(const OpStatus* raw, size_t n,
+                              Status* statuses) {
+    for (size_t i = 0; i < n; ++i) statuses[i] = FromOpStatus(raw[i]);
+  }
+
+  // Chunking + reserved-key compaction protocol shared by every Multi*
+  // entry point. `run(keys, idx, n, base)` executes n valid ops: when
+  // `idx` is null they are the caller's slots [base, base + n) in order
+  // (zero-copy fast path); otherwise op j corresponds to caller slot
+  // base + idx[j] and `keys` is the compacted key array. `run` writes the
+  // converted statuses (and any values) for those slots itself.
+  template <typename Run>
+  void ForEachValidChunk(const Key* keys, size_t count, Status* statuses,
+                         Run run) {
+    uint32_t idx[kAdapterChunk];
+    for (size_t base = 0; base < count; base += kAdapterChunk) {
+      const size_t n = std::min(kAdapterChunk, count - base);
+      const size_t m = CompactReserved(keys + base, n, statuses + base, idx);
+      if (m == n) {
+        run(keys + base, nullptr, n, base);
+      } else if (m > 0) {
+        Key ckeys[kAdapterChunk];
+        for (size_t j = 0; j < m; ++j) ckeys[j] = keys[base + idx[j]];
+        run(ckeys, idx, m, base);
+      }
+    }
+  }
+
+  // Key+value write batches on top of ForEachValidChunk (the values are
+  // gathered alongside the compacted keys).
+  template <typename Dispatch>
+  void MultiWrite(const Key* keys, const uint64_t* values, size_t count,
+                  Status* statuses, Dispatch dispatch) {
+    ForEachValidChunk(
+        keys, count, statuses,
+        [&](const Key* k, const uint32_t* idx, size_t n, size_t base) {
+          OpStatus raw[kAdapterChunk];
+          if (idx == nullptr) {
+            dispatch(k, values + base, n, raw);
+            ConvertStatuses(raw, n, statuses + base);
+          } else {
+            uint64_t cvals[kAdapterChunk];
+            for (size_t j = 0; j < n; ++j) cvals[j] = values[base + idx[j]];
+            dispatch(k, cvals, n, raw);
+            for (size_t j = 0; j < n; ++j) {
+              statuses[base + idx[j]] = FromOpStatus(raw[j]);
+            }
+          }
+        });
+  }
+
+  // One bounded chunk of a mixed batch: stable type partition, one native
+  // batch dispatch per type group, scatter in caller order.
+  void ExecuteChunk(OpDesc* ops, size_t n, Status* statuses) {
+    uint32_t groups[4][kAdapterChunk];
+    size_t sizes[4] = {0, 0, 0, 0};
+    for (size_t i = 0; i < n; ++i) {
+      const auto t = static_cast<size_t>(ops[i].type);
+      if (t > static_cast<size_t>(OpType::kDelete) ||
+          IsReservedKey(ops[i].key)) {
+        statuses[i] = Status::kInvalidArgument;
+        continue;
+      }
+      groups[t][sizes[t]++] = static_cast<uint32_t>(i);
+    }
+
+    Key keys[kAdapterChunk];
+    uint64_t vals[kAdapterChunk];
+    OpStatus raw[kAdapterChunk];
+
+    // Type groups run in OpType declaration order.
+    for (size_t t = 0; t < 4; ++t) {
+      const uint32_t* idx = groups[t];
+      const size_t m = sizes[t];
+      if (m == 0) continue;
+      for (size_t j = 0; j < m; ++j) keys[j] = ops[idx[j]].key;
+      switch (static_cast<OpType>(t)) {
+        case OpType::kSearch:
+          NativeMultiSearch(keys, m, vals, raw);
+          for (size_t j = 0; j < m; ++j) {
+            statuses[idx[j]] = FromOpStatus(raw[j]);
+            if (raw[j] == OpStatus::kOk) ops[idx[j]].value = vals[j];
+          }
+          break;
+        case OpType::kInsert:
+          for (size_t j = 0; j < m; ++j) vals[j] = ops[idx[j]].value;
+          NativeMultiInsert(keys, vals, m, raw);
+          for (size_t j = 0; j < m; ++j) {
+            statuses[idx[j]] = FromOpStatus(raw[j]);
+          }
+          break;
+        case OpType::kUpdate:
+          for (size_t j = 0; j < m; ++j) vals[j] = ops[idx[j]].value;
+          NativeMultiUpdate(keys, vals, m, raw);
+          for (size_t j = 0; j < m; ++j) {
+            statuses[idx[j]] = FromOpStatus(raw[j]);
+          }
+          break;
+        case OpType::kDelete:
+          NativeMultiDelete(keys, m, raw);
+          for (size_t j = 0; j < m; ++j) {
+            statuses[idx[j]] = FromOpStatus(raw[j]);
+          }
+          break;
+      }
+    }
+  }
+
+  // Native pipeline dispatch, gated on the table actually providing the
+  // batch entry point; the loop fallback reuses the single-op bodies.
+
+  void NativeMultiSearch(const Key* keys, size_t n, uint64_t* values,
+                         OpStatus* out) {
+    if constexpr (requires(Table& t) {
+                    t.MultiSearch(keys, n, values, out);
+                  }) {
+      table_.MultiSearch(keys, n, values, out);
+    } else {
+      for (size_t i = 0; i < n; ++i) out[i] = table_.Search(keys[i], &values[i]);
+    }
+  }
+  void NativeMultiInsert(const Key* keys, const uint64_t* values, size_t n,
+                         OpStatus* out) {
+    if constexpr (requires(Table& t) {
+                    t.MultiInsert(keys, values, n, out);
+                  }) {
+      table_.MultiInsert(keys, values, n, out);
+    } else {
+      for (size_t i = 0; i < n; ++i) out[i] = table_.Insert(keys[i], values[i]);
+    }
+  }
+  void NativeMultiUpdate(const Key* keys, const uint64_t* values, size_t n,
+                         OpStatus* out) {
+    if constexpr (requires(Table& t) {
+                    t.MultiUpdate(keys, values, n, out);
+                  }) {
+      table_.MultiUpdate(keys, values, n, out);
+    } else {
+      for (size_t i = 0; i < n; ++i) out[i] = table_.Update(keys[i], values[i]);
+    }
+  }
+  void NativeMultiDelete(const Key* keys, size_t n, OpStatus* out) {
+    if constexpr (requires(Table& t) { t.MultiDelete(keys, n, out); }) {
+      table_.MultiDelete(keys, n, out);
+    } else {
+      for (size_t i = 0; i < n; ++i) out[i] = table_.Delete(keys[i]);
+    }
+  }
+
+  pmem::PmPool* pool_;
   Table table_;
 };
 

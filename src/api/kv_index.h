@@ -3,6 +3,13 @@
 // variable-length keys. The benchmark harness, examples and integration
 // tests are written against this interface so every experiment runs
 // table-generically.
+//
+// API v2: every operation reports a Status (status.h) instead of a bool,
+// the batch surface gains MultiUpdate, and MultiExecute accepts a mixed
+// Search/Insert/Update/Delete descriptor batch that the factory adapters
+// type-partition and dispatch through each table's AMAC prefetch
+// pipeline. Key 0 (and the empty var-key) is reserved and rejected with
+// Status::kInvalidArgument at this boundary.
 
 #ifndef DASH_PM_API_KV_INDEX_H_
 #define DASH_PM_API_KV_INDEX_H_
@@ -13,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "api/status.h"
 #include "dash/config.h"
 #include "epoch/epoch_manager.h"
 #include "pmem/pool.h"
@@ -35,48 +43,111 @@ struct IndexStats {
   uint64_t records = 0;
   uint64_t capacity_slots = 0;
   double load_factor = 0.0;
+  // Heap bytes the index's pool has handed out (bump high-water mark:
+  // includes blocks awaiting epoch reclamation, so an upper bound).
+  uint64_t bytes_used = 0;
 };
 
 // Fixed-length (8-byte) key index. All operations are thread-safe.
-// Note: key 0 is reserved (the CCEH baseline uses it as the empty-slot
-// marker); workloads must use non-zero keys for cross-table comparisons.
+// Key 0 is reserved (the CCEH baseline uses it as the empty-slot marker)
+// and every entry point rejects it with Status::kInvalidArgument.
 class KvIndex {
  public:
+  using OpDesc = Op;
+  using Key = uint64_t;
+
   virtual ~KvIndex() = default;
 
-  // Inserts key -> value; returns false if the key already exists.
-  virtual bool Insert(uint64_t key, uint64_t value) = 0;
-  // Looks up key; returns false if absent.
-  virtual bool Search(uint64_t key, uint64_t* value) = 0;
-  // Replaces the payload of an existing key; returns false if absent.
-  virtual bool Update(uint64_t key, uint64_t value) = 0;
-  // Deletes key; returns false if absent.
-  virtual bool Delete(uint64_t key) = 0;
+  // Inserts key -> value. kOk, kExists, kOutOfSpace, kInvalidArgument.
+  virtual Status Insert(uint64_t key, uint64_t value) = 0;
+  // Looks up key; writes *value on kOk. kOk, kNotFound, kInvalidArgument.
+  virtual Status Search(uint64_t key, uint64_t* value) = 0;
+  // Replaces the payload of an existing key. kOk, kNotFound,
+  // kInvalidArgument.
+  virtual Status Update(uint64_t key, uint64_t value) = 0;
+  // Deletes key. kOk, kNotFound, kInvalidArgument.
+  virtual Status Delete(uint64_t key) = 0;
 
   // ---- batched operations ----
   //
   // Semantically identical to looping the single-op calls over the spans,
-  // with per-slot results written to the output arrays (all arrays hold
+  // with per-slot statuses written to the output array (all arrays hold
   // `count` entries). The native table implementations run each group of
   // operations through a software-prefetching pipeline and amortize one
   // epoch guard per group; these defaults are the generic loop fallback
   // used when a table has no native batch path.
 
-  // found[i] = Search(keys[i], &values[i]).
+  // statuses[i] = Search(keys[i], &values[i]).
   virtual void MultiSearch(const uint64_t* keys, size_t count,
-                           uint64_t* values, bool* found) {
-    for (size_t i = 0; i < count; ++i) found[i] = Search(keys[i], &values[i]);
-  }
-  // inserted[i] = Insert(keys[i], values[i]).
-  virtual void MultiInsert(const uint64_t* keys, const uint64_t* values,
-                           size_t count, bool* inserted) {
+                           uint64_t* values, Status* statuses) {
     for (size_t i = 0; i < count; ++i) {
-      inserted[i] = Insert(keys[i], values[i]);
+      statuses[i] = Search(keys[i], &values[i]);
     }
   }
-  // deleted[i] = Delete(keys[i]).
-  virtual void MultiDelete(const uint64_t* keys, size_t count, bool* deleted) {
-    for (size_t i = 0; i < count; ++i) deleted[i] = Delete(keys[i]);
+  // statuses[i] = Insert(keys[i], values[i]).
+  virtual void MultiInsert(const uint64_t* keys, const uint64_t* values,
+                           size_t count, Status* statuses) {
+    for (size_t i = 0; i < count; ++i) {
+      statuses[i] = Insert(keys[i], values[i]);
+    }
+  }
+  // statuses[i] = Update(keys[i], values[i]).
+  virtual void MultiUpdate(const uint64_t* keys, const uint64_t* values,
+                           size_t count, Status* statuses) {
+    for (size_t i = 0; i < count; ++i) {
+      statuses[i] = Update(keys[i], values[i]);
+    }
+  }
+  // statuses[i] = Delete(keys[i]).
+  virtual void MultiDelete(const uint64_t* keys, size_t count,
+                           Status* statuses) {
+    for (size_t i = 0; i < count; ++i) statuses[i] = Delete(keys[i]);
+  }
+
+  // Mixed-operation batch: executes `count` descriptors and writes one
+  // Status per descriptor; search results land in ops[i].value.
+  //
+  // Ordering contract: the batch is processed in bounded chunks; each
+  // chunk is stably partitioned by op type and the type groups run in
+  // OpType declaration order (search, insert, update, delete). Ops of the
+  // same type always keep their relative order; ops of *different* types
+  // on the same key may be reordered within a chunk, so batches needing a
+  // serial left-to-right guarantee across types must split at the
+  // dependency. The native implementations dispatch each type group
+  // through the table's prefetch pipeline, which is what makes a
+  // heterogeneous batch as fast as four homogeneous ones.
+  virtual void MultiExecute(Op* ops, size_t count, Status* statuses) {
+    for (size_t i = 0; i < count; ++i) {
+      switch (ops[i].type) {
+        case OpType::kSearch:
+          statuses[i] = Search(ops[i].key, &ops[i].value);
+          break;
+        case OpType::kInsert:
+          statuses[i] = Insert(ops[i].key, ops[i].value);
+          break;
+        case OpType::kUpdate:
+          statuses[i] = Update(ops[i].key, ops[i].value);
+          break;
+        case OpType::kDelete:
+          statuses[i] = Delete(ops[i].key);
+          break;
+        default:  // malformed descriptor (type byte out of range)
+          statuses[i] = Status::kInvalidArgument;
+          break;
+      }
+    }
+  }
+
+  // Warms the cache lines the given keys' probes will touch by running
+  // only the prefetch stages of the table's batch pipeline. A pure hint
+  // with no semantic effect (the default is a no-op); ShardedStore uses
+  // it to overlap one shard's memory stalls with another shard's
+  // execution.
+  virtual void PrefetchBatch(const uint64_t* keys, size_t count,
+                             bool for_write) {
+    (void)keys;
+    (void)count;
+    (void)for_write;
   }
 
   // Marks a clean shutdown (before closing the pool).
@@ -85,31 +156,75 @@ class KvIndex {
   virtual IndexKind kind() const = 0;
 };
 
-// Variable-length key index (§4.5 pointer mode).
+// Variable-length key index (§4.5 pointer mode). The empty key is
+// reserved; every entry point rejects it with Status::kInvalidArgument.
 class VarKvIndex {
  public:
+  using OpDesc = VarOp;
+  using Key = std::string_view;
+
   virtual ~VarKvIndex() = default;
 
-  virtual bool Insert(std::string_view key, uint64_t value) = 0;
-  virtual bool Search(std::string_view key, uint64_t* value) = 0;
-  virtual bool Update(std::string_view key, uint64_t value) = 0;
-  virtual bool Delete(std::string_view key) = 0;
+  virtual Status Insert(std::string_view key, uint64_t value) = 0;
+  virtual Status Search(std::string_view key, uint64_t* value) = 0;
+  virtual Status Update(std::string_view key, uint64_t value) = 0;
+  virtual Status Delete(std::string_view key) = 0;
 
   // Batched operations; same contract as KvIndex.
   virtual void MultiSearch(const std::string_view* keys, size_t count,
-                           uint64_t* values, bool* found) {
-    for (size_t i = 0; i < count; ++i) found[i] = Search(keys[i], &values[i]);
+                           uint64_t* values, Status* statuses) {
+    for (size_t i = 0; i < count; ++i) {
+      statuses[i] = Search(keys[i], &values[i]);
+    }
   }
   virtual void MultiInsert(const std::string_view* keys,
                            const uint64_t* values, size_t count,
-                           bool* inserted) {
+                           Status* statuses) {
     for (size_t i = 0; i < count; ++i) {
-      inserted[i] = Insert(keys[i], values[i]);
+      statuses[i] = Insert(keys[i], values[i]);
+    }
+  }
+  virtual void MultiUpdate(const std::string_view* keys,
+                           const uint64_t* values, size_t count,
+                           Status* statuses) {
+    for (size_t i = 0; i < count; ++i) {
+      statuses[i] = Update(keys[i], values[i]);
     }
   }
   virtual void MultiDelete(const std::string_view* keys, size_t count,
-                           bool* deleted) {
-    for (size_t i = 0; i < count; ++i) deleted[i] = Delete(keys[i]);
+                           Status* statuses) {
+    for (size_t i = 0; i < count; ++i) statuses[i] = Delete(keys[i]);
+  }
+
+  // Mixed-operation batch; same ordering contract as KvIndex.
+  virtual void MultiExecute(VarOp* ops, size_t count, Status* statuses) {
+    for (size_t i = 0; i < count; ++i) {
+      switch (ops[i].type) {
+        case OpType::kSearch:
+          statuses[i] = Search(ops[i].key, &ops[i].value);
+          break;
+        case OpType::kInsert:
+          statuses[i] = Insert(ops[i].key, ops[i].value);
+          break;
+        case OpType::kUpdate:
+          statuses[i] = Update(ops[i].key, ops[i].value);
+          break;
+        case OpType::kDelete:
+          statuses[i] = Delete(ops[i].key);
+          break;
+        default:  // malformed descriptor (type byte out of range)
+          statuses[i] = Status::kInvalidArgument;
+          break;
+      }
+    }
+  }
+
+  // Prefetch-only hint; same contract as KvIndex::PrefetchBatch.
+  virtual void PrefetchBatch(const std::string_view* keys, size_t count,
+                             bool for_write) {
+    (void)keys;
+    (void)count;
+    (void)for_write;
   }
 
   virtual void CloseClean() = 0;

@@ -1,0 +1,384 @@
+#include "api/sharded_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/hash.h"
+
+namespace dash::api {
+
+namespace {
+
+// The shard count and table kind decide key routing, so they are written
+// to a tiny manifest next to the pools *before* any pool is created and
+// checked on every open — a mismatched configuration fails loudly
+// instead of silently routing keys to the wrong shard, and a crash or
+// partial failure mid-creation still leaves the manifest pinning the
+// configuration the existing pool files were laid out with.
+// `wrote` reports whether this call created the manifest (vs found a
+// matching one).
+bool CheckOrWriteManifest(const ShardedStoreOptions& options, bool* wrote) {
+  const std::string path = options.path_prefix + ".manifest";
+  *wrote = false;
+  {
+    std::ifstream in(path);
+    if (in) {
+      size_t shards = 0;
+      std::string kind_name;
+      in >> shards >> kind_name;
+      IndexKind kind;
+      if (shards == options.shards && ParseIndexKind(kind_name, &kind) &&
+          kind == options.kind) {
+        return true;
+      }
+      std::fprintf(
+          stderr,
+          "ShardedStore::Open: %s was created with shards=%zu kind=%s; "
+          "reopening with shards=%zu kind=%s would misroute keys\n",
+          path.c_str(), shards, kind_name.c_str(), options.shards,
+          IndexKindName(options.kind));
+      return false;
+    }
+  }
+  std::ofstream out(path);
+  out << options.shards << ' ' << IndexKindName(options.kind) << '\n';
+  *wrote = true;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::unique_ptr<ShardedStore> ShardedStore::Open(
+    const ShardedStoreOptions& options) {
+  if (options.shards == 0 || options.path_prefix.empty()) return nullptr;
+  bool wrote_manifest = false;
+  if (!CheckOrWriteManifest(options, &wrote_manifest)) return nullptr;
+  std::unique_ptr<ShardedStore> store(new ShardedStore());
+  store->shards_.reserve(options.shards);
+  bool any_preexisting = false;
+  std::vector<std::string> created_paths;
+  bool failed = false;
+  for (size_t i = 0; i < options.shards; ++i) {
+    Shard shard;
+    pmem::PmPool::Options pool_options;
+    pool_options.pool_size = options.shard_pool_size;
+    const std::string path =
+        options.path_prefix + ".shard" + std::to_string(i);
+    bool created = false;
+    shard.pool = pmem::PmPool::OpenOrCreate(path, pool_options, &created);
+    if (created) {
+      created_paths.push_back(path);
+    } else if (shard.pool != nullptr) {
+      any_preexisting = true;
+    }
+    if (shard.pool == nullptr) {
+      failed = true;
+      break;
+    }
+    shard.epochs = std::make_unique<epoch::EpochManager>();
+    shard.index = CreateKvIndex(options.kind, shard.pool.get(),
+                                shard.epochs.get(), options.table);
+    if (shard.index == nullptr) {
+      failed = true;
+      break;
+    }
+    store->shards_.push_back(std::move(shard));
+  }
+  if (failed) {
+    // A failed *creation* (nothing pre-existed) must not leave a stray
+    // manifest pinning an unusable configuration, nor half-laid-out pool
+    // files that a later Open with a different kind would misinterpret.
+    // With pre-existing pools, everything stays — the manifest correctly
+    // keeps protecting whatever data they hold.
+    store.reset();  // unmap before unlinking
+    if (wrote_manifest && !any_preexisting) {
+      for (const std::string& path : created_paths) {
+        std::remove(path.c_str());
+      }
+      std::remove((options.path_prefix + ".manifest").c_str());
+    }
+    return nullptr;
+  }
+  return store;
+}
+
+size_t ShardedStore::ShardOf(uint64_t key) const {
+  // Second mix decorrelates shard routing from every hash-bit range the
+  // tables themselves consume (see header).
+  return util::Mix64(util::HashInt64(key)) % shards_.size();
+}
+
+Status ShardedStore::Insert(uint64_t key, uint64_t value) {
+  if (IsReservedKey(key)) return Status::kInvalidArgument;
+  return shards_[ShardOf(key)].index->Insert(key, value);
+}
+
+Status ShardedStore::Search(uint64_t key, uint64_t* value) {
+  if (IsReservedKey(key)) return Status::kInvalidArgument;
+  return shards_[ShardOf(key)].index->Search(key, value);
+}
+
+Status ShardedStore::Update(uint64_t key, uint64_t value) {
+  if (IsReservedKey(key)) return Status::kInvalidArgument;
+  return shards_[ShardOf(key)].index->Update(key, value);
+}
+
+Status ShardedStore::Delete(uint64_t key) {
+  if (IsReservedKey(key)) return Status::kInvalidArgument;
+  return shards_[ShardOf(key)].index->Delete(key);
+}
+
+namespace {
+// Serving batches are typically small; below this size the scatter uses
+// stack scratch instead of heap vectors (the allocations would otherwise
+// rival the cost of a 16-op batch).
+constexpr size_t kStackBatch = 256;
+constexpr size_t kMaxShardsOnStack = 64;
+}  // namespace
+
+void ShardedStore::MultiSearch(const uint64_t* keys, size_t count,
+                               uint64_t* values, Status* statuses) {
+  MultiUniform(BatchKind::kSearch, keys, nullptr, values, count, statuses);
+}
+
+void ShardedStore::MultiInsert(const uint64_t* keys, const uint64_t* values,
+                               size_t count, Status* statuses) {
+  MultiUniform(BatchKind::kInsert, keys, values, nullptr, count, statuses);
+}
+
+void ShardedStore::MultiUpdate(const uint64_t* keys, const uint64_t* values,
+                               size_t count, Status* statuses) {
+  MultiUniform(BatchKind::kUpdate, keys, values, nullptr, count, statuses);
+}
+
+void ShardedStore::MultiDelete(const uint64_t* keys, size_t count,
+                               Status* statuses) {
+  MultiUniform(BatchKind::kDelete, keys, nullptr, nullptr, count, statuses);
+}
+
+void ShardedStore::MultiUniform(BatchKind kind, const uint64_t* keys,
+                                const uint64_t* values_in,
+                                uint64_t* values_out, size_t count,
+                                Status* statuses) {
+  const size_t num_shards = shards_.size();
+  KvIndex* first = shards_[0].index.get();
+  if (num_shards == 1) {
+    switch (kind) {
+      case BatchKind::kSearch:
+        first->MultiSearch(keys, count, values_out, statuses);
+        return;
+      case BatchKind::kInsert:
+        first->MultiInsert(keys, values_in, count, statuses);
+        return;
+      case BatchKind::kUpdate:
+        first->MultiUpdate(keys, values_in, count, statuses);
+        return;
+      case BatchKind::kDelete:
+        first->MultiDelete(keys, count, statuses);
+        return;
+    }
+  }
+
+  // Scratch: stack for serving-sized batches, heap beyond.
+  uint32_t stack_shard_of[kStackBatch];
+  size_t stack_start[kMaxShardsOnStack + 1];
+  uint32_t stack_origin[kStackBatch];
+  uint64_t stack_keys[kStackBatch];
+  uint64_t stack_vals[kStackBatch];
+  Status stack_status[kStackBatch];
+  size_t stack_cursor[kMaxShardsOnStack];
+  std::vector<uint32_t> heap_shard_of, heap_origin;
+  std::vector<size_t> heap_start, heap_cursor;
+  std::vector<uint64_t> heap_keys, heap_vals;
+  std::vector<Status> heap_status;
+  const bool on_stack =
+      count <= kStackBatch && num_shards <= kMaxShardsOnStack;
+  uint32_t* shard_of = stack_shard_of;
+  size_t* start = stack_start;
+  uint32_t* origin = stack_origin;
+  uint64_t* sub_keys = stack_keys;
+  uint64_t* sub_vals = stack_vals;
+  Status* sub_status = stack_status;
+  size_t* cursor = stack_cursor;
+  if (!on_stack) {
+    heap_shard_of.resize(count);
+    heap_start.resize(num_shards + 1);
+    heap_origin.resize(count);
+    heap_keys.resize(count);
+    heap_vals.resize(count);
+    heap_status.resize(count);
+    heap_cursor.resize(num_shards);
+    shard_of = heap_shard_of.data();
+    start = heap_start.data();
+    origin = heap_origin.data();
+    sub_keys = heap_keys.data();
+    sub_vals = heap_vals.data();
+    sub_status = heap_status.data();
+    cursor = heap_cursor.data();
+  }
+
+  PlanScatter(count, [&](size_t i) { return keys[i]; }, shard_of, start,
+              cursor, origin);
+  const bool copy_values =
+      kind == BatchKind::kInsert || kind == BatchKind::kUpdate;
+  for (size_t j = 0; j < count; ++j) {
+    sub_keys[j] = keys[origin[j]];
+    if (copy_values) sub_vals[j] = values_in[origin[j]];
+  }
+
+  // Cross-shard prefetch priming (see ExecuteScattered).
+  if (count <= kStackBatch) {
+    const bool for_write = kind != BatchKind::kSearch;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t len = start[s + 1] - start[s];
+      if (len == 0) continue;
+      shards_[s].index->PrefetchBatch(sub_keys + start[s], len, for_write);
+    }
+  }
+
+  // Dispatch every shard's contiguous sub-batch through its pipeline.
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t len = start[s + 1] - start[s];
+    if (len == 0) continue;
+    KvIndex* index = shards_[s].index.get();
+    switch (kind) {
+      case BatchKind::kSearch:
+        index->MultiSearch(sub_keys + start[s], len, sub_vals + start[s],
+                           sub_status + start[s]);
+        break;
+      case BatchKind::kInsert:
+        index->MultiInsert(sub_keys + start[s], sub_vals + start[s], len,
+                           sub_status + start[s]);
+        break;
+      case BatchKind::kUpdate:
+        index->MultiUpdate(sub_keys + start[s], sub_vals + start[s], len,
+                           sub_status + start[s]);
+        break;
+      case BatchKind::kDelete:
+        index->MultiDelete(sub_keys + start[s], len, sub_status + start[s]);
+        break;
+    }
+  }
+
+  // Gather in caller order.
+  for (size_t j = 0; j < count; ++j) {
+    statuses[origin[j]] = sub_status[j];
+    if (kind == BatchKind::kSearch && IsOk(sub_status[j])) {
+      values_out[origin[j]] = sub_vals[j];
+    }
+  }
+}
+
+void ShardedStore::MultiExecute(Op* ops, size_t count, Status* statuses) {
+  const size_t num_shards = shards_.size();
+  if (num_shards == 1) {
+    shards_[0].index->MultiExecute(ops, count, statuses);
+    return;
+  }
+  if (count <= kStackBatch && num_shards <= kMaxShardsOnStack) {
+    uint32_t shard_of[kStackBatch];
+    size_t start[kMaxShardsOnStack + 1];
+    uint32_t origin[kStackBatch];
+    Op sub[kStackBatch];
+    Status sub_status[kStackBatch];
+    size_t cursor[kMaxShardsOnStack];
+    ExecuteScattered(ops, count, statuses, shard_of, start, origin, sub,
+                     sub_status, cursor);
+    return;
+  }
+  std::vector<uint32_t> shard_of(count);
+  std::vector<size_t> start(num_shards + 1);
+  std::vector<uint32_t> origin(count);
+  std::vector<Op> sub(count);
+  std::vector<Status> sub_status(count);
+  std::vector<size_t> cursor(num_shards);
+  ExecuteScattered(ops, count, statuses, shard_of.data(), start.data(),
+                   origin.data(), sub.data(), sub_status.data(),
+                   cursor.data());
+}
+
+// Scatter: bucket-sort descriptor indices by shard (two passes, stable,
+// O(count + shards)), regrouping each shard's ops into one contiguous
+// sub-batch so the shard's adapter can type-partition and pipeline it;
+// then gather results back in caller order. All scratch spans hold
+// `count` entries except `start` (shards + 1) and `cursor` (shards).
+void ShardedStore::ExecuteScattered(Op* ops, size_t count, Status* statuses,
+                                    uint32_t* shard_of, size_t* start,
+                                    uint32_t* origin, Op* sub,
+                                    Status* sub_status, size_t* cursor) {
+  const size_t num_shards = shards_.size();
+  PlanScatter(count, [&](size_t i) { return ops[i].key; }, shard_of, start,
+              cursor, origin);
+  for (size_t j = 0; j < count; ++j) sub[j] = ops[origin[j]];
+
+  // Cross-shard prefetch priming: run every shard's prefetch stages
+  // before any shard executes, so shard B's cache lines are already in
+  // flight while shard A runs its ops. Splitting a batch across shards
+  // narrows each shard's pipeline group (a 16-op batch on 2 shards gives
+  // 8-wide groups, which no longer cover a DRAM miss chain); priming
+  // restores the full batch-wide overlap. Bounded to small batches —
+  // lines primed thousands of ops ahead would be evicted before use.
+  if (count <= kStackBatch) {
+    uint64_t keys[kStackBatch];
+    for (size_t j = 0; j < count; ++j) keys[j] = sub[j].key;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t len = start[s + 1] - start[s];
+      if (len == 0) continue;
+      bool for_write = false;
+      for (size_t j = start[s]; j < start[s + 1] && !for_write; ++j) {
+        for_write = sub[j].type != OpType::kSearch;
+      }
+      shards_[s].index->PrefetchBatch(keys + start[s], len, for_write);
+    }
+  }
+
+  // Run every shard's sub-batch through its native pipeline.
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t len = start[s + 1] - start[s];
+    if (len == 0) continue;
+    shards_[s].index->MultiExecute(sub + start[s], len,
+                                   sub_status + start[s]);
+  }
+
+  // Gather: write statuses (and search results) back in caller order.
+  for (size_t j = 0; j < count; ++j) {
+    statuses[origin[j]] = sub_status[j];
+    if (sub[j].type == OpType::kSearch && IsOk(sub_status[j])) {
+      ops[origin[j]].value = sub[j].value;
+    }
+  }
+}
+
+ShardedStats ShardedStore::Stats() {
+  ShardedStats out;
+  out.shard_count = shards_.size();
+  bool first = true;
+  for (auto& shard : shards_) {
+    const IndexStats s = shard.index->Stats();
+    out.totals.records += s.records;
+    out.totals.capacity_slots += s.capacity_slots;
+    out.totals.bytes_used += s.bytes_used;
+    out.min_shard_load_factor = first ? s.load_factor
+                                      : std::min(out.min_shard_load_factor,
+                                                 s.load_factor);
+    out.max_shard_load_factor =
+        std::max(out.max_shard_load_factor, s.load_factor);
+    first = false;
+  }
+  out.totals.load_factor =
+      out.totals.capacity_slots == 0
+          ? 0.0
+          : static_cast<double>(out.totals.records) /
+                static_cast<double>(out.totals.capacity_slots);
+  return out;
+}
+
+void ShardedStore::CloseClean() {
+  for (auto& shard : shards_) {
+    shard.index->CloseClean();
+    shard.pool->CloseClean();
+  }
+}
+
+}  // namespace dash::api

@@ -1,0 +1,162 @@
+// ShardedStore: N hash-partitioned KvIndex instances behind one Status-
+// based facade — the first concrete step toward the ROADMAP's per-shard
+// serving queues. Each shard owns its own PM pool and epoch manager, so
+// shards never contend on allocator or epoch state; a mixed-op batch is
+// scattered to its shards, regrouped into one contiguous sub-batch per
+// shard (which the shard's adapter type-partitions and runs through the
+// table's AMAC prefetch pipeline), and the results are gathered back in
+// caller order.
+//
+// Shard routing re-mixes the table hash (splitmix64 over HashInt64) so a
+// shard's key population stays uniform in every hash-bit range the tables
+// consume (MSB directory bits, bucket bits, fingerprint bits) — routing
+// on raw hash bits would starve one of those ranges inside each shard.
+//
+// The pool mapper supports a bounded number of concurrently mapped pools
+// (16 fixed base addresses, see pmem/pool.cc); keep `shards` well under
+// that. The shard count and table kind decide key routing, so they are
+// recorded in a `<path_prefix>.manifest` file at creation; Open refuses a
+// mismatched configuration instead of silently misrouting keys.
+
+#ifndef DASH_PM_API_SHARDED_STORE_H_
+#define DASH_PM_API_SHARDED_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/kv_index.h"
+#include "api/status.h"
+#include "dash/config.h"
+#include "epoch/epoch_manager.h"
+#include "pmem/pool.h"
+
+namespace dash::api {
+
+struct ShardedStoreOptions {
+  IndexKind kind = IndexKind::kDashEH;
+  // Number of shards (>= 1). Pool files are `<path_prefix>.shard<i>`.
+  size_t shards = 4;
+  std::string path_prefix;
+  size_t shard_pool_size = 1ull << 30;  // per shard
+  DashOptions table;
+};
+
+struct ShardedStats {
+  // records / capacity_slots / bytes_used summed over shards;
+  // load_factor recomputed from the sums.
+  IndexStats totals;
+  size_t shard_count = 0;
+  // Load-factor spread across shards: a wide gap means the routing hash
+  // is skewed for this workload.
+  double min_shard_load_factor = 0.0;
+  double max_shard_load_factor = 0.0;
+};
+
+class ShardedStore {
+ public:
+  // Opens (or creates) every shard pool. Returns nullptr if any pool or
+  // index fails to open, or if an existing manifest disagrees with the
+  // requested shard count / kind; already-opened shards are released.
+  static std::unique_ptr<ShardedStore> Open(
+      const ShardedStoreOptions& options);
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+  ~ShardedStore() = default;
+
+  // Single operations route to the owning shard. Thread-safe.
+  Status Insert(uint64_t key, uint64_t value);
+  Status Search(uint64_t key, uint64_t* value);
+  Status Update(uint64_t key, uint64_t value);
+  Status Delete(uint64_t key);
+
+  // Homogeneous batches (same contract as the KvIndex counterparts):
+  // keys are scattered per shard, each shard's contiguous sub-batch runs
+  // through its native prefetch pipeline (with cross-shard prefetch
+  // priming), and results are gathered back in caller order.
+  void MultiSearch(const uint64_t* keys, size_t count, uint64_t* values,
+                   Status* statuses);
+  void MultiInsert(const uint64_t* keys, const uint64_t* values,
+                   size_t count, Status* statuses);
+  void MultiUpdate(const uint64_t* keys, const uint64_t* values,
+                   size_t count, Status* statuses);
+  void MultiDelete(const uint64_t* keys, size_t count, Status* statuses);
+
+  // Mixed-op batch with scatter/regroup/gather: same per-op semantics as
+  // KvIndex::MultiExecute, with shard partitioning layered on top (ops
+  // for one shard form one contiguous sub-batch in original relative
+  // order). Search results land in ops[i].value. Ordering is weaker than
+  // KvIndex's chunk-bounded contract: the regroup can bring ops from
+  // anywhere in the batch into one adapter chunk, so ops of *different*
+  // types on the same key may be reordered across the whole batch
+  // (same-type ops still keep their relative order — the scatter is
+  // stable). Split batches at cross-type same-key dependencies.
+  void MultiExecute(Op* ops, size_t count, Status* statuses);
+
+  // Sums shard stats and reports the shard load-factor spread.
+  ShardedStats Stats();
+
+  // Clean shutdown of every shard (table marker, epoch drain, pool). The
+  // store must not be used afterwards.
+  void CloseClean();
+
+  size_t shard_count() const { return shards_.size(); }
+  // The shard index `key` routes to (stable across runs).
+  size_t ShardOf(uint64_t key) const;
+  // Direct access for tests / introspection.
+  KvIndex* shard(size_t i) { return shards_[i].index.get(); }
+
+ private:
+  struct Shard {
+    std::unique_ptr<pmem::PmPool> pool;
+    std::unique_ptr<epoch::EpochManager> epochs;
+    std::unique_ptr<KvIndex> index;
+  };
+
+  ShardedStore() = default;
+
+  void ExecuteScattered(Op* ops, size_t count, Status* statuses,
+                        uint32_t* shard_of, size_t* start, uint32_t* origin,
+                        Op* sub, Status* sub_status, size_t* cursor);
+
+  enum class BatchKind { kSearch, kInsert, kUpdate, kDelete };
+
+  // Stable bucket sort of `count` items by shard. `key_at(i)` returns the
+  // routing key of caller slot i; afterwards shard s owns regrouped slots
+  // [start[s], start[s+1]) and origin[j] is the caller index of slot j.
+  // Scratch spans: shard_of/origin hold `count`, start holds shards+1,
+  // cursor holds shards.
+  template <typename KeyAt>
+  void PlanScatter(size_t count, KeyAt key_at, uint32_t* shard_of,
+                   size_t* start, size_t* cursor, uint32_t* origin) {
+    const size_t num_shards = shards_.size();
+    for (size_t s = 0; s <= num_shards; ++s) start[s] = 0;
+    for (size_t i = 0; i < count; ++i) {
+      shard_of[i] = static_cast<uint32_t>(ShardOf(key_at(i)));
+      ++start[shard_of[i] + 1];
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      start[s + 1] += start[s];
+      cursor[s] = start[s];
+    }
+    for (size_t i = 0; i < count; ++i) {
+      origin[cursor[shard_of[i]]++] = static_cast<uint32_t>(i);
+    }
+  }
+
+  // Shared scatter/prime/dispatch/gather loop behind the homogeneous
+  // Multi* entry points. `values_in` feeds insert/update payloads;
+  // `values_out` receives search results; either may be null.
+  void MultiUniform(BatchKind kind, const uint64_t* keys,
+                    const uint64_t* values_in, uint64_t* values_out,
+                    size_t count, Status* statuses);
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace dash::api
+
+#endif  // DASH_PM_API_SHARDED_STORE_H_

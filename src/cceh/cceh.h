@@ -26,6 +26,7 @@
 #include <mutex>
 
 #include "dash/key_policy.h"
+#include "dash/op_status.h"
 #include "epoch/epoch_manager.h"
 #include "pmem/allocator.h"
 #include "pmem/crash_point.h"
@@ -170,27 +171,29 @@ class CCEH {
     pmem::Persist(&root_->clean, 1);
   }
 
-  // Returns true on success; false if the key already exists.
-  bool Insert(KeyArg key, uint64_t value) {
+  // Returns kOk, kExists, or kOutOfMemory (split could not allocate).
+  OpStatus Insert(KeyArg key, uint64_t value) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
     return InsertWithHash(key, value, h);
   }
 
-  bool Search(KeyArg key, uint64_t* out) {
+  // Returns kOk or kNotFound.
+  OpStatus Search(KeyArg key, uint64_t* out) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
     return SearchWithHash(key, h, out);
   }
 
-  bool Delete(KeyArg key) {
+  // Returns kOk or kNotFound.
+  OpStatus Delete(KeyArg key) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
     return DeleteWithHash(key, h);
   }
 
-  // In-place payload update; returns false if the key is absent.
-  bool Update(KeyArg key, uint64_t value) {
+  // In-place payload update; returns kOk or kNotFound.
+  OpStatus Update(KeyArg key, uint64_t value) {
     const uint64_t h = KP::Hash(key);
     epoch::EpochManager::Guard guard(*epochs_);
     return UpdateWithHash(key, value, h);
@@ -206,23 +209,42 @@ class CCEH {
   // since a probe may touch all of it.
 
   void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
-                   bool* found) {
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
-      found[i] = SearchWithHash(key, h, &values[i]);
+      statuses[i] = SearchWithHash(key, h, &values[i]);
     });
   }
 
   void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
-                   bool* inserted) {
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
-      inserted[i] = InsertWithHash(key, values[i], h);
+      statuses[i] = InsertWithHash(key, values[i], h);
     });
   }
 
-  void MultiDelete(const KeyArg* keys, size_t count, bool* deleted) {
+  void MultiUpdate(const KeyArg* keys, const uint64_t* values, size_t count,
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
-      deleted[i] = DeleteWithHash(key, h);
+      statuses[i] = UpdateWithHash(key, values[i], h);
     });
+  }
+
+  void MultiDelete(const KeyArg* keys, size_t count, OpStatus* statuses) {
+    ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
+      statuses[i] = DeleteWithHash(key, h);
+    });
+  }
+
+  // Runs only the prefetch stages of the batch pipeline (pure hint; see
+  // DashEH::PrefetchBatch). CCEH always fetches for ownership, so the
+  // for_write flag is ignored.
+  void PrefetchBatch(const KeyArg* keys, size_t count, bool /*for_write*/) {
+    uint64_t hashes[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      epoch::EpochManager::Guard guard(*epochs_);
+      PrefetchGroup(keys + base, n, hashes);
+    }
   }
 
  private:
@@ -249,7 +271,7 @@ class CCEH {
 
   // ---- per-op bodies (caller holds an epoch guard) ----
 
-  bool InsertWithHash(KeyArg key, uint64_t value, uint64_t h) {
+  OpStatus InsertWithHash(KeyArg key, uint64_t value, uint64_t h) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
       seg->lock.Lock();
@@ -262,7 +284,7 @@ class CCEH {
       // Uniqueness check over the probe window.
       if (FindSlot(seg, y, key) != nullptr) {
         seg->lock.Unlock();
-        return false;
+        return OpStatus::kExists;
       }
       CcehSlot* free_slot = FindEmpty(seg, y);
       if (free_slot != nullptr) {
@@ -272,14 +294,14 @@ class CCEH {
         // Publishing the key is the atomic commit of the insert.
         pmem::AtomicPersist64(&free_slot->key, stored);
         seg->lock.Unlock();
-        return true;
+        return OpStatus::kOk;
       }
       seg->lock.Unlock();
-      Split(seg, h);
+      if (!Split(seg, h)) return OpStatus::kOutOfMemory;
     }
   }
 
-  bool SearchWithHash(KeyArg key, uint64_t h, uint64_t* out) {
+  OpStatus SearchWithHash(KeyArg key, uint64_t h, uint64_t* out) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
       // Pessimistic read lock: a PM write per acquisition/release — the
@@ -297,11 +319,11 @@ class CCEH {
       if (found) *out = slot->value;
       seg->lock.UnlockShared();
       pmem::WriteHint(&seg->lock);
-      return found;
+      return found ? OpStatus::kOk : OpStatus::kNotFound;
     }
   }
 
-  bool DeleteWithHash(KeyArg key, uint64_t h) {
+  OpStatus DeleteWithHash(KeyArg key, uint64_t h) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
       seg->lock.Lock();
@@ -318,11 +340,11 @@ class CCEH {
         pmem::AtomicPersist64(&slot->key, kEmptyKey);
       }
       seg->lock.Unlock();
-      return found;
+      return found ? OpStatus::kOk : OpStatus::kNotFound;
     }
   }
 
-  bool UpdateWithHash(KeyArg key, uint64_t value, uint64_t h) {
+  OpStatus UpdateWithHash(KeyArg key, uint64_t value, uint64_t h) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
       seg->lock.Lock();
@@ -336,7 +358,7 @@ class CCEH {
       const bool found = slot != nullptr;
       if (found) pmem::AtomicPersist64(&slot->value, value);
       seg->lock.Unlock();
-      return found;
+      return found ? OpStatus::kOk : OpStatus::kNotFound;
     }
   }
 
@@ -524,18 +546,21 @@ class CCEH {
     return nullptr;
   }
 
-  void Split(CcehSegment* seg, uint64_t h) {
+  // Returns false only when the split could not make progress because the
+  // pool is out of memory (the insert path surfaces kOutOfMemory instead
+  // of retrying forever).
+  bool Split(CcehSegment* seg, uint64_t h) {
     seg->lock.Lock();
     pmem::WriteHint(&seg->lock);
     if (!Valid(seg, h)) {
       seg->lock.Unlock();
-      return;
+      return true;  // someone else already split; caller retries
     }
     const uint32_t old_depth = seg->local_depth();
     while (Dir()->global_depth == old_depth) {
       if (!DoubleDirectory()) {
         seg->lock.Unlock();
-        return;
+        return false;
       }
     }
     seg->SetDepthState(old_depth, CcehSegment::kSplitting);
@@ -544,7 +569,7 @@ class CCEH {
     if (!r.valid()) {
       seg->SetDepthState(old_depth, CcehSegment::kClean);
       seg->lock.Unlock();
-      return;
+      return false;
     }
     auto* child = static_cast<CcehSegment*>(r.ptr);
     InitSegment(child, old_depth + 1, (seg->pattern << 1) | 1,
@@ -559,6 +584,7 @@ class CCEH {
     CRASH_POINT("cceh_split_after_rehash");
     FinishSplit(seg, child, old_depth);
     seg->lock.Unlock();
+    return true;
   }
 
   void RehashToChild(CcehSegment* seg, CcehSegment* child, uint32_t old_depth,

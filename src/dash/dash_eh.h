@@ -153,28 +153,48 @@ class DashEH {
   // path.
 
   void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
-                   bool* found) {
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, /*for_write=*/false,
                  [&](size_t i, KeyArg key, uint64_t h) {
-                   found[i] = SearchWithHash(key, h, &values[i]) ==
-                              OpStatus::kOk;
+                   statuses[i] = SearchWithHash(key, h, &values[i]);
                  });
   }
 
   void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
-                   bool* inserted) {
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, /*for_write=*/true,
                  [&](size_t i, KeyArg key, uint64_t h) {
-                   inserted[i] =
-                       InsertWithHash(key, values[i], h) == OpStatus::kOk;
+                   statuses[i] = InsertWithHash(key, values[i], h);
                  });
   }
 
-  void MultiDelete(const KeyArg* keys, size_t count, bool* deleted) {
+  void MultiUpdate(const KeyArg* keys, const uint64_t* values, size_t count,
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, /*for_write=*/true,
                  [&](size_t i, KeyArg key, uint64_t h) {
-                   deleted[i] = DeleteWithHash(key, h) == OpStatus::kOk;
+                   statuses[i] = UpdateWithHash(key, values[i], h);
                  });
+  }
+
+  void MultiDelete(const KeyArg* keys, size_t count, OpStatus* statuses) {
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h) {
+                   statuses[i] = DeleteWithHash(key, h);
+                 });
+  }
+
+  // Runs only the prefetch stages (1-2) of the batch pipeline, warming
+  // the directory/segment/bucket lines the given keys will touch. A pure
+  // hint — no semantic effect. ShardedStore uses it to overlap one
+  // shard's memory stalls with another shard's execution.
+  void PrefetchBatch(const KeyArg* keys, size_t count, bool for_write) {
+    uint64_t hashes[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      // Guard: stage 2 dereferences directory entries.
+      epoch::EpochManager::Guard guard(*epochs_);
+      PrefetchGroup(keys + base, n, hashes, for_write);
+    }
   }
 
   // Test/maintenance hook: attempts one merge of the buddy pair covering

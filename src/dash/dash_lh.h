@@ -127,7 +127,7 @@ class DashLH {
   // slot and the segment itself are worth prefetching.
 
   void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
-                   bool* found) {
+                   OpStatus* statuses) {
     ForEachGroup(
         keys, count, /*for_write=*/false,
         [&](size_t i, KeyArg key, uint64_t h, Segment* seg) {
@@ -144,24 +144,43 @@ class DashLH {
           if (status == OpStatus::kRetry) {
             status = SearchWithHash(key, h, &values[i]);
           }
-          found[i] = status == OpStatus::kOk;
+          statuses[i] = status;
         });
   }
 
   void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
-                   bool* inserted) {
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, /*for_write=*/true,
                  [&](size_t i, KeyArg key, uint64_t h, Segment*) {
-                   inserted[i] =
-                       InsertWithHash(key, values[i], h) == OpStatus::kOk;
+                   statuses[i] = InsertWithHash(key, values[i], h);
                  });
   }
 
-  void MultiDelete(const KeyArg* keys, size_t count, bool* deleted) {
+  void MultiUpdate(const KeyArg* keys, const uint64_t* values, size_t count,
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, /*for_write=*/true,
                  [&](size_t i, KeyArg key, uint64_t h, Segment*) {
-                   deleted[i] = DeleteWithHash(key, h) == OpStatus::kOk;
+                   statuses[i] = UpdateWithHash(key, values[i], h);
                  });
+  }
+
+  void MultiDelete(const KeyArg* keys, size_t count, OpStatus* statuses) {
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h, Segment*) {
+                   statuses[i] = DeleteWithHash(key, h);
+                 });
+  }
+
+  // Runs only the prefetch stages of the batch pipeline (pure hint; see
+  // DashEH::PrefetchBatch).
+  void PrefetchBatch(const KeyArg* keys, size_t count, bool for_write) {
+    uint64_t hashes[util::kBatchGroupWidth];
+    Segment* segs[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      epoch::EpochManager::Guard guard(*epochs_);
+      PrefetchGroup(keys + base, n, hashes, for_write, segs);
+    }
   }
 
   // ---- introspection ----

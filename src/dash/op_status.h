@@ -1,0 +1,26 @@
+// Outcome of a record operation on any of the four tables. Historically
+// private to the Dash segment layer; the API v2 redesign surfaces it from
+// every table (Dash-EH, Dash-LH, CCEH, Level hashing) so the adapter layer
+// can map it onto api::Status without collapsing the outcome to a bool
+// first. kNeedSplit/kRetry never escape a table's public entry points —
+// the per-table retry loops consume them.
+
+#ifndef DASH_PM_DASH_OP_STATUS_H_
+#define DASH_PM_DASH_OP_STATUS_H_
+
+#include <cstdint>
+
+namespace dash {
+
+enum class OpStatus : uint8_t {
+  kOk,         // operation applied
+  kExists,     // insert: key already present
+  kNotFound,   // search/update/delete: key absent
+  kNeedSplit,  // insert: segment is out of room — caller must split
+  kRetry,      // verification failed (stale segment / concurrent writer)
+  kOutOfMemory,
+};
+
+}  // namespace dash
+
+#endif  // DASH_PM_DASH_OP_STATUS_H_

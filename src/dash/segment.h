@@ -18,6 +18,7 @@
 #include "dash/bucket.h"
 #include "dash/config.h"
 #include "dash/key_policy.h"
+#include "dash/op_status.h"
 #include "pmem/allocator.h"
 #include "pmem/crash_point.h"
 #include "pmem/persist.h"
@@ -33,16 +34,6 @@ struct DashTableStats {
   uint64_t capacity_slots = 0;
   uint64_t directory_entries = 0;
   double load_factor = 0.0;
-};
-
-// Outcome of a record operation on a segment.
-enum class OpStatus {
-  kOk,         // operation applied
-  kExists,     // insert: key already present
-  kNotFound,   // search/delete: key absent
-  kNeedSplit,  // insert: segment is out of room — caller must split
-  kRetry,      // verification failed (stale segment / concurrent writer)
-  kOutOfMemory,
 };
 
 // Overflow stash-chain node (Dash-LH, §5.1): an extra stash bucket linked

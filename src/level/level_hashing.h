@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "dash/key_policy.h"
+#include "dash/op_status.h"
 #include "epoch/epoch_manager.h"
 #include "pmem/allocator.h"
 #include "pmem/crash_point.h"
@@ -127,29 +128,32 @@ class LevelHashing {
     pmem::Persist(&root_->clean, 1);
   }
 
-  bool Insert(KeyArg key, uint64_t value) {
+  // Returns kOk, kExists, or kOutOfMemory (resize could not allocate).
+  OpStatus Insert(KeyArg key, uint64_t value) {
     const uint64_t h1 = KP::Hash(key);
     const uint64_t h2 = util::Mix64(h1);
     epoch::EpochManager::Guard guard(*epochs_);
     return InsertWithHashes(key, value, h1, h2);
   }
 
-  bool Search(KeyArg key, uint64_t* out) {
+  // Returns kOk or kNotFound.
+  OpStatus Search(KeyArg key, uint64_t* out) {
     const uint64_t h1 = KP::Hash(key);
     const uint64_t h2 = util::Mix64(h1);
     epoch::EpochManager::Guard guard(*epochs_);
     return SearchWithHashes(key, h1, h2, out);
   }
 
-  bool Delete(KeyArg key) {
+  // Returns kOk or kNotFound.
+  OpStatus Delete(KeyArg key) {
     const uint64_t h1 = KP::Hash(key);
     const uint64_t h2 = util::Mix64(h1);
     epoch::EpochManager::Guard guard(*epochs_);
     return DeleteWithHashes(key, h1, h2);
   }
 
-  // In-place payload update; returns false if the key is absent.
-  bool Update(KeyArg key, uint64_t value) {
+  // In-place payload update; returns kOk or kNotFound.
+  OpStatus Update(KeyArg key, uint64_t value) {
     const uint64_t h1 = KP::Hash(key);
     const uint64_t h2 = util::Mix64(h1);
     epoch::EpochManager::Guard guard(*epochs_);
@@ -165,26 +169,47 @@ class LevelHashing {
   // one prefetch stage instead of two.
 
   void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
-                   bool* found) {
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, /*for_write=*/false,
                  [&](size_t i, KeyArg key, uint64_t h1, uint64_t h2) {
-                   found[i] = SearchWithHashes(key, h1, h2, &values[i]);
+                   statuses[i] = SearchWithHashes(key, h1, h2, &values[i]);
                  });
   }
 
   void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
-                   bool* inserted) {
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, /*for_write=*/true,
                  [&](size_t i, KeyArg key, uint64_t h1, uint64_t h2) {
-                   inserted[i] = InsertWithHashes(key, values[i], h1, h2);
+                   statuses[i] = InsertWithHashes(key, values[i], h1, h2);
                  });
   }
 
-  void MultiDelete(const KeyArg* keys, size_t count, bool* deleted) {
+  void MultiUpdate(const KeyArg* keys, const uint64_t* values, size_t count,
+                   OpStatus* statuses) {
     ForEachGroup(keys, count, /*for_write=*/true,
                  [&](size_t i, KeyArg key, uint64_t h1, uint64_t h2) {
-                   deleted[i] = DeleteWithHashes(key, h1, h2);
+                   statuses[i] = UpdateWithHashes(key, values[i], h1, h2);
                  });
+  }
+
+  void MultiDelete(const KeyArg* keys, size_t count, OpStatus* statuses) {
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h1, uint64_t h2) {
+                   statuses[i] = DeleteWithHashes(key, h1, h2);
+                 });
+  }
+
+  // Runs only the prefetch stage of the batch pipeline (pure hint; see
+  // DashEH::PrefetchBatch). No epoch guard needed: the stage computes
+  // candidate addresses without dereferencing them, and a prefetch of a
+  // concurrently retired block never faults.
+  void PrefetchBatch(const KeyArg* keys, size_t count, bool for_write) const {
+    uint64_t h1s[util::kBatchGroupWidth];
+    uint64_t h2s[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      PrefetchGroup(keys + base, n, h1s, h2s, for_write);
+    }
   }
 
   LevelStats Stats() const {
@@ -233,20 +258,24 @@ class LevelHashing {
 
   // ---- per-op bodies (caller holds an epoch guard) ----
 
-  bool InsertWithHashes(KeyArg key, uint64_t value, uint64_t h1,
-                        uint64_t h2) {
+  OpStatus InsertWithHashes(KeyArg key, uint64_t value, uint64_t h1,
+                            uint64_t h2) {
     for (;;) {
       resize_lock_.LockShared();
       const AttemptResult result = InsertAttempt(key, value, h1, h2);
       resize_lock_.UnlockShared();
-      if (result == AttemptResult::kInserted) return true;
-      if (result == AttemptResult::kDuplicate) return false;
-      // Out of room: full-table resize (blocks all operations).
-      Resize(root_->top_buckets);
+      if (result == AttemptResult::kInserted) return OpStatus::kOk;
+      if (result == AttemptResult::kDuplicate) return OpStatus::kExists;
+      // Out of room: full-table resize (blocks all operations). A failed
+      // resize — pool exhausted, or the (virtually impossible, 5x
+      // headroom) cuckoo-displacement overflow — means the table cannot
+      // grow; surface that instead of retrying forever.
+      if (!Resize(root_->top_buckets)) return OpStatus::kOutOfMemory;
     }
   }
 
-  bool SearchWithHashes(KeyArg key, uint64_t h1, uint64_t h2, uint64_t* out) {
+  OpStatus SearchWithHashes(KeyArg key, uint64_t h1, uint64_t h2,
+                            uint64_t* out) {
     resize_lock_.LockShared();
     Candidates c = Locate(h1, h2);
     bool found = false;
@@ -261,10 +290,10 @@ class LevelHashing {
       locks_[stripe].UnlockShared();
     }
     resize_lock_.UnlockShared();
-    return found;
+    return found ? OpStatus::kOk : OpStatus::kNotFound;
   }
 
-  bool DeleteWithHashes(KeyArg key, uint64_t h1, uint64_t h2) {
+  OpStatus DeleteWithHashes(KeyArg key, uint64_t h1, uint64_t h2) {
     resize_lock_.LockShared();
     Candidates c = Locate(h1, h2);
     LockAll(c);
@@ -279,11 +308,11 @@ class LevelHashing {
     }
     UnlockAll(c);
     resize_lock_.UnlockShared();
-    return found;
+    return found ? OpStatus::kOk : OpStatus::kNotFound;
   }
 
-  bool UpdateWithHashes(KeyArg key, uint64_t value, uint64_t h1,
-                        uint64_t h2) {
+  OpStatus UpdateWithHashes(KeyArg key, uint64_t value, uint64_t h1,
+                            uint64_t h2) {
     resize_lock_.LockShared();
     Candidates c = Locate(h1, h2);
     LockAll(c);
@@ -297,7 +326,7 @@ class LevelHashing {
     }
     UnlockAll(c);
     resize_lock_.UnlockShared();
-    return found;
+    return found ? OpStatus::kOk : OpStatus::kNotFound;
   }
 
   // Stage 1 of the batch pipeline: hash the group and prefetch the first
@@ -490,12 +519,14 @@ class LevelHashing {
   // Full-table resize (§2.3 of the paper's description): the bottom level
   // is rehashed into a brand-new top of twice the old top's size; the old
   // top becomes the new bottom. Exclusive — blocks every operation.
-  void Resize(uint64_t expected_n) {
+  // Returns false only when no progress could be made because the pool is
+  // out of memory.
+  bool Resize(uint64_t expected_n) {
     resize_lock_.Lock();
     // Another thread may have resized while we waited for the lock.
     if (root_->top_buckets != expected_n) {
       resize_lock_.Unlock();
-      return;
+      return true;
     }
     const uint64_t old_n = root_->top_buckets;
     LevelBucket* old_top = Top();
@@ -505,8 +536,7 @@ class LevelHashing {
     auto r = alloc_->Reserve(new_n * sizeof(LevelBucket));
     if (!r.valid()) {
       resize_lock_.Unlock();
-      assert(false && "level hashing: out of memory during resize");
-      return;
+      return false;
     }
     auto* new_top = static_cast<LevelBucket*>(r.ptr);
 
@@ -530,8 +560,7 @@ class LevelHashing {
       // capacity); give up cleanly.
       alloc_->Cancel(r);
       resize_lock_.Unlock();
-      assert(false && "level hashing: rehash overflow");
-      return;
+      return false;
     }
     pmem::Persist(new_top, new_n * sizeof(LevelBucket));
     CRASH_POINT("level_resize_before_commit");
@@ -553,6 +582,7 @@ class LevelHashing {
 
     pmem::PmPool* pool = pool_;
     epochs_->Retire([pool, retire_slot] { pool->CompleteRetire(retire_slot); });
+    return true;
   }
 
   bool RehashRecord(LevelBucket* new_top, uint64_t new_n, uint64_t stored,

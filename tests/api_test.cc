@@ -40,13 +40,81 @@ TEST_P(ApiTest, FactoryCreatesWorkingIndex) {
   ASSERT_NE(index, nullptr);
   EXPECT_EQ(index->kind(), GetParam());
 
-  EXPECT_TRUE(index->Insert(1, 2));
-  EXPECT_FALSE(index->Insert(1, 3));
+  EXPECT_EQ(index->Insert(1, 2), Status::kOk);
+  EXPECT_EQ(index->Insert(1, 3), Status::kExists);
   uint64_t value;
-  EXPECT_TRUE(index->Search(1, &value));
+  EXPECT_EQ(index->Search(1, &value), Status::kOk);
   EXPECT_EQ(value, 2u);
-  EXPECT_TRUE(index->Delete(1));
-  EXPECT_FALSE(index->Search(1, &value));
+  EXPECT_EQ(index->Update(1, 4), Status::kOk);
+  EXPECT_EQ(index->Search(1, &value), Status::kOk);
+  EXPECT_EQ(value, 4u);
+  EXPECT_EQ(index->Delete(1), Status::kOk);
+  EXPECT_EQ(index->Delete(1), Status::kNotFound);
+  EXPECT_EQ(index->Search(1, &value), Status::kNotFound);
+  EXPECT_EQ(index->Update(1, 5), Status::kNotFound);
+
+  index->CloseClean();
+  pool->CloseClean();
+}
+
+// Regression: key 0 is the CCEH empty-slot marker; API v2 rejects it for
+// every table so workloads cannot silently corrupt CCEH semantics.
+TEST_P(ApiTest, ReservedKeyRejectedEverywhere) {
+  test::TempPoolFile file(std::string("api_reserved_") +
+                          IndexKindName(GetParam()));
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  epoch::EpochManager epochs;
+  DashOptions opts;
+  auto index = CreateKvIndex(GetParam(), pool.get(), &epochs, opts);
+  ASSERT_NE(index, nullptr);
+
+  uint64_t value = 0;
+  EXPECT_EQ(index->Insert(0, 1), Status::kInvalidArgument);
+  EXPECT_EQ(index->Search(0, &value), Status::kInvalidArgument);
+  EXPECT_EQ(index->Update(0, 1), Status::kInvalidArgument);
+  EXPECT_EQ(index->Delete(0), Status::kInvalidArgument);
+  EXPECT_EQ(index->Stats().records, 0u);
+
+  // Batches: reserved slots get kInvalidArgument, the rest still execute.
+  uint64_t keys[3] = {7, 0, 9};
+  uint64_t values[3] = {70, 1, 90};
+  Status statuses[3];
+  index->MultiInsert(keys, values, 3, statuses);
+  EXPECT_EQ(statuses[0], Status::kOk);
+  EXPECT_EQ(statuses[1], Status::kInvalidArgument);
+  EXPECT_EQ(statuses[2], Status::kOk);
+  EXPECT_EQ(index->Stats().records, 2u);
+
+  Op ops[3] = {Op::Search(7), Op::Search(0), Op::Delete(9)};
+  index->MultiExecute(ops, 3, statuses);
+  EXPECT_EQ(statuses[0], Status::kOk);
+  EXPECT_EQ(ops[0].value, 70u);
+  EXPECT_EQ(statuses[1], Status::kInvalidArgument);
+  EXPECT_EQ(statuses[2], Status::kOk);
+
+  index->CloseClean();
+  pool->CloseClean();
+}
+
+// The var-key surface reserves the empty key the same way.
+TEST_P(ApiTest, EmptyVarKeyRejected) {
+  test::TempPoolFile file(std::string("api_var_reserved_") +
+                          IndexKindName(GetParam()));
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  epoch::EpochManager epochs;
+  DashOptions opts;
+  auto index = CreateVarKvIndex(GetParam(), pool.get(), &epochs, opts);
+  ASSERT_NE(index, nullptr);
+
+  uint64_t value = 0;
+  EXPECT_EQ(index->Insert("", 1), Status::kInvalidArgument);
+  EXPECT_EQ(index->Search("", &value), Status::kInvalidArgument);
+  EXPECT_EQ(index->Update("", 1), Status::kInvalidArgument);
+  EXPECT_EQ(index->Delete(""), Status::kInvalidArgument);
+  EXPECT_EQ(index->Insert("nonempty", 1), Status::kOk);
+  EXPECT_EQ(index->Stats().records, 1u);
 
   index->CloseClean();
   pool->CloseClean();
@@ -74,31 +142,39 @@ TEST_P(ApiTest, AgreesWithStdMapOnRandomWorkload) {
     switch (op) {
       case 0:
       case 1: {
-        const bool inserted = index->Insert(key, iter);
-        ASSERT_EQ(inserted, model.find(key) == model.end())
+        const Status inserted = index->Insert(key, iter);
+        ASSERT_EQ(inserted, model.find(key) == model.end()
+                                ? Status::kOk
+                                : Status::kExists)
             << "iter " << iter << " key " << key;
-        if (inserted) model[key] = iter;
+        if (IsOk(inserted)) model[key] = iter;
         break;
       }
       case 2: {
-        const bool found = index->Search(key, &value);
+        const Status found = index->Search(key, &value);
         const auto it = model.find(key);
-        ASSERT_EQ(found, it != model.end()) << "iter " << iter;
-        if (found) {
+        ASSERT_EQ(found,
+                  it != model.end() ? Status::kOk : Status::kNotFound)
+            << "iter " << iter;
+        if (IsOk(found)) {
           ASSERT_EQ(value, it->second);
         }
         break;
       }
       case 3: {
-        const bool updated = index->Update(key, iter + 1);
+        const Status updated = index->Update(key, iter + 1);
         const auto it = model.find(key);
-        ASSERT_EQ(updated, it != model.end()) << "iter " << iter;
-        if (updated) it->second = iter + 1;
+        ASSERT_EQ(updated,
+                  it != model.end() ? Status::kOk : Status::kNotFound)
+            << "iter " << iter;
+        if (IsOk(updated)) it->second = iter + 1;
         break;
       }
       case 4: {
-        const bool deleted = index->Delete(key);
-        ASSERT_EQ(deleted, model.erase(key) == 1) << "iter " << iter;
+        const Status deleted = index->Delete(key);
+        ASSERT_EQ(deleted,
+                  model.erase(key) == 1 ? Status::kOk : Status::kNotFound)
+            << "iter " << iter;
         break;
       }
     }

@@ -1,5 +1,5 @@
-// Batch API tests: MultiSearch/MultiInsert/MultiDelete must be
-// semantically identical to single-op loops across all four IndexKinds
+// Batch API tests: MultiSearch/MultiInsert/MultiUpdate/MultiDelete must
+// be semantically identical to single-op loops across all four IndexKinds
 // (the native implementations only add prefetching and epoch-guard
 // amortization), including under concurrent mixed batch/single-op use.
 
@@ -51,11 +51,12 @@ TEST_P(BatchTest, MultiInsertMatchesSingleOpSemantics) {
     values[i] = i + 1;
   }
 
-  std::unique_ptr<bool[]> inserted(new bool[kN]);
+  std::unique_ptr<Status[]> inserted(new Status[kN]);
   index->MultiInsert(keys.data(), values.data(), kN, inserted.get());
   for (size_t i = 0; i < kN; ++i) {
     const bool expect_new = model.find(keys[i]) == model.end();
-    ASSERT_EQ(inserted[i], expect_new) << "slot " << i;
+    ASSERT_EQ(inserted[i], expect_new ? Status::kOk : Status::kExists)
+        << "slot " << i;
     if (expect_new) model[keys[i]] = values[i];
   }
   EXPECT_EQ(index->Stats().records, model.size());
@@ -63,7 +64,7 @@ TEST_P(BatchTest, MultiInsertMatchesSingleOpSemantics) {
   // Every surviving value must match the first insert of that key.
   for (const auto& [key, value] : model) {
     uint64_t got = 0;
-    ASSERT_TRUE(index->Search(key, &got)) << "key " << key;
+    ASSERT_EQ(index->Search(key, &got), Status::kOk) << "key " << key;
     EXPECT_EQ(got, value);
   }
 
@@ -83,7 +84,7 @@ TEST_P(BatchTest, MultiSearchMatchesSingleOpLoop) {
 
   constexpr uint64_t kLoaded = 10000;
   for (uint64_t k = 1; k <= kLoaded; ++k) {
-    ASSERT_TRUE(index->Insert(k, k * 3));
+    ASSERT_EQ(index->Insert(k, k * 3), Status::kOk);
   }
 
   // Mix of present and absent keys, sized to leave a partial final group.
@@ -95,16 +96,16 @@ TEST_P(BatchTest, MultiSearchMatchesSingleOpLoop) {
   }
 
   std::vector<uint64_t> batch_values(kN);
-  std::unique_ptr<bool[]> batch_found(new bool[kN]);
+  std::unique_ptr<Status[]> batch_found(new Status[kN]);
   index->MultiSearch(keys.data(), kN, batch_values.data(),
                     batch_found.get());
 
   for (size_t i = 0; i < kN; ++i) {
     uint64_t single_value = 0;
-    const bool single_found = index->Search(keys[i], &single_value);
+    const Status single_found = index->Search(keys[i], &single_value);
     ASSERT_EQ(batch_found[i], single_found)
         << "key " << keys[i];
-    if (single_found) {
+    if (IsOk(single_found)) {
       ASSERT_EQ(batch_values[i], single_value) << "key " << keys[i];
     }
   }
@@ -125,7 +126,7 @@ TEST_P(BatchTest, MultiDeleteMatchesSingleOpSemantics) {
 
   constexpr uint64_t kLoaded = 5000;
   for (uint64_t k = 1; k <= kLoaded; ++k) {
-    ASSERT_TRUE(index->Insert(k, k));
+    ASSERT_EQ(index->Insert(k, k), Status::kOk);
   }
 
   // Delete odd keys plus some absent ones; repeated keys in one batch must
@@ -136,19 +137,69 @@ TEST_P(BatchTest, MultiDeleteMatchesSingleOpSemantics) {
     if (k % 31 == 1) keys.push_back(k);            // duplicate delete
     if (k % 17 == 1) keys.push_back(kLoaded + k);  // absent key
   }
-  std::unique_ptr<bool[]> deleted(new bool[keys.size()]);
+  std::unique_ptr<Status[]> deleted(new Status[keys.size()]);
   std::map<uint64_t, int> delete_count;
   index->MultiDelete(keys.data(), keys.size(), deleted.get());
   for (size_t i = 0; i < keys.size(); ++i) {
     const bool expect =
         keys[i] <= kLoaded && delete_count[keys[i]]++ == 0;
-    ASSERT_EQ(deleted[i], expect) << "key " << keys[i];
+    ASSERT_EQ(deleted[i], expect ? Status::kOk : Status::kNotFound)
+        << "key " << keys[i];
   }
 
   uint64_t value;
   for (uint64_t k = 1; k <= kLoaded; ++k) {
-    ASSERT_EQ(index->Search(k, &value), k % 2 == 0) << "key " << k;
+    ASSERT_EQ(index->Search(k, &value),
+              k % 2 == 0 ? Status::kOk : Status::kNotFound)
+        << "key " << k;
   }
+
+  index->CloseClean();
+  pool->CloseClean();
+}
+
+// Batched Update (new in API v2 — the PR 1 trio could not express it):
+// present keys get the new payload, absent keys report kNotFound.
+TEST_P(BatchTest, MultiUpdateMatchesSingleOpSemantics) {
+  test::TempPoolFile file(std::string("batch_upd_") +
+                          IndexKindName(GetParam()));
+  auto pool = test::CreatePool(file);
+  ASSERT_NE(pool, nullptr);
+  epoch::EpochManager epochs;
+  auto index =
+      CreateKvIndex(GetParam(), pool.get(), &epochs, SmallTableOptions());
+  ASSERT_NE(index, nullptr);
+
+  constexpr uint64_t kLoaded = 8000;
+  for (uint64_t k = 1; k <= kLoaded; ++k) {
+    ASSERT_EQ(index->Insert(k, k), Status::kOk);
+  }
+
+  // Update a mix of present and absent keys, with duplicates (the later
+  // update of a key must win since same-type batch order is preserved).
+  constexpr size_t kN = 4099;
+  std::vector<uint64_t> keys(kN), values(kN);
+  util::Xoshiro256 rng(21);
+  for (size_t i = 0; i < kN; ++i) {
+    keys[i] = rng.NextBounded(2 * kLoaded) + 1;
+    values[i] = 1000000 + i;
+  }
+  std::unique_ptr<Status[]> updated(new Status[kN]);
+  index->MultiUpdate(keys.data(), values.data(), kN, updated.get());
+
+  std::map<uint64_t, uint64_t> last_value;
+  for (size_t i = 0; i < kN; ++i) {
+    const bool present = keys[i] <= kLoaded;
+    ASSERT_EQ(updated[i], present ? Status::kOk : Status::kNotFound)
+        << "key " << keys[i];
+    if (present) last_value[keys[i]] = values[i];
+  }
+  for (const auto& [key, value] : last_value) {
+    uint64_t got = 0;
+    ASSERT_EQ(index->Search(key, &got), Status::kOk);
+    ASSERT_EQ(got, value) << "key " << key;
+  }
+  EXPECT_EQ(index->Stats().records, kLoaded);
 
   index->CloseClean();
   pool->CloseClean();
@@ -175,7 +226,7 @@ TEST_P(BatchTest, ConcurrentMixedBatchAndSingleOps) {
   std::thread batch_writer([&] {
     uint64_t keys[kBatch];
     uint64_t values[kBatch];
-    bool inserted[kBatch];
+    Status inserted[kBatch];
     for (uint64_t base = 2; base <= kKeys; base += 2 * kBatch) {
       size_t n = 0;
       for (uint64_t k = base; k <= kKeys && n < kBatch; k += 2, ++n) {
@@ -197,7 +248,7 @@ TEST_P(BatchTest, ConcurrentMixedBatchAndSingleOps) {
   std::thread reader([&] {
     uint64_t keys[kBatch];
     uint64_t values[kBatch];
-    bool found[kBatch];
+    Status found[kBatch];
     util::Xoshiro256 rng(99);
     for (int round = 0; round < 400; ++round) {
       for (size_t i = 0; i < kBatch; ++i) {
@@ -205,7 +256,7 @@ TEST_P(BatchTest, ConcurrentMixedBatchAndSingleOps) {
       }
       index->MultiSearch(keys, kBatch, values, found);
       for (size_t i = 0; i < kBatch; ++i) {
-        if (found[i] && values[i] != keys[i] + 1) {
+        if (IsOk(found[i]) && values[i] != keys[i] + 1) {
           wrong_values.fetch_add(1);
         }
       }
@@ -220,7 +271,7 @@ TEST_P(BatchTest, ConcurrentMixedBatchAndSingleOps) {
   EXPECT_EQ(index->Stats().records, kKeys);
   uint64_t value;
   for (uint64_t k = 1; k <= kKeys; ++k) {
-    ASSERT_TRUE(index->Search(k, &value)) << "key " << k;
+    ASSERT_EQ(index->Search(k, &value), Status::kOk) << "key " << k;
     ASSERT_EQ(value, k + 1);
   }
 
@@ -261,24 +312,30 @@ TEST(VarBatchTest, DashEhVarKeysRoundTrip) {
     keys[i] = storage[i];
     values[i] = i + 1;
   }
-  std::unique_ptr<bool[]> inserted(new bool[kN]);
+  std::unique_ptr<Status[]> inserted(new Status[kN]);
   index->MultiInsert(keys.data(), values.data(), kN, inserted.get());
   for (size_t i = 0; i < kN; ++i) {
-    ASSERT_TRUE(inserted[i]) << "key " << storage[i];
+    ASSERT_EQ(inserted[i], Status::kOk) << "key " << storage[i];
   }
 
   std::vector<uint64_t> got(kN);
-  std::unique_ptr<bool[]> found(new bool[kN]);
+  std::unique_ptr<Status[]> found(new Status[kN]);
   index->MultiSearch(keys.data(), kN, got.data(), found.get());
   for (size_t i = 0; i < kN; ++i) {
-    ASSERT_TRUE(found[i]) << "key " << storage[i];
+    ASSERT_EQ(found[i], Status::kOk) << "key " << storage[i];
     ASSERT_EQ(got[i], values[i]);
   }
 
-  std::unique_ptr<bool[]> deleted(new bool[kN]);
+  std::unique_ptr<Status[]> updated(new Status[kN]);
+  index->MultiUpdate(keys.data(), values.data(), kN, updated.get());
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(updated[i], Status::kOk) << "key " << storage[i];
+  }
+
+  std::unique_ptr<Status[]> deleted(new Status[kN]);
   index->MultiDelete(keys.data(), kN, deleted.get());
   for (size_t i = 0; i < kN; ++i) {
-    ASSERT_TRUE(deleted[i]);
+    ASSERT_EQ(deleted[i], Status::kOk);
   }
   EXPECT_EQ(index->Stats().records, 0u);
 

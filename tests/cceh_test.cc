@@ -29,29 +29,29 @@ class CcehTest : public ::testing::Test {
 };
 
 TEST_F(CcehTest, BasicRoundTrip) {
-  EXPECT_TRUE(table_->Insert(1, 10));
+  EXPECT_EQ(table_->Insert(1, 10), OpStatus::kOk);
   uint64_t value = 0;
-  EXPECT_TRUE(table_->Search(1, &value));
+  EXPECT_EQ(table_->Search(1, &value), OpStatus::kOk);
   EXPECT_EQ(value, 10u);
-  EXPECT_TRUE(table_->Delete(1));
-  EXPECT_FALSE(table_->Search(1, &value));
-  EXPECT_FALSE(table_->Delete(1));
+  EXPECT_EQ(table_->Delete(1), OpStatus::kOk);
+  EXPECT_EQ(table_->Search(1, &value), OpStatus::kNotFound);
+  EXPECT_EQ(table_->Delete(1), OpStatus::kNotFound);
 }
 
 TEST_F(CcehTest, DuplicateRejected) {
-  EXPECT_TRUE(table_->Insert(3, 1));
-  EXPECT_FALSE(table_->Insert(3, 2));
+  EXPECT_EQ(table_->Insert(3, 1), OpStatus::kOk);
+  EXPECT_EQ(table_->Insert(3, 2), OpStatus::kExists);
 }
 
 TEST_F(CcehTest, GrowsAndKeepsAllRecords) {
   constexpr uint64_t kKeys = 30000;
   for (uint64_t k = 1; k <= kKeys; ++k) {
-    ASSERT_TRUE(table_->Insert(k, k * 5)) << "key " << k;
+    ASSERT_EQ(table_->Insert(k, k * 5), OpStatus::kOk) << "key " << k;
   }
   EXPECT_GT(table_->global_depth(), 1u);
   for (uint64_t k = 1; k <= kKeys; ++k) {
     uint64_t value = 0;
-    ASSERT_TRUE(table_->Search(k, &value)) << "key " << k;
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk) << "key " << k;
     ASSERT_EQ(value, k * 5);
   }
   EXPECT_EQ(table_->Size(), kKeys);
@@ -59,7 +59,7 @@ TEST_F(CcehTest, GrowsAndKeepsAllRecords) {
 
 TEST_F(CcehTest, LoadFactorIsLow) {
   for (uint64_t k = 1; k <= 30000; ++k) {
-    ASSERT_TRUE(table_->Insert(k, k));
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
   }
   // Pre-mature splits cap CCEH's load factor in the 35-50% band (Fig. 12).
   EXPECT_LT(table_->LoadFactor(), 0.60);
@@ -67,18 +67,18 @@ TEST_F(CcehTest, LoadFactorIsLow) {
 }
 
 TEST_F(CcehTest, DeleteThenReuseSlots) {
-  for (uint64_t k = 1; k <= 5000; ++k) ASSERT_TRUE(table_->Insert(k, k));
-  for (uint64_t k = 1; k <= 5000; ++k) ASSERT_TRUE(table_->Delete(k));
+  for (uint64_t k = 1; k <= 5000; ++k) ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
+  for (uint64_t k = 1; k <= 5000; ++k) ASSERT_EQ(table_->Delete(k), OpStatus::kOk);
   EXPECT_EQ(table_->Size(), 0u);
   for (uint64_t k = 5001; k <= 10000; ++k) {
-    ASSERT_TRUE(table_->Insert(k, k));
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
   }
   EXPECT_EQ(table_->Size(), 5000u);
 }
 
 TEST_F(CcehTest, PersistsAcrossCleanRestart) {
   for (uint64_t k = 1; k <= 10000; ++k) {
-    ASSERT_TRUE(table_->Insert(k, k + 1));
+    ASSERT_EQ(table_->Insert(k, k + 1), OpStatus::kOk);
   }
   table_->CloseClean();
   table_.reset();
@@ -90,14 +90,14 @@ TEST_F(CcehTest, PersistsAcrossCleanRestart) {
   table_ = std::make_unique<CCEH<>>(pool_.get(), &epochs_, opts_);
   for (uint64_t k = 1; k <= 10000; ++k) {
     uint64_t value = 0;
-    ASSERT_TRUE(table_->Search(k, &value)) << "key " << k;
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk) << "key " << k;
     ASSERT_EQ(value, k + 1);
   }
 }
 
 TEST_F(CcehTest, RecoversAfterCrashViaDirectoryScan) {
   for (uint64_t k = 1; k <= 20000; ++k) {
-    ASSERT_TRUE(table_->Insert(k, k));
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
   }
   epochs_.DiscardAll();  // pending reclaims reference the dying pool
   table_.reset();
@@ -110,10 +110,10 @@ TEST_F(CcehTest, RecoversAfterCrashViaDirectoryScan) {
   table_ = std::make_unique<CCEH<>>(pool_.get(), &epochs_, opts_);
   uint64_t value;
   for (uint64_t k = 1; k <= 20000; ++k) {
-    ASSERT_TRUE(table_->Search(k, &value)) << "key " << k;
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk) << "key " << k;
   }
   // Table stays writable after recovery.
-  EXPECT_TRUE(table_->Insert(999999, 1));
+  EXPECT_EQ(table_->Insert(999999, 1), OpStatus::kOk);
 }
 
 TEST_F(CcehTest, CrashDuringSplitRecovers) {
@@ -141,18 +141,18 @@ TEST_F(CcehTest, CrashDuringSplitRecovers) {
   table_ = std::make_unique<CCEH<>>(pool_.get(), &epochs_, opts_);
   uint64_t value;
   for (uint64_t j = 1; j < k; ++j) {
-    ASSERT_TRUE(table_->Search(j, &value)) << "key " << j << " lost in crash";
+    ASSERT_EQ(table_->Search(j, &value), OpStatus::kOk) << "key " << j << " lost in crash";
     ASSERT_EQ(value, j);
   }
   // The interrupted insert itself may or may not have landed; the table
   // must accept it now either way.
-  if (!table_->Search(k, &value)) {
-    ASSERT_TRUE(table_->Insert(k, k));
+  if (table_->Search(k, &value) != OpStatus::kOk) {
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
   }
 }
 
 TEST_F(CcehTest, SearchCostsPmWritesForLocks) {
-  for (uint64_t k = 1; k <= 1000; ++k) ASSERT_TRUE(table_->Insert(k, k));
+  for (uint64_t k = 1; k <= 1000; ++k) ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
   pmem::ResetPmStats();
   uint64_t value;
   for (uint64_t k = 1; k <= 1000; ++k) table_->Search(k, &value);

@@ -15,7 +15,9 @@ namespace dash {
 namespace {
 
 using api::IndexKind;
+using api::IsOk;
 using api::KvIndex;
+using api::Status;
 
 class ConcurrentTest : public ::testing::TestWithParam<IndexKind> {
  protected:
@@ -50,7 +52,7 @@ TEST_P(ConcurrentTest, DisjointInsertsAllLand) {
     workers.emplace_back([&, t] {
       for (uint64_t i = 1; i <= kPerThread; ++i) {
         const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
-        ASSERT_TRUE(table_->Insert(key, key * 2)) << "key " << key;
+        ASSERT_EQ(table_->Insert(key, key * 2), Status::kOk) << "key " << key;
       }
     });
   }
@@ -58,7 +60,7 @@ TEST_P(ConcurrentTest, DisjointInsertsAllLand) {
   uint64_t value;
   for (uint64_t key = 1;
        key <= static_cast<uint64_t>(threads) * kPerThread; ++key) {
-    ASSERT_TRUE(table_->Search(key, &value)) << "key " << key;
+    ASSERT_EQ(table_->Search(key, &value), Status::kOk) << "key " << key;
     ASSERT_EQ(value, key * 2);
   }
   EXPECT_EQ(table_->Stats().records,
@@ -73,7 +75,7 @@ TEST_P(ConcurrentTest, DuplicateRaceExactlyOneWinner) {
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
       for (uint64_t key = 1; key <= kKeys; ++key) {
-        if (table_->Insert(key, key)) winners.fetch_add(1);
+        if (IsOk(table_->Insert(key, key))) winners.fetch_add(1);
       }
     });
   }
@@ -101,7 +103,7 @@ TEST_P(ConcurrentTest, ReadersNeverSeeTornValues) {
       uint64_t value;
       while (!stop.load()) {
         const uint64_t key = rng.NextBounded(kKeys) + 1;
-        if (table_->Search(key, &value)) {
+        if (IsOk(table_->Search(key, &value))) {
           ASSERT_EQ(value, key * 3) << "torn read for key " << key;
           checked.fetch_add(1);
         }
@@ -129,18 +131,24 @@ TEST_P(ConcurrentTest, MixedInsertSearchDelete) {
         const uint64_t action = rng.NextBounded(3);
         uint64_t value;
         if (action == 0) {
-          const bool inserted = table_->Insert(key, key);
-          ASSERT_EQ(inserted, !present[slot]) << "key " << key;
+          const Status inserted = table_->Insert(key, key);
+          ASSERT_EQ(inserted,
+                    present[slot] ? Status::kExists : Status::kOk)
+              << "key " << key;
           present[slot] = true;
         } else if (action == 1) {
-          const bool found = table_->Search(key, &value);
-          ASSERT_EQ(found, present[slot]) << "key " << key;
-          if (found) {
+          const Status found = table_->Search(key, &value);
+          ASSERT_EQ(found,
+                    present[slot] ? Status::kOk : Status::kNotFound)
+              << "key " << key;
+          if (IsOk(found)) {
             ASSERT_EQ(value, key);
           }
         } else {
-          const bool deleted = table_->Delete(key);
-          ASSERT_EQ(deleted, present[slot]) << "key " << key;
+          const Status deleted = table_->Delete(key);
+          ASSERT_EQ(deleted,
+                    present[slot] ? Status::kOk : Status::kNotFound)
+              << "key " << key;
           present[slot] = false;
         }
       }
@@ -164,7 +172,7 @@ TEST_P(ConcurrentTest, NegativeSearchDuringGrowth) {
       while (!stop.load()) {
         // Keys from a disjoint range: must never be found.
         for (uint64_t key = 10000000; key < 10000100; ++key) {
-          ASSERT_FALSE(table_->Search(key, &value));
+          ASSERT_EQ(table_->Search(key, &value), Status::kNotFound);
         }
       }
     });

@@ -28,33 +28,33 @@ class LevelTest : public ::testing::Test {
 };
 
 TEST_F(LevelTest, BasicRoundTrip) {
-  EXPECT_TRUE(table_->Insert(1, 10));
+  EXPECT_EQ(table_->Insert(1, 10), OpStatus::kOk);
   uint64_t value = 0;
-  EXPECT_TRUE(table_->Search(1, &value));
+  EXPECT_EQ(table_->Search(1, &value), OpStatus::kOk);
   EXPECT_EQ(value, 10u);
-  EXPECT_TRUE(table_->Delete(1));
-  EXPECT_FALSE(table_->Search(1, &value));
+  EXPECT_EQ(table_->Delete(1), OpStatus::kOk);
+  EXPECT_EQ(table_->Search(1, &value), OpStatus::kNotFound);
 }
 
 TEST_F(LevelTest, DuplicateRejected) {
-  EXPECT_TRUE(table_->Insert(2, 1));
-  EXPECT_FALSE(table_->Insert(2, 9));
+  EXPECT_EQ(table_->Insert(2, 1), OpStatus::kOk);
+  EXPECT_EQ(table_->Insert(2, 9), OpStatus::kExists);
   uint64_t value;
-  ASSERT_TRUE(table_->Search(2, &value));
+  ASSERT_EQ(table_->Search(2, &value), OpStatus::kOk);
   EXPECT_EQ(value, 1u);
 }
 
 TEST_F(LevelTest, ResizesUnderLoadAndKeepsRecords) {
   constexpr uint64_t kKeys = 20000;
   for (uint64_t k = 1; k <= kKeys; ++k) {
-    ASSERT_TRUE(table_->Insert(k, k * 3)) << "key " << k;
+    ASSERT_EQ(table_->Insert(k, k * 3), OpStatus::kOk) << "key " << k;
   }
   const LevelStats stats = table_->Stats();
   EXPECT_GT(stats.resizes, 0u) << "64-bucket table must have resized";
   EXPECT_EQ(stats.records, kKeys);
   for (uint64_t k = 1; k <= kKeys; ++k) {
     uint64_t value = 0;
-    ASSERT_TRUE(table_->Search(k, &value)) << "key " << k;
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk) << "key " << k;
     ASSERT_EQ(value, k * 3);
   }
 }
@@ -64,7 +64,7 @@ TEST_F(LevelTest, AchievesHighLoadFactorBeforeResize) {
   uint64_t resizes_seen = 0;
   double peak = 0;
   for (uint64_t k = 1; k <= 100000; ++k) {
-    ASSERT_TRUE(table_->Insert(k, k));
+    ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
     const LevelStats stats = table_->Stats();
     if (stats.resizes > resizes_seen) {
       resizes_seen = stats.resizes;
@@ -77,24 +77,24 @@ TEST_F(LevelTest, AchievesHighLoadFactorBeforeResize) {
 }
 
 TEST_F(LevelTest, DeleteFromBothLevels) {
-  for (uint64_t k = 1; k <= 3000; ++k) ASSERT_TRUE(table_->Insert(k, k));
+  for (uint64_t k = 1; k <= 3000; ++k) ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
   for (uint64_t k = 1; k <= 3000; ++k) {
-    ASSERT_TRUE(table_->Delete(k)) << "key " << k;
+    ASSERT_EQ(table_->Delete(k), OpStatus::kOk) << "key " << k;
   }
   EXPECT_EQ(table_->Size(), 0u);
 }
 
 TEST_F(LevelTest, NegativeSearches) {
-  for (uint64_t k = 1; k <= 5000; ++k) ASSERT_TRUE(table_->Insert(k, k));
+  for (uint64_t k = 1; k <= 5000; ++k) ASSERT_EQ(table_->Insert(k, k), OpStatus::kOk);
   uint64_t value;
   for (uint64_t k = 1000000; k < 1001000; ++k) {
-    ASSERT_FALSE(table_->Search(k, &value));
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kNotFound);
   }
 }
 
 TEST_F(LevelTest, PersistsAcrossCleanRestart) {
   for (uint64_t k = 1; k <= 10000; ++k) {
-    ASSERT_TRUE(table_->Insert(k, k ^ 0xABCD));
+    ASSERT_EQ(table_->Insert(k, k ^ 0xABCD), OpStatus::kOk);
   }
   table_->CloseClean();
   table_.reset();
@@ -106,7 +106,7 @@ TEST_F(LevelTest, PersistsAcrossCleanRestart) {
   table_ = std::make_unique<LevelHashing<>>(pool_.get(), &epochs_, opts_);
   for (uint64_t k = 1; k <= 10000; ++k) {
     uint64_t value = 0;
-    ASSERT_TRUE(table_->Search(k, &value)) << "key " << k;
+    ASSERT_EQ(table_->Search(k, &value), OpStatus::kOk) << "key " << k;
     ASSERT_EQ(value, k ^ 0xABCD);
   }
 }
@@ -136,7 +136,7 @@ TEST_F(LevelTest, CrashBeforeResizeCommitKeepsOldTable) {
   table_ = std::make_unique<LevelHashing<>>(pool_.get(), &epochs_, opts_);
   uint64_t value;
   for (uint64_t j = 1; j < k - 1; ++j) {
-    ASSERT_TRUE(table_->Search(j, &value)) << "key " << j;
+    ASSERT_EQ(table_->Search(j, &value), OpStatus::kOk) << "key " << j;
     ASSERT_EQ(value, j);
   }
 }
@@ -166,7 +166,7 @@ TEST_F(LevelTest, CrashAfterResizeCommitUsesNewTable) {
   // The insert that triggered the resize may not have completed; all
   // earlier keys must be present.
   for (uint64_t j = 1; j + 1 < k; ++j) {
-    ASSERT_TRUE(table_->Search(j, &value)) << "key " << j;
+    ASSERT_EQ(table_->Search(j, &value), OpStatus::kOk) << "key " << j;
   }
 }
 

@@ -1,0 +1,339 @@
+// ShardedStore tests: routing stability, scatter/regroup/gather batch
+// execution, aggregated stats, persistence across reopen, and concurrent
+// mixed batches from multiple threads against 4 shards.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/sharded_store.h"
+#include "test_util.h"
+#include "util/rand.h"
+
+namespace dash::api {
+namespace {
+
+// Temp path prefix whose `.shard<i>` pool files are removed on teardown.
+class TempShardPaths {
+ public:
+  explicit TempShardPaths(const std::string& tag, size_t shards)
+      : shards_(shards) {
+    const char* base = access("/dev/shm", W_OK) == 0 ? "/dev/shm" : "/tmp";
+    prefix_ = std::string(base) + "/dash_test_" + tag + "_" +
+              std::to_string(getpid()) + "_" + std::to_string(counter_++);
+    Cleanup();
+  }
+  ~TempShardPaths() { Cleanup(); }
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  void Cleanup() {
+    for (size_t i = 0; i < shards_; ++i) {
+      std::remove((prefix_ + ".shard" + std::to_string(i)).c_str());
+    }
+    std::remove((prefix_ + ".manifest").c_str());
+  }
+
+  static inline int counter_ = 0;
+  size_t shards_;
+  std::string prefix_;
+};
+
+ShardedStoreOptions SmallStoreOptions(const std::string& prefix,
+                                      size_t shards) {
+  ShardedStoreOptions options;
+  options.kind = IndexKind::kDashEH;
+  options.shards = shards;
+  options.path_prefix = prefix;
+  options.shard_pool_size = 128ull << 20;
+  options.table.buckets_per_segment = 16;
+  return options;
+}
+
+TEST(ShardedStoreTest, SingleOpsRouteAndRoundTrip) {
+  TempShardPaths paths("store_basic", 4);
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 4));
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->shard_count(), 4u);
+
+  constexpr uint64_t kKeys = 20000;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_EQ(store->Insert(k, k * 7), Status::kOk) << "key " << k;
+  }
+  uint64_t value = 0;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_EQ(store->Search(k, &value), Status::kOk) << "key " << k;
+    ASSERT_EQ(value, k * 7);
+  }
+  EXPECT_EQ(store->Insert(5, 1), Status::kExists);
+  EXPECT_EQ(store->Update(5, 500), Status::kOk);
+  ASSERT_EQ(store->Search(5, &value), Status::kOk);
+  EXPECT_EQ(value, 500u);
+  EXPECT_EQ(store->Delete(5), Status::kOk);
+  EXPECT_EQ(store->Delete(5), Status::kNotFound);
+  EXPECT_EQ(store->Insert(0, 1), Status::kInvalidArgument);
+
+  // Every shard must have received a fair share of a uniform keyspace.
+  const ShardedStats stats = store->Stats();
+  EXPECT_EQ(stats.shard_count, 4u);
+  EXPECT_EQ(stats.totals.records, kKeys - 1);
+  EXPECT_GT(stats.totals.bytes_used, 0u);
+  for (size_t s = 0; s < store->shard_count(); ++s) {
+    const uint64_t records = store->shard(s)->Stats().records;
+    EXPECT_GT(records, kKeys / 8) << "shard " << s << " starved";
+  }
+  EXPECT_GE(stats.max_shard_load_factor, stats.min_shard_load_factor);
+  EXPECT_GT(stats.min_shard_load_factor, 0.0);
+
+  store->CloseClean();
+}
+
+TEST(ShardedStoreTest, RoutingIsStableAcrossReopen) {
+  TempShardPaths paths("store_reopen", 2);
+  constexpr uint64_t kKeys = 5000;
+  {
+    auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+    ASSERT_NE(store, nullptr);
+    for (uint64_t k = 1; k <= kKeys; ++k) {
+      ASSERT_EQ(store->Insert(k, k + 1), Status::kOk);
+    }
+    store->CloseClean();
+  }
+  {
+    auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+    ASSERT_NE(store, nullptr);
+    uint64_t value = 0;
+    for (uint64_t k = 1; k <= kKeys; ++k) {
+      ASSERT_EQ(store->Search(k, &value), Status::kOk) << "key " << k;
+      ASSERT_EQ(value, k + 1);
+    }
+    EXPECT_EQ(store->Stats().totals.records, kKeys);
+    store->CloseClean();
+  }
+}
+
+TEST(ShardedStoreTest, MultiExecuteMatchesModel) {
+  TempShardPaths paths("store_mexec", 4);
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 4));
+  ASSERT_NE(store, nullptr);
+
+  std::map<uint64_t, uint64_t> model;
+  util::Xoshiro256 rng(11);
+  constexpr uint64_t kKeySpace = 10000;
+  for (int round = 0; round < 40; ++round) {
+    constexpr size_t kN = 300;
+    std::vector<Op> ops;
+    std::map<uint64_t, bool> used;
+    while (ops.size() < kN) {
+      const uint64_t key = rng.NextBounded(kKeySpace) + 1;
+      if (used.count(key)) continue;
+      used[key] = true;
+      switch (rng.NextBounded(4)) {
+        case 0: ops.push_back(Op::Search(key)); break;
+        case 1: ops.push_back(Op::Insert(key, rng.Next())); break;
+        case 2: ops.push_back(Op::Update(key, rng.Next())); break;
+        default: ops.push_back(Op::Delete(key)); break;
+      }
+    }
+    std::vector<Status> statuses(kN);
+    store->MultiExecute(ops.data(), kN, statuses.data());
+    for (size_t i = 0; i < kN; ++i) {
+      Status expected = Status::kInternal;
+      switch (ops[i].type) {
+        case OpType::kSearch: {
+          const auto it = model.find(ops[i].key);
+          expected = it == model.end() ? Status::kNotFound : Status::kOk;
+          if (it != model.end()) {
+            ASSERT_EQ(ops[i].value, it->second) << "key " << ops[i].key;
+          }
+          break;
+        }
+        case OpType::kInsert:
+          expected = model.emplace(ops[i].key, ops[i].value).second
+                         ? Status::kOk
+                         : Status::kExists;
+          break;
+        case OpType::kUpdate: {
+          const auto it = model.find(ops[i].key);
+          expected = it == model.end() ? Status::kNotFound : Status::kOk;
+          if (it != model.end()) it->second = ops[i].value;
+          break;
+        }
+        case OpType::kDelete:
+          expected = model.erase(ops[i].key) == 1 ? Status::kOk
+                                                  : Status::kNotFound;
+          break;
+      }
+      ASSERT_EQ(statuses[i], expected)
+          << "round " << round << " slot " << i << " key " << ops[i].key;
+    }
+  }
+  EXPECT_EQ(store->Stats().totals.records, model.size());
+  store->CloseClean();
+}
+
+// Homogeneous Multi* facade entry points: scatter by key, per-shard
+// pipeline dispatch, gather in caller order. Batch sizes straddle the
+// stack/heap scratch boundary (256).
+TEST(ShardedStoreTest, HomogeneousMultiOpsMatchSingleOps) {
+  TempShardPaths paths("store_multi", 4);
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 4));
+  ASSERT_NE(store, nullptr);
+
+  for (const size_t n : {5ul, 64ul, 300ul}) {
+    std::vector<uint64_t> keys(n), values(n), got(n);
+    std::vector<Status> statuses(n);
+    const uint64_t base = n * 100000;
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = base + i + 1;
+      values[i] = i + 7;
+    }
+    store->MultiInsert(keys.data(), values.data(), n, statuses.data());
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(statuses[i], Status::kOk);
+    store->MultiInsert(keys.data(), values.data(), n, statuses.data());
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(statuses[i], Status::kExists);
+
+    store->MultiSearch(keys.data(), n, got.data(), statuses.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(statuses[i], Status::kOk) << "key " << keys[i];
+      ASSERT_EQ(got[i], values[i]);
+    }
+
+    for (size_t i = 0; i < n; ++i) values[i] = i + 1000;
+    store->MultiUpdate(keys.data(), values.data(), n, statuses.data());
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(statuses[i], Status::kOk);
+    store->MultiSearch(keys.data(), n, got.data(), statuses.data());
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(got[i], values[i]);
+
+    store->MultiDelete(keys.data(), n, statuses.data());
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(statuses[i], Status::kOk);
+    store->MultiDelete(keys.data(), n, statuses.data());
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(statuses[i], Status::kNotFound);
+  }
+
+  // Reserved key inside a batch: flagged, neighbors still execute.
+  uint64_t keys[3] = {11, 0, 13};
+  uint64_t values[3] = {1, 2, 3};
+  Status statuses[3];
+  store->MultiInsert(keys, values, 3, statuses);
+  EXPECT_EQ(statuses[0], Status::kOk);
+  EXPECT_EQ(statuses[1], Status::kInvalidArgument);
+  EXPECT_EQ(statuses[2], Status::kOk);
+
+  EXPECT_EQ(store->Stats().totals.records, 2u);
+  store->CloseClean();
+}
+
+// Multiple threads issue mixed batches against 4 shards over disjoint key
+// ranges; a reader thread hammers the full range concurrently.
+TEST(ShardedStoreTest, ConcurrentMixedBatches) {
+  TempShardPaths paths("store_conc", 4);
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 4));
+  ASSERT_NE(store, nullptr);
+
+  const int writers = 4;
+  constexpr uint64_t kPerThread = 8000;
+  constexpr size_t kBatch = 64;
+  std::atomic<uint64_t> wrong_values{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      const uint64_t base = static_cast<uint64_t>(t) * kPerThread;
+      Op ops[kBatch];
+      Status statuses[kBatch];
+      // Insert the range in mixed batches that also re-search earlier keys.
+      for (uint64_t k = 1; k <= kPerThread; k += kBatch / 2) {
+        size_t n = 0;
+        for (uint64_t i = k; i < k + kBatch / 2 && i <= kPerThread; ++i) {
+          ops[n++] = Op::Insert(base + i, base + i + 1);
+        }
+        const size_t inserts = n;
+        for (uint64_t i = k; i >= 2 && n < kBatch; --i) {
+          ops[n++] = Op::Search(base + i - 1);
+        }
+        store->MultiExecute(ops, n, statuses);
+        for (size_t i = 0; i < inserts; ++i) {
+          if (!IsOk(statuses[i])) wrong_values.fetch_add(1);
+        }
+        for (size_t i = inserts; i < n; ++i) {
+          if (IsOk(statuses[i]) &&
+              ops[i].value != ops[i].key + 1) {
+            wrong_values.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    util::Xoshiro256 rng(5);
+    Op ops[kBatch];
+    Status statuses[kBatch];
+    for (int round = 0; round < 300; ++round) {
+      for (size_t i = 0; i < kBatch; ++i) {
+        ops[i] = Op::Search(
+            rng.NextBounded(static_cast<uint64_t>(writers) * kPerThread) + 1);
+      }
+      store->MultiExecute(ops, kBatch, statuses);
+      for (size_t i = 0; i < kBatch; ++i) {
+        if (IsOk(statuses[i]) && ops[i].value != ops[i].key + 1) {
+          wrong_values.fetch_add(1);
+        }
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(wrong_values.load(), 0u);
+  EXPECT_EQ(store->Stats().totals.records,
+            static_cast<uint64_t>(writers) * kPerThread);
+  uint64_t value = 0;
+  for (uint64_t k = 1; k <= static_cast<uint64_t>(writers) * kPerThread;
+       ++k) {
+    ASSERT_EQ(store->Search(k, &value), Status::kOk) << "key " << k;
+    ASSERT_EQ(value, k + 1);
+  }
+  store->CloseClean();
+}
+
+TEST(ShardedStoreTest, RejectsBadOptions) {
+  EXPECT_EQ(ShardedStore::Open({}), nullptr);  // empty prefix
+  TempShardPaths paths("store_zero", 1);
+  ShardedStoreOptions options = SmallStoreOptions(paths.prefix(), 0);
+  EXPECT_EQ(ShardedStore::Open(options), nullptr);
+}
+
+// Reopening with a different shard count or kind must fail loudly (the
+// manifest check) — a silent mismatch would misroute every key.
+TEST(ShardedStoreTest, RejectsMismatchedReopen) {
+  TempShardPaths paths("store_manifest", 4);
+  {
+    auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 4));
+    ASSERT_NE(store, nullptr);
+    ASSERT_EQ(store->Insert(1, 1), Status::kOk);
+    store->CloseClean();
+  }
+  EXPECT_EQ(ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2)),
+            nullptr);
+  ShardedStoreOptions wrong_kind = SmallStoreOptions(paths.prefix(), 4);
+  wrong_kind.kind = IndexKind::kCCEH;
+  EXPECT_EQ(ShardedStore::Open(wrong_kind), nullptr);
+  // The matching configuration still opens.
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 4));
+  ASSERT_NE(store, nullptr);
+  uint64_t value = 0;
+  EXPECT_EQ(store->Search(1, &value), Status::kOk);
+  store->CloseClean();
+}
+
+}  // namespace
+}  // namespace dash::api

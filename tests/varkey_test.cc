@@ -41,44 +41,44 @@ class VarKeyTest : public ::testing::TestWithParam<IndexKind> {
 };
 
 TEST_P(VarKeyTest, BasicRoundTrip) {
-  EXPECT_TRUE(index_->Insert("hello", 1));
+  EXPECT_EQ(index_->Insert("hello", 1), Status::kOk);
   uint64_t value = 0;
-  EXPECT_TRUE(index_->Search("hello", &value));
+  EXPECT_EQ(index_->Search("hello", &value), Status::kOk);
   EXPECT_EQ(value, 1u);
-  EXPECT_FALSE(index_->Search("hellp", &value));
-  EXPECT_TRUE(index_->Delete("hello"));
-  EXPECT_FALSE(index_->Search("hello", &value));
+  EXPECT_EQ(index_->Search("hellp", &value), Status::kNotFound);
+  EXPECT_EQ(index_->Delete("hello"), Status::kOk);
+  EXPECT_EQ(index_->Search("hello", &value), Status::kNotFound);
 }
 
 TEST_P(VarKeyTest, DuplicateContentRejectedEvenWithDifferentPointers) {
   const std::string a = MakeKey(7);
   const std::string b = MakeKey(7);  // same content, different buffer
-  EXPECT_TRUE(index_->Insert(a, 1));
-  EXPECT_FALSE(index_->Insert(b, 2));
+  EXPECT_EQ(index_->Insert(a, 1), Status::kOk);
+  EXPECT_EQ(index_->Insert(b, 2), Status::kExists);
 }
 
 TEST_P(VarKeyTest, PrefixAndSuffixDiffer) {
-  EXPECT_TRUE(index_->Insert("alpha", 1));
-  EXPECT_TRUE(index_->Insert("alphabet", 2));
+  EXPECT_EQ(index_->Insert("alpha", 1), Status::kOk);
+  EXPECT_EQ(index_->Insert("alphabet", 2), Status::kOk);
   uint64_t value;
-  ASSERT_TRUE(index_->Search("alpha", &value));
+  ASSERT_EQ(index_->Search("alpha", &value), Status::kOk);
   EXPECT_EQ(value, 1u);
-  ASSERT_TRUE(index_->Search("alphabet", &value));
+  ASSERT_EQ(index_->Search("alphabet", &value), Status::kOk);
   EXPECT_EQ(value, 2u);
 }
 
 TEST_P(VarKeyTest, ManyKeysWithGrowth) {
   constexpr uint64_t kKeys = 20000;
   for (uint64_t i = 1; i <= kKeys; ++i) {
-    ASSERT_TRUE(index_->Insert(MakeKey(i), i)) << "key " << i;
+    ASSERT_EQ(index_->Insert(MakeKey(i), i), Status::kOk) << "key " << i;
   }
   uint64_t value;
   for (uint64_t i = 1; i <= kKeys; ++i) {
-    ASSERT_TRUE(index_->Search(MakeKey(i), &value)) << "key " << i;
+    ASSERT_EQ(index_->Search(MakeKey(i), &value), Status::kOk) << "key " << i;
     ASSERT_EQ(value, i);
   }
   for (uint64_t i = kKeys + 1; i <= kKeys + 500; ++i) {
-    ASSERT_FALSE(index_->Search(MakeKey(i), &value));
+    ASSERT_EQ(index_->Search(MakeKey(i), &value), Status::kNotFound);
   }
   EXPECT_EQ(index_->Stats().records, kKeys);
 }
@@ -86,22 +86,22 @@ TEST_P(VarKeyTest, ManyKeysWithGrowth) {
 TEST_P(VarKeyTest, MixedLengthKeys) {
   for (size_t len : {1u, 5u, 8u, 9u, 16u, 64u, 255u}) {
     const std::string key(len, 'k');
-    ASSERT_TRUE(index_->Insert(key, len)) << "len " << len;
+    ASSERT_EQ(index_->Insert(key, len), Status::kOk) << "len " << len;
   }
   uint64_t value;
   for (size_t len : {1u, 5u, 8u, 9u, 16u, 64u, 255u}) {
     const std::string key(len, 'k');
-    ASSERT_TRUE(index_->Search(key, &value)) << "len " << len;
+    ASSERT_EQ(index_->Search(key, &value), Status::kOk) << "len " << len;
     ASSERT_EQ(value, len);
   }
 }
 
 TEST_P(VarKeyTest, UpdateInPlace) {
-  ASSERT_FALSE(index_->Update("missing", 1));
-  ASSERT_TRUE(index_->Insert("profile", 10));
-  ASSERT_TRUE(index_->Update("profile", 20));
+  ASSERT_EQ(index_->Update("missing", 1), Status::kNotFound);
+  ASSERT_EQ(index_->Insert("profile", 10), Status::kOk);
+  ASSERT_EQ(index_->Update("profile", 20), Status::kOk);
   uint64_t value = 0;
-  ASSERT_TRUE(index_->Search("profile", &value));
+  ASSERT_EQ(index_->Search("profile", &value), Status::kOk);
   EXPECT_EQ(value, 20u);
   EXPECT_EQ(index_->Stats().records, 1u);
 }
@@ -109,14 +109,16 @@ TEST_P(VarKeyTest, UpdateInPlace) {
 TEST_P(VarKeyTest, DeleteInterleaved) {
   constexpr uint64_t kKeys = 5000;
   for (uint64_t i = 1; i <= kKeys; ++i) {
-    ASSERT_TRUE(index_->Insert(MakeKey(i), i));
+    ASSERT_EQ(index_->Insert(MakeKey(i), i), Status::kOk);
   }
   for (uint64_t i = 1; i <= kKeys; i += 2) {
-    ASSERT_TRUE(index_->Delete(MakeKey(i)));
+    ASSERT_EQ(index_->Delete(MakeKey(i)), Status::kOk);
   }
   uint64_t value;
   for (uint64_t i = 1; i <= kKeys; ++i) {
-    ASSERT_EQ(index_->Search(MakeKey(i), &value), i % 2 == 0) << i;
+    ASSERT_EQ(index_->Search(MakeKey(i), &value),
+              i % 2 == 0 ? Status::kOk : Status::kNotFound)
+        << i;
   }
 }
 
