@@ -13,12 +13,22 @@
 // common --pool-gb/--pool-dir flags. --shards=N (N >= 1) switches to the
 // ShardedStore facade: the same key stream runs once through single-op
 // calls and once through mixed-op MultiExecute descriptor batches that
-// are scattered/regrouped per shard — the serving-path configuration.
+// are scattered/regrouped per shard (sequential caller-thread execution,
+// the PR2 baseline).
+//
+// --shards=N --threads=K engages the async serving mode instead: K
+// submitter threads drive SubmitExecute against the per-shard worker
+// executor, each keeping --window=W batches in flight, and the same
+// mixed stream is measured on the sequential caller-thread path for
+// comparison. Results (plus machine context) are appended as JSON to
+// --json-out (default BENCH_async.json) — the perf-trajectory artifact.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "util/hash.h"
@@ -173,6 +183,131 @@ PhaseResult ShardedBatchMixedPhase(api::ShardedStore* store,
       });
 }
 
+// ---- async serving mode (per-shard workers + windowed submission) ----
+
+// K submitter threads drive mixed descriptor batches through
+// SubmitExecute, each keeping `window` futures in flight so the shard
+// queues stay busy; per-shard FIFO makes the overlap safe.
+PhaseResult AsyncMixedPhase(api::ShardedStore* store, uint64_t preloaded,
+                            uint64_t insert_base, uint64_t ops, size_t batch,
+                            int clients, size_t window) {
+  return RunParallel(
+      clients, ops,
+      [store, preloaded, insert_base, batch, window](int, uint64_t begin,
+                                                     uint64_t end) {
+        struct Slot {
+          api::Op ops[kMaxBatch];
+          api::Status statuses[kMaxBatch];
+          api::BatchFuture future;
+          size_t n = 0;
+        };
+        std::vector<Slot> slots(window);
+        size_t w = 0;
+        uint64_t i = begin;
+        while (i < end) {
+          Slot& slot = slots[w++ % window];
+          if (slot.future.valid()) slot.future.Wait();
+          slot.n = std::min<uint64_t>(batch, end - i);
+          for (size_t j = 0; j < slot.n; ++j) {
+            slot.ops[j] = MixedOp(i + j, preloaded, insert_base);
+          }
+          slot.future =
+              store->SubmitExecute(slot.ops, slot.n, slot.statuses);
+          i += slot.n;
+        }
+        for (Slot& slot : slots) {
+          if (slot.future.valid()) slot.future.Wait();
+        }
+      });
+}
+
+// Sequential baseline vs per-shard-worker async submission on identical
+// mixed streams, reported to stdout and appended to `json_path`.
+int RunAsyncServingMode(api::IndexKind kind, size_t shards, int clients,
+                        size_t batch, size_t window, uint64_t preload,
+                        uint64_t ops, const BenchConfig& config,
+                        const std::string& json_path) {
+  const std::string name =
+      std::string(api::IndexKindName(kind)) + "-x" + std::to_string(shards);
+  DashOptions options;
+  const uint64_t mixed_ops = std::min<uint64_t>(ops, preload * 2);
+
+  // Baseline: the PR2 facade — every shard sub-batch executes
+  // sequentially on the single caller thread.
+  PhaseResult seq;
+  {
+    api::AsyncOptions sequential;
+    sequential.workers = false;
+    StoreHandle handle =
+        MakeShardedStore(kind, shards, config, options, sequential);
+    ShardedPreload(handle.store.get(), preload);
+    seq = ShardedBatchMixedPhase(handle.store.get(), preload, preload,
+                                 mixed_ops, batch);
+    PrintRow("bench_batch", name, "mixed-seq", 1, seq);
+    PrintJson(name, "mixed", "sequential", batch, seq, shards);
+  }
+
+  // Sync wrapper on the executor path (1 client, submit+wait per batch):
+  // isolates the queue hand-off cost from the parallelism win. Runs on
+  // its own store so its inserts do not skew the async phase below.
+  PhaseResult wrapper;
+  {
+    StoreHandle handle = MakeShardedStore(kind, shards, config, options);
+    ShardedPreload(handle.store.get(), preload);
+    wrapper = ShardedBatchMixedPhase(handle.store.get(), preload, preload,
+                                     mixed_ops, batch);
+    PrintRow("bench_batch", name, "mixed-wrapper", 1, wrapper);
+    PrintJson(name, "mixed", "sync-wrapper", batch, wrapper, shards);
+  }
+
+  // Async: per-shard workers; K clients submit with a window of futures.
+  // Fresh store preloaded identically to the sequential baseline, so the
+  // headline speedup compares identical store states.
+  PhaseResult async;
+  {
+    StoreHandle handle = MakeShardedStore(kind, shards, config, options);
+    ShardedPreload(handle.store.get(), preload);
+    async = AsyncMixedPhase(handle.store.get(), preload, preload,
+                            mixed_ops, batch, clients, window);
+    PrintRow("bench_batch", name, "mixed-async", clients, async);
+    std::printf(
+        "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"op\":\"mixed\","
+        "\"mode\":\"async\",\"batch\":%zu,\"threads\":%d,\"shards\":%zu,"
+        "\"window\":%zu,\"mops\":%.4f}\n",
+        name.c_str(), batch, clients, shards, window, async.mops);
+  }
+
+  const double speedup = async.mops / seq.mops;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf(
+      "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"shards\":%zu,"
+      "\"clients\":%d,\"batch\":%zu,\"async_speedup_vs_sequential\":%.3f}"
+      "\n",
+      name.c_str(), shards, clients, batch, speedup);
+  std::fflush(stdout);
+
+  std::FILE* out = std::fopen(json_path.c_str(), "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\"bench\":\"bench_batch_async\",\"table\":\"%s\",\"shards\":%zu,"
+      "\"clients\":%d,\"batch\":%zu,\"window\":%zu,\"hw_threads\":%u,"
+      "\"preload\":%llu,\"ops\":%llu,\"seq_mops\":%.4f,"
+      "\"sync_wrapper_mops\":%.4f,\"async_mops\":%.4f,"
+      "\"async_speedup_vs_sequential\":%.3f}\n",
+      api::IndexKindName(kind), shards, clients, batch, window, hw_threads,
+      static_cast<unsigned long long>(preload),
+      static_cast<unsigned long long>(mixed_ops), seq.mops, wrapper.mops,
+      async.mops, speedup);
+  std::fclose(out);
+  std::printf("# async serving results appended to %s\n",
+              json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace dash::bench
 
@@ -185,7 +320,10 @@ int main(int argc, char** argv) {
   uint64_t ops = 2'000'000;
   size_t batch = 16;
   size_t shards = 0;
+  size_t window = 4;
+  bool has_threads_flag = false;
   std::string only_table;
+  std::string json_out = "BENCH_async.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--preload=", 10) == 0) {
       preload = std::strtoull(argv[i] + 10, nullptr, 10);
@@ -196,6 +334,13 @@ int main(int argc, char** argv) {
                                  kMaxBatch);
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::strtoull(argv[i] + 9, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      has_threads_flag = true;  // value parsed by ParseArgs
+    } else if (std::strncmp(argv[i], "--window=", 9) == 0) {
+      window = std::clamp<size_t>(std::strtoull(argv[i] + 9, nullptr, 10),
+                                  1, 64);
+    } else if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--table=", 8) == 0) {
       only_table = argv[i] + 8;
     }
@@ -203,6 +348,21 @@ int main(int argc, char** argv) {
   const uint64_t insert_ops = std::min<uint64_t>(ops / 2, preload);
 
   PrintHeader("bench_batch");
+
+  // --shards=N --threads=K: the async serving mode (multi-client
+  // submission against the per-shard worker executor).
+  if (shards > 0 && has_threads_flag) {
+    api::IndexKind kind = api::IndexKind::kDashEH;
+    if (!only_table.empty() && !api::ParseIndexKind(only_table, &kind)) {
+      std::fprintf(stderr, "unknown table kind %s\n", only_table.c_str());
+      return 1;
+    }
+    const int clients = std::max(1, config.thread_counts.empty()
+                                        ? 1
+                                        : config.thread_counts.back());
+    return RunAsyncServingMode(kind, shards, clients, batch, window,
+                               preload, ops, config, json_out);
+  }
 
   // --shards=N: the serving-path configuration — one ShardedStore, the
   // single-op facade vs mixed-op MultiExecute descriptor batches.
@@ -215,7 +375,13 @@ int main(int argc, char** argv) {
     const std::string name =
         std::string(api::IndexKindName(kind)) + "-x" + std::to_string(shards);
     DashOptions options;
-    StoreHandle handle = MakeShardedStore(kind, shards, config, options);
+    // Sequential caller-thread execution: this mode isolates the
+    // descriptor-batch path itself; the worker executor is measured by
+    // the --threads mode above.
+    api::AsyncOptions sequential;
+    sequential.workers = false;
+    StoreHandle handle =
+        MakeShardedStore(kind, shards, config, options, sequential);
     ShardedPreload(handle.store.get(), preload);
 
     const PhaseResult single_search =

@@ -99,7 +99,8 @@ void StoreHandle::Reset() {
 
 StoreHandle MakeShardedStore(api::IndexKind kind, size_t shards,
                              const BenchConfig& config,
-                             const DashOptions& options) {
+                             const DashOptions& options,
+                             const api::AsyncOptions& async) {
   StoreHandle handle;
   handle.prefix = UniquePoolPath(config.pool_dir) + "_store";
   handle.shards = shards;
@@ -110,6 +111,7 @@ StoreHandle MakeShardedStore(api::IndexKind kind, size_t shards,
   store_options.shard_pool_size =
       std::max<size_t>((config.pool_gb << 30) / shards, 1ull << 30);
   store_options.table = options;
+  store_options.async = async;
   handle.store = api::ShardedStore::Open(store_options);
   if (handle.store == nullptr) {
     std::fprintf(stderr, "cannot create sharded store at %s\n",

@@ -106,9 +106,13 @@ struct StoreHandle {
   void Reset();
 };
 
+// `async` selects the execution mode behind the store's batch surface:
+// the default enables the per-shard worker threads; pass
+// {.workers = false} for the sequential caller-thread baseline.
 StoreHandle MakeShardedStore(api::IndexKind kind, size_t shards,
                              const BenchConfig& config,
-                             const DashOptions& options);
+                             const DashOptions& options,
+                             const api::AsyncOptions& async = {});
 
 // Phase result: throughput and PM counters per op.
 struct PhaseResult {

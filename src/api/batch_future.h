@@ -1,0 +1,178 @@
+// Completion tokens for the asynchronous submission API.
+//
+// ShardedStore::Submit* scatters a batch on the caller thread, enqueues one
+// work item per touched shard on that shard's worker queue, and returns a
+// BatchFuture. Each worker executes its contiguous sub-range through the
+// shard's AMAC pipeline, writes results straight back into the caller's
+// arrays (the gather is distributed — every regrouped slot maps to a
+// distinct caller slot, so writers never overlap), and signals one shard
+// completion. The future becomes ready when the last shard completes; the
+// release-decrement / acquire-load pair on the pending count is what makes
+// the caller's reads of its result arrays safe after Wait()/Ready().
+
+#ifndef DASH_PM_API_BATCH_FUTURE_H_
+#define DASH_PM_API_BATCH_FUTURE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/kv_index.h"
+#include "api/status.h"
+
+namespace dash::api {
+
+namespace internal {
+
+// Shared shard-completion counting. `pending` is the number of shard work
+// items still outstanding; the last CompleteOne wakes every waiter.
+struct CompletionState {
+  std::atomic<uint32_t> pending{0};
+
+  bool Ready() const {
+    return pending.load(std::memory_order_acquire) == 0;
+  }
+
+  void Wait() {
+    if (Ready()) return;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return Ready(); });
+  }
+
+  void CompleteOne() {
+    if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // The lock orders the notify against a waiter that observed
+      // pending != 0 but has not started waiting yet.
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+  }
+
+ protected:
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+// One submitted batch. Owns the regrouped copy of the operations (shard s
+// holds the contiguous range [start[s], start[s+1])) so the request stays
+// valid while it sits in queues; the caller's output arrays must outlive
+// the future's completion. Serving-sized batches live entirely in the
+// inline storage below — one make_shared allocation per request instead
+// of a handful of vector allocations on the hot submission path.
+struct BatchState : CompletionState {
+  static constexpr size_t kInlineOps = 256;
+  static constexpr size_t kInlineShards = 64;
+
+  // Spans set up by ShardedStore::SubmitScattered: into the inline
+  // arrays when count <= kInlineOps and shards <= kInlineShards, into
+  // the heap vectors beyond.
+  Op* sub = nullptr;           // regrouped descriptors
+  Status* sub_status = nullptr;
+  uint32_t* origin = nullptr;  // regrouped slot -> caller slot
+  size_t* start = nullptr;     // per-shard offsets, size shards + 1
+
+  // Caller-owned result arrays.
+  Status* statuses = nullptr;
+  Op* caller_ops = nullptr;       // mixed batch: search results
+  uint64_t* values_out = nullptr;  // homogeneous search: search results
+
+  // kOk when the batch was accepted; kInvalidArgument when the store had
+  // already been closed (the future is then born ready and every caller
+  // status slot holds kInvalidArgument).
+  Status submit_status = Status::kOk;
+
+  // Runs shard s's sub-range against `index`, writes statuses (and search
+  // results) back to the caller slots, and signals the shard completion.
+  // Defined in executor.cc.
+  void RunShard(size_t s, KvIndex* index);
+
+  // Points the spans at the inline arrays or, beyond their capacity, at
+  // freshly sized heap vectors.
+  void ReserveSlots(size_t count, size_t shards) {
+    if (count <= kInlineOps && shards <= kInlineShards) {
+      sub = inline_sub_;
+      sub_status = inline_status_;
+      origin = inline_origin_;
+      start = inline_start_;
+    } else {
+      heap_sub_.resize(count);
+      heap_status_.resize(count);
+      heap_origin_.resize(count);
+      heap_start_.resize(shards + 1);
+      sub = heap_sub_.data();
+      sub_status = heap_status_.data();
+      origin = heap_origin_.data();
+      start = heap_start_.data();
+    }
+  }
+
+ private:
+  Op inline_sub_[kInlineOps];
+  Status inline_status_[kInlineOps];
+  uint32_t inline_origin_[kInlineOps];
+  size_t inline_start_[kInlineShards + 1];
+  std::vector<Op> heap_sub_;
+  std::vector<Status> heap_status_;
+  std::vector<uint32_t> heap_origin_;
+  std::vector<size_t> heap_start_;
+};
+
+// One Stats snapshot routed through the shard queues: shard s's worker
+// fills per_shard[s] at its queue position, i.e. after every batch that
+// was enqueued before the snapshot request.
+struct StatsState : CompletionState {
+  std::vector<IndexStats> per_shard;
+};
+
+}  // namespace internal
+
+// Completion token of one submitted batch. Copyable (shares the underlying
+// state); default-constructed futures are invalid. The submitting caller
+// must keep its operation/status arrays alive and unread until the future
+// is ready.
+class BatchFuture {
+ public:
+  BatchFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  // Whether the submission was accepted (kOk) or rejected because the
+  // store was closed (kInvalidArgument). Invalid futures report
+  // kInvalidArgument.
+  Status submit_status() const {
+    return state_ == nullptr ? Status::kInvalidArgument
+                             : state_->submit_status;
+  }
+
+  // Non-blocking completion poll. Invalid futures are trivially ready.
+  bool Ready() const { return state_ == nullptr || state_->Ready(); }
+
+  // Blocks until every shard of the batch has completed. After Wait()
+  // returns, the caller's status/value arrays are fully written and safe
+  // to read. No-op on invalid futures.
+  void Wait() {
+    if (state_ != nullptr) state_->Wait();
+  }
+
+  // Number of shard sub-batches still outstanding (0 once ready).
+  uint32_t pending_shards() const {
+    return state_ == nullptr
+               ? 0
+               : state_->pending.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class ShardedStore;
+  explicit BatchFuture(std::shared_ptr<internal::BatchState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::BatchState> state_;
+};
+
+}  // namespace dash::api
+
+#endif  // DASH_PM_API_BATCH_FUTURE_H_

@@ -1,0 +1,142 @@
+#include "api/executor.h"
+
+#include <cassert>
+
+#include "util/thread_id.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dash::api {
+
+namespace internal {
+
+void BatchState::RunShard(size_t s, KvIndex* index) {
+  const size_t begin = start[s];
+  const size_t end = start[s + 1];
+  index->MultiExecute(sub + begin, end - begin, sub_status + begin);
+  // Distributed gather: every regrouped slot maps to a distinct caller
+  // slot, so shards write the caller's arrays concurrently without
+  // overlap; the release decrement in CompleteOne publishes the writes.
+  for (size_t j = begin; j < end; ++j) {
+    statuses[origin[j]] = sub_status[j];
+    if (sub[j].type == OpType::kSearch && IsOk(sub_status[j])) {
+      if (caller_ops != nullptr) {
+        caller_ops[origin[j]].value = sub[j].value;
+      } else if (values_out != nullptr) {
+        values_out[origin[j]] = sub[j].value;
+      }
+    }
+  }
+  CompleteOne();
+}
+
+}  // namespace internal
+
+namespace {
+
+void PinToCore(size_t core) {
+#if defined(__linux__)
+  const unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % n), &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+ShardExecutor::ShardExecutor(std::vector<ShardCtx> shards,
+                             const ExecutorOptions& options)
+    : shards_(std::move(shards)), options_(options) {
+  if (options_.queue_depth == 0) options_.queue_depth = 1;
+  queues_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() { Stop(); }
+
+bool ShardExecutor::Submit(WorkItem item) {
+  assert(item.shard < queues_.size());
+  Queue& queue = *queues_[item.shard];
+  {
+    std::unique_lock<std::mutex> lock(queue.mu);
+    queue.not_full.wait(lock, [&] {
+      return queue.items.size() < options_.queue_depth || queue.stopped;
+    });
+    if (queue.stopped) return false;
+    queue.items.push_back(std::move(item));
+  }
+  queue.not_empty.notify_one();
+  return true;
+}
+
+void ShardExecutor::Stop() {
+  for (auto& queue : queues_) {
+    std::lock_guard<std::mutex> lock(queue->mu);
+    queue->stopped = true;
+  }
+  for (auto& queue : queues_) {
+    queue->not_empty.notify_all();
+    queue->not_full.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ShardExecutor::WorkerLoop(size_t s) {
+  if (options_.pin_workers) PinToCore(s);
+  Queue& queue = *queues_[s];
+  epoch::EpochManager* epochs = shards_[s].epochs;
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue.mu);
+      if (queue.items.empty() && !queue.stopped) {
+        // Going idle: advance the shard's epoch and reclaim retired
+        // blocks, so garbage does not sit pinned until the next Retire.
+        lock.unlock();
+        epochs->TryAdvanceAndReclaim();
+        lock.lock();
+        queue.not_empty.wait(
+            lock, [&] { return !queue.items.empty() || queue.stopped; });
+      }
+      if (queue.items.empty()) break;  // stopped and fully drained
+      item = std::move(queue.items.front());
+      queue.items.pop_front();
+    }
+    queue.not_full.notify_one();
+    Execute(item, s);
+  }
+  // Quiesced for good: hand the epoch slot and the dense thread id back
+  // so future worker threads (or client threads) can adopt them.
+  epochs->ReleaseCurrentThreadSlot();
+  util::ReleaseThreadId();
+}
+
+void ShardExecutor::Execute(WorkItem& item, size_t s) {
+  switch (item.kind) {
+    case WorkItem::Kind::kBatch:
+      item.batch->RunShard(s, shards_[s].index);
+      break;
+    case WorkItem::Kind::kStats:
+      item.stats->per_shard[s] = shards_[s].index->Stats();
+      item.stats->CompleteOne();
+      break;
+  }
+}
+
+}  // namespace dash::api

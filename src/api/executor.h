@@ -1,0 +1,107 @@
+// Per-shard execution subsystem behind ShardedStore's async submission
+// API: one worker thread per shard, each owning a bounded MPSC request
+// queue. Submitters (any number of client threads) enqueue work items;
+// the shard's worker drains them in FIFO order through that shard's AMAC
+// batch pipeline. This is what turns ShardedStore from a facade that
+// time-slices shards on the caller's thread into a concurrent service
+// whose throughput scales with the shard count.
+//
+// Ordering contract: items enqueued on one shard execute in submission
+// order (per-shard FIFO); items on different shards are unordered with
+// respect to each other. A full queue blocks the submitter (backpressure)
+// rather than dropping or unboundedly buffering requests.
+//
+// Worker threads pin the shard's epochs from their own dense thread id
+// (util::ThreadId) exactly like any client thread would; on exit — after
+// Stop() has drained their queue — they release their epoch slot and
+// return the id for reuse, so worker churn across many store open/close
+// cycles cannot exhaust the process-wide id space.
+
+#ifndef DASH_PM_API_EXECUTOR_H_
+#define DASH_PM_API_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/batch_future.h"
+#include "api/kv_index.h"
+#include "epoch/epoch_manager.h"
+
+namespace dash::api {
+
+struct ExecutorOptions {
+  // Maximum work items buffered per shard queue; submitters block while
+  // their target queue is full.
+  size_t queue_depth = 128;
+  // Pin worker i to core i (mod hardware concurrency). Off by default:
+  // pinning helps steady-state serving but hurts when clients and workers
+  // oversubscribe a small machine.
+  bool pin_workers = false;
+};
+
+class ShardExecutor {
+ public:
+  struct ShardCtx {
+    KvIndex* index = nullptr;
+    epoch::EpochManager* epochs = nullptr;
+  };
+
+  // One queued request for one shard.
+  struct WorkItem {
+    enum class Kind : uint8_t {
+      kBatch,  // run batch->RunShard(shard, index)
+      kStats,  // snapshot index->Stats() into stats->per_shard[shard]
+    };
+    Kind kind = Kind::kBatch;
+    uint32_t shard = 0;
+    std::shared_ptr<internal::BatchState> batch;
+    std::shared_ptr<internal::StatsState> stats;
+  };
+
+  // Spawns one worker per shard. The ShardCtx pointees must outlive the
+  // executor.
+  ShardExecutor(std::vector<ShardCtx> shards, const ExecutorOptions& options);
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+  ~ShardExecutor();  // Stop()
+
+  // Enqueues `item` on its shard's queue, blocking while the queue is
+  // full. Returns false only when the executor has been stopped (the item
+  // is then not enqueued and the caller owns its completion).
+  bool Submit(WorkItem item);
+
+  // Marks every queue stopped, drains all queued work, and joins the
+  // workers. Safe to call more than once. Submissions that lost the race
+  // and arrived after Stop() return false from Submit.
+  void Stop();
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t queue_depth() const { return options_.queue_depth; }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<WorkItem> items;
+    bool stopped = false;
+  };
+
+  void WorkerLoop(size_t s);
+  void Execute(WorkItem& item, size_t s);
+
+  std::vector<ShardCtx> shards_;
+  ExecutorOptions options_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dash::api
+
+#endif  // DASH_PM_API_EXECUTOR_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 
 #include "util/hash.h"
 
@@ -100,8 +101,25 @@ std::unique_ptr<ShardedStore> ShardedStore::Open(
     }
     return nullptr;
   }
+  if (options.async.workers &&
+      !(options.shards == 1 && options.async.inline_single_shard)) {
+    std::vector<ShardExecutor::ShardCtx> ctx;
+    ctx.reserve(store->shards_.size());
+    for (Shard& shard : store->shards_) {
+      ctx.push_back({shard.index.get(), shard.epochs.get()});
+    }
+    ExecutorOptions executor_options;
+    executor_options.queue_depth = options.async.queue_depth;
+    executor_options.pin_workers = options.async.pin_workers;
+    store->executor_ =
+        std::make_unique<ShardExecutor>(std::move(ctx), executor_options);
+  }
   return store;
 }
+
+// Workers are joined first (executor_ is the last member), so by the time
+// the shards are torn down no thread is executing on them.
+ShardedStore::~ShardedStore() = default;
 
 size_t ShardedStore::ShardOf(uint64_t key) const {
   // Second mix decorrelates shard routing from every hash-bit range the
@@ -109,53 +127,256 @@ size_t ShardedStore::ShardOf(uint64_t key) const {
   return util::Mix64(util::HashInt64(key)) % shards_.size();
 }
 
+// Single ops hold the submission gate shared for the duration of the
+// probe, like every batch path: a CloseClean racing the call waits until
+// the probe is off the shard instead of unmapping under it.
+
 Status ShardedStore::Insert(uint64_t key, uint64_t value) {
   if (IsReservedKey(key)) return Status::kInvalidArgument;
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (!accepting_) return Status::kInvalidArgument;
   return shards_[ShardOf(key)].index->Insert(key, value);
 }
 
 Status ShardedStore::Search(uint64_t key, uint64_t* value) {
   if (IsReservedKey(key)) return Status::kInvalidArgument;
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (!accepting_) return Status::kInvalidArgument;
   return shards_[ShardOf(key)].index->Search(key, value);
 }
 
 Status ShardedStore::Update(uint64_t key, uint64_t value) {
   if (IsReservedKey(key)) return Status::kInvalidArgument;
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (!accepting_) return Status::kInvalidArgument;
   return shards_[ShardOf(key)].index->Update(key, value);
 }
 
 Status ShardedStore::Delete(uint64_t key) {
   if (IsReservedKey(key)) return Status::kInvalidArgument;
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (!accepting_) return Status::kInvalidArgument;
   return shards_[ShardOf(key)].index->Delete(key);
 }
 
 namespace {
 // Serving batches are typically small; below this size the scatter uses
 // stack scratch instead of heap vectors (the allocations would otherwise
-// rival the cost of a 16-op batch).
-constexpr size_t kStackBatch = 256;
-constexpr size_t kMaxShardsOnStack = 64;
+// rival the cost of a 16-op batch). Tied to BatchState's inline storage
+// so the stack and inline fast paths cannot silently diverge.
+constexpr size_t kStackBatch = internal::BatchState::kInlineOps;
+constexpr size_t kMaxShardsOnStack = internal::BatchState::kInlineShards;
 }  // namespace
+
+// ---- asynchronous submission ----
+
+template <typename KeyAt, typename MakeOp, typename RunDirect>
+BatchFuture ShardedStore::SubmitScattered(
+    std::shared_ptr<internal::BatchState> state, size_t count, KeyAt key_at,
+    MakeOp make_op, RunDirect run_direct) {
+  const size_t num_shards = shards_.size();
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (!accepting_) {
+    state->submit_status = Status::kInvalidArgument;
+    for (size_t i = 0; i < count; ++i) {
+      state->statuses[i] = Status::kInvalidArgument;
+    }
+    return BatchFuture(std::move(state));
+  }
+  if (count == 0) return BatchFuture(std::move(state));
+
+  if (executor_ == nullptr && num_shards == 1) {
+    // Inline single-shard fast path: no scatter state, no copies — run
+    // the shard's native batch entry point straight off the caller's
+    // arrays; the future is born ready.
+    run_direct(shards_[0].index.get());
+    return BatchFuture(std::move(state));
+  }
+
+  state->ReserveSlots(count, num_shards);
+
+  uint32_t stack_shard_of[kStackBatch];
+  size_t stack_cursor[kMaxShardsOnStack];
+  std::vector<uint32_t> heap_shard_of;
+  std::vector<size_t> heap_cursor;
+  uint32_t* shard_of = stack_shard_of;
+  size_t* cursor = stack_cursor;
+  if (count > kStackBatch || num_shards > kMaxShardsOnStack) {
+    heap_shard_of.resize(count);
+    heap_cursor.resize(num_shards);
+    shard_of = heap_shard_of.data();
+    cursor = heap_cursor.data();
+  }
+  PlanScatter(count, key_at, shard_of, state->start, cursor,
+              state->origin);
+  for (size_t j = 0; j < count; ++j) {
+    state->sub[j] = make_op(state->origin[j]);
+  }
+
+  uint32_t touched = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (state->start[s + 1] > state->start[s]) ++touched;
+  }
+  state->pending.store(touched, std::memory_order_relaxed);
+
+  BatchFuture future(state);
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (state->start[s + 1] == state->start[s]) continue;
+    if (executor_ != nullptr) {
+      ShardExecutor::WorkItem item;
+      item.kind = ShardExecutor::WorkItem::Kind::kBatch;
+      item.shard = static_cast<uint32_t>(s);
+      item.batch = state;
+      if (executor_->Submit(std::move(item))) continue;
+      // The executor only refuses after Stop(), which the submission gate
+      // rules out here; complete inline defensively all the same.
+    }
+    state->RunShard(s, shards_[s].index.get());
+  }
+  return future;
+}
+
+BatchFuture ShardedStore::SubmitExecute(Op* ops, size_t count,
+                                        Status* statuses) {
+  auto state = std::make_shared<internal::BatchState>();
+  state->statuses = statuses;
+  state->caller_ops = ops;
+  return SubmitScattered(
+      std::move(state), count, [ops](size_t i) { return ops[i].key; },
+      [ops](size_t i) { return ops[i]; },
+      [=](KvIndex* index) { index->MultiExecute(ops, count, statuses); });
+}
+
+BatchFuture ShardedStore::SubmitSearch(const uint64_t* keys, size_t count,
+                                       uint64_t* values, Status* statuses) {
+  auto state = std::make_shared<internal::BatchState>();
+  state->statuses = statuses;
+  state->values_out = values;
+  return SubmitScattered(
+      std::move(state), count, [keys](size_t i) { return keys[i]; },
+      [keys](size_t i) { return Op::Search(keys[i]); },
+      [=](KvIndex* index) {
+        index->MultiSearch(keys, count, values, statuses);
+      });
+}
+
+BatchFuture ShardedStore::SubmitInsert(const uint64_t* keys,
+                                       const uint64_t* values, size_t count,
+                                       Status* statuses) {
+  auto state = std::make_shared<internal::BatchState>();
+  state->statuses = statuses;
+  return SubmitScattered(
+      std::move(state), count, [keys](size_t i) { return keys[i]; },
+      [keys, values](size_t i) { return Op::Insert(keys[i], values[i]); },
+      [=](KvIndex* index) {
+        index->MultiInsert(keys, values, count, statuses);
+      });
+}
+
+BatchFuture ShardedStore::SubmitUpdate(const uint64_t* keys,
+                                       const uint64_t* values, size_t count,
+                                       Status* statuses) {
+  auto state = std::make_shared<internal::BatchState>();
+  state->statuses = statuses;
+  return SubmitScattered(
+      std::move(state), count, [keys](size_t i) { return keys[i]; },
+      [keys, values](size_t i) { return Op::Update(keys[i], values[i]); },
+      [=](KvIndex* index) {
+        index->MultiUpdate(keys, values, count, statuses);
+      });
+}
+
+BatchFuture ShardedStore::SubmitDelete(const uint64_t* keys, size_t count,
+                                       Status* statuses) {
+  auto state = std::make_shared<internal::BatchState>();
+  state->statuses = statuses;
+  return SubmitScattered(
+      std::move(state), count, [keys](size_t i) { return keys[i]; },
+      [keys](size_t i) { return Op::Delete(keys[i]); },
+      [=](KvIndex* index) { index->MultiDelete(keys, count, statuses); });
+}
+
+// ---- synchronous wrappers ----
 
 void ShardedStore::MultiSearch(const uint64_t* keys, size_t count,
                                uint64_t* values, Status* statuses) {
+  if (executor_ != nullptr) {
+    SubmitSearch(keys, count, values, statuses).Wait();
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (RejectClosed(statuses, count)) return;
   MultiUniform(BatchKind::kSearch, keys, nullptr, values, count, statuses);
 }
 
 void ShardedStore::MultiInsert(const uint64_t* keys, const uint64_t* values,
                                size_t count, Status* statuses) {
+  if (executor_ != nullptr) {
+    SubmitInsert(keys, values, count, statuses).Wait();
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (RejectClosed(statuses, count)) return;
   MultiUniform(BatchKind::kInsert, keys, values, nullptr, count, statuses);
 }
 
 void ShardedStore::MultiUpdate(const uint64_t* keys, const uint64_t* values,
                                size_t count, Status* statuses) {
+  if (executor_ != nullptr) {
+    SubmitUpdate(keys, values, count, statuses).Wait();
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (RejectClosed(statuses, count)) return;
   MultiUniform(BatchKind::kUpdate, keys, values, nullptr, count, statuses);
 }
 
 void ShardedStore::MultiDelete(const uint64_t* keys, size_t count,
                                Status* statuses) {
+  if (executor_ != nullptr) {
+    SubmitDelete(keys, count, statuses).Wait();
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (RejectClosed(statuses, count)) return;
   MultiUniform(BatchKind::kDelete, keys, nullptr, nullptr, count, statuses);
 }
+
+void ShardedStore::MultiExecute(Op* ops, size_t count, Status* statuses) {
+  if (executor_ != nullptr) {
+    SubmitExecute(ops, count, statuses).Wait();
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (RejectClosed(statuses, count)) return;
+  const size_t num_shards = shards_.size();
+  if (num_shards == 1) {
+    shards_[0].index->MultiExecute(ops, count, statuses);
+    return;
+  }
+  if (count <= kStackBatch && num_shards <= kMaxShardsOnStack) {
+    uint32_t shard_of[kStackBatch];
+    size_t start[kMaxShardsOnStack + 1];
+    uint32_t origin[kStackBatch];
+    Op sub[kStackBatch];
+    Status sub_status[kStackBatch];
+    size_t cursor[kMaxShardsOnStack];
+    ExecuteScattered(ops, count, statuses, shard_of, start, origin, sub,
+                     sub_status, cursor);
+    return;
+  }
+  std::vector<uint32_t> shard_of(count);
+  std::vector<size_t> start(num_shards + 1);
+  std::vector<uint32_t> origin(count);
+  std::vector<Op> sub(count);
+  std::vector<Status> sub_status(count);
+  std::vector<size_t> cursor(num_shards);
+  ExecuteScattered(ops, count, statuses, shard_of.data(), start.data(),
+                   origin.data(), sub.data(), sub_status.data(),
+                   cursor.data());
+}
+
+// ---- sequential (inline) execution paths ----
 
 void ShardedStore::MultiUniform(BatchKind kind, const uint64_t* keys,
                                 const uint64_t* values_in,
@@ -270,34 +491,6 @@ void ShardedStore::MultiUniform(BatchKind kind, const uint64_t* keys,
   }
 }
 
-void ShardedStore::MultiExecute(Op* ops, size_t count, Status* statuses) {
-  const size_t num_shards = shards_.size();
-  if (num_shards == 1) {
-    shards_[0].index->MultiExecute(ops, count, statuses);
-    return;
-  }
-  if (count <= kStackBatch && num_shards <= kMaxShardsOnStack) {
-    uint32_t shard_of[kStackBatch];
-    size_t start[kMaxShardsOnStack + 1];
-    uint32_t origin[kStackBatch];
-    Op sub[kStackBatch];
-    Status sub_status[kStackBatch];
-    size_t cursor[kMaxShardsOnStack];
-    ExecuteScattered(ops, count, statuses, shard_of, start, origin, sub,
-                     sub_status, cursor);
-    return;
-  }
-  std::vector<uint32_t> shard_of(count);
-  std::vector<size_t> start(num_shards + 1);
-  std::vector<uint32_t> origin(count);
-  std::vector<Op> sub(count);
-  std::vector<Status> sub_status(count);
-  std::vector<size_t> cursor(num_shards);
-  ExecuteScattered(ops, count, statuses, shard_of.data(), start.data(),
-                   origin.data(), sub.data(), sub_status.data(),
-                   cursor.data());
-}
-
 // Scatter: bucket-sort descriptor indices by shard (two passes, stable,
 // O(count + shards)), regrouping each shard's ops into one contiguous
 // sub-batch so the shard's adapter can type-partition and pipeline it;
@@ -350,21 +543,22 @@ void ShardedStore::ExecuteScattered(Op* ops, size_t count, Status* statuses,
   }
 }
 
-ShardedStats ShardedStore::Stats() {
+// ---- stats & shutdown ----
+
+ShardedStats ShardedStore::Aggregate(const IndexStats* per_shard,
+                                     size_t count) {
   ShardedStats out;
-  out.shard_count = shards_.size();
-  bool first = true;
-  for (auto& shard : shards_) {
-    const IndexStats s = shard.index->Stats();
+  out.shard_count = count;
+  for (size_t i = 0; i < count; ++i) {
+    const IndexStats& s = per_shard[i];
     out.totals.records += s.records;
     out.totals.capacity_slots += s.capacity_slots;
     out.totals.bytes_used += s.bytes_used;
-    out.min_shard_load_factor = first ? s.load_factor
-                                      : std::min(out.min_shard_load_factor,
-                                                 s.load_factor);
+    out.min_shard_load_factor =
+        i == 0 ? s.load_factor
+               : std::min(out.min_shard_load_factor, s.load_factor);
     out.max_shard_load_factor =
         std::max(out.max_shard_load_factor, s.load_factor);
-    first = false;
   }
   out.totals.load_factor =
       out.totals.capacity_slots == 0
@@ -374,7 +568,54 @@ ShardedStats ShardedStore::Stats() {
   return out;
 }
 
+ShardedStats ShardedStore::Stats() {
+  if (executor_ != nullptr) {
+    // Route the snapshot through the shard queues: each shard's numbers
+    // are taken by its worker at the snapshot's queue position — after
+    // every batch enqueued before this call, never mid-batch.
+    auto state = std::make_shared<internal::StatsState>();
+    state->per_shard.resize(shards_.size());
+    {
+      std::shared_lock<std::shared_mutex> lock(submit_mu_);
+      if (!accepting_) return ShardedStats{};
+      state->pending.store(static_cast<uint32_t>(shards_.size()),
+                           std::memory_order_relaxed);
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        ShardExecutor::WorkItem item;
+        item.kind = ShardExecutor::WorkItem::Kind::kStats;
+        item.shard = static_cast<uint32_t>(s);
+        item.stats = state;
+        if (!executor_->Submit(std::move(item))) {
+          state->per_shard[s] = shards_[s].index->Stats();
+          state->CompleteOne();
+        }
+      }
+    }
+    state->Wait();
+    return Aggregate(state->per_shard.data(), state->per_shard.size());
+  }
+  std::shared_lock<std::shared_mutex> lock(submit_mu_);
+  if (!accepting_) return ShardedStats{};
+  std::vector<IndexStats> per_shard(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    per_shard[i] = shards_[i].index->Stats();
+  }
+  return Aggregate(per_shard.data(), per_shard.size());
+}
+
 void ShardedStore::CloseClean() {
+  // Serializes concurrent CloseClean calls: the loser blocks until the
+  // winner's drain + teardown completes, then early-returns, so "after
+  // CloseClean returned" always means "fully closed".
+  std::lock_guard<std::mutex> close_lock(close_mu_);
+  {
+    std::unique_lock<std::shared_mutex> lock(submit_mu_);
+    if (!accepting_) return;  // already closed
+    accepting_ = false;
+  }
+  // Drain every queued batch and join the workers before touching the
+  // shards: every future handed out before the close becomes ready.
+  if (executor_ != nullptr) executor_->Stop();
   for (auto& shard : shards_) {
     shard.index->CloseClean();
     shard.pool->CloseClean();

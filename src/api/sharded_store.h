@@ -1,11 +1,28 @@
 // ShardedStore: N hash-partitioned KvIndex instances behind one Status-
-// based facade — the first concrete step toward the ROADMAP's per-shard
-// serving queues. Each shard owns its own PM pool and epoch manager, so
-// shards never contend on allocator or epoch state; a mixed-op batch is
-// scattered to its shards, regrouped into one contiguous sub-batch per
-// shard (which the shard's adapter type-partitions and runs through the
-// table's AMAC prefetch pipeline), and the results are gathered back in
-// caller order.
+// based serving surface. Each shard owns its own PM pool, epoch manager,
+// and — by default — a dedicated worker thread with a bounded request
+// queue (see executor.h), so a cross-shard batch genuinely runs in
+// parallel: the caller scatters and enqueues, N workers execute their
+// contiguous sub-batches through their shard's AMAC pipeline, and the
+// results are gathered back into the caller's arrays as each shard
+// completes.
+//
+// Submission surface:
+//   * Submit{Execute,Search,Insert,Update,Delete} enqueue a batch and
+//     return a BatchFuture immediately; the caller's op/status/value
+//     arrays must stay alive and unread until the future is ready.
+//   * The synchronous Multi* entry points are thin submit+wait wrappers
+//     (identical per-op semantics to the PR2 facade), so existing callers
+//     keep working unchanged.
+//   * Single-op Insert/Search/Update/Delete route directly to the owning
+//     shard on the caller's thread, bypassing the queues.
+//
+// Ordering contract: batches submitted to the same shard execute in
+// submission order (per-shard FIFO); sub-batches on different shards are
+// unordered relative to each other. Two ops on the same key always route
+// to the same shard, so a single submitter that never overlaps dependent
+// batches observes serial semantics. Single-op calls bypass the queues
+// and may overtake queued batches.
 //
 // Shard routing re-mixes the table hash (splitmix64 over HashInt64) so a
 // shard's key population stays uniform in every hash-bit range the tables
@@ -24,9 +41,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "api/batch_future.h"
+#include "api/executor.h"
 #include "api/kv_index.h"
 #include "api/status.h"
 #include "dash/config.h"
@@ -35,6 +56,23 @@
 
 namespace dash::api {
 
+// Knobs of the per-shard worker subsystem.
+struct AsyncOptions {
+  // Spawn one worker thread + bounded queue per shard. When false, Submit*
+  // executes inline on the caller's thread (the future is born ready) and
+  // Multi* keep the sequential scatter/execute/gather path — useful as a
+  // baseline and on single-core machines.
+  bool workers = true;
+  // Per-shard queue depth; submitters block while their shard's queue is
+  // full (backpressure).
+  size_t queue_depth = 128;
+  // Pin worker i to core i (mod hardware concurrency).
+  bool pin_workers = false;
+  // A 1-shard store skips the executor even when workers == true: there
+  // is no cross-shard parallelism to win, only a thread hop to pay.
+  bool inline_single_shard = true;
+};
+
 struct ShardedStoreOptions {
   IndexKind kind = IndexKind::kDashEH;
   // Number of shards (>= 1). Pool files are `<path_prefix>.shard<i>`.
@@ -42,6 +80,7 @@ struct ShardedStoreOptions {
   std::string path_prefix;
   size_t shard_pool_size = 1ull << 30;  // per shard
   DashOptions table;
+  AsyncOptions async;
 };
 
 struct ShardedStats {
@@ -57,26 +96,52 @@ struct ShardedStats {
 
 class ShardedStore {
  public:
-  // Opens (or creates) every shard pool. Returns nullptr if any pool or
-  // index fails to open, or if an existing manifest disagrees with the
+  // Opens (or creates) every shard pool and, unless configured inline,
+  // starts the per-shard workers. Returns nullptr if any pool or index
+  // fails to open, or if an existing manifest disagrees with the
   // requested shard count / kind; already-opened shards are released.
   static std::unique_ptr<ShardedStore> Open(
       const ShardedStoreOptions& options);
 
   ShardedStore(const ShardedStore&) = delete;
   ShardedStore& operator=(const ShardedStore&) = delete;
-  ~ShardedStore() = default;
+  ~ShardedStore();
 
-  // Single operations route to the owning shard. Thread-safe.
+  // Single operations route to the owning shard on the caller's thread.
+  // Thread-safe; not ordered against queued batches.
   Status Insert(uint64_t key, uint64_t value);
   Status Search(uint64_t key, uint64_t* value);
   Status Update(uint64_t key, uint64_t value);
   Status Delete(uint64_t key);
 
-  // Homogeneous batches (same contract as the KvIndex counterparts):
-  // keys are scattered per shard, each shard's contiguous sub-batch runs
-  // through its native prefetch pipeline (with cross-shard prefetch
-  // priming), and results are gathered back in caller order.
+  // ---- asynchronous submission ----
+  //
+  // Scatters the batch by shard on the caller's thread, enqueues one work
+  // item per touched shard, and returns a completion token. The caller's
+  // arrays (ops/keys/values/statuses) must stay alive — and result slots
+  // unread — until the returned future is ready. After CloseClean, every
+  // Submit* rejects: the future is born ready with submit_status() ==
+  // kInvalidArgument and every status slot set to kInvalidArgument.
+
+  // Mixed-op batch; same per-op semantics as KvIndex::MultiExecute with
+  // shard partitioning on top. Search results land in ops[i].value. Ops
+  // of different types on the same key may be reordered within the batch
+  // (same-type ops keep their relative order); split batches at
+  // cross-type same-key dependencies.
+  BatchFuture SubmitExecute(Op* ops, size_t count, Status* statuses);
+
+  // Homogeneous variants (contract of the KvIndex counterparts).
+  BatchFuture SubmitSearch(const uint64_t* keys, size_t count,
+                           uint64_t* values, Status* statuses);
+  BatchFuture SubmitInsert(const uint64_t* keys, const uint64_t* values,
+                           size_t count, Status* statuses);
+  BatchFuture SubmitUpdate(const uint64_t* keys, const uint64_t* values,
+                           size_t count, Status* statuses);
+  BatchFuture SubmitDelete(const uint64_t* keys, size_t count,
+                           Status* statuses);
+
+  // ---- synchronous wrappers (submit + wait) ----
+
   void MultiSearch(const uint64_t* keys, size_t count, uint64_t* values,
                    Status* statuses);
   void MultiInsert(const uint64_t* keys, const uint64_t* values,
@@ -84,26 +149,23 @@ class ShardedStore {
   void MultiUpdate(const uint64_t* keys, const uint64_t* values,
                    size_t count, Status* statuses);
   void MultiDelete(const uint64_t* keys, size_t count, Status* statuses);
-
-  // Mixed-op batch with scatter/regroup/gather: same per-op semantics as
-  // KvIndex::MultiExecute, with shard partitioning layered on top (ops
-  // for one shard form one contiguous sub-batch in original relative
-  // order). Search results land in ops[i].value. Ordering is weaker than
-  // KvIndex's chunk-bounded contract: the regroup can bring ops from
-  // anywhere in the batch into one adapter chunk, so ops of *different*
-  // types on the same key may be reordered across the whole batch
-  // (same-type ops still keep their relative order — the scatter is
-  // stable). Split batches at cross-type same-key dependencies.
   void MultiExecute(Op* ops, size_t count, Status* statuses);
 
-  // Sums shard stats and reports the shard load-factor spread.
+  // Sums shard stats and reports the shard load-factor spread. With
+  // workers, the snapshot is routed through the shard queues, so each
+  // shard's numbers reflect a point between two queued batches — never
+  // the middle of one. Returns zeros after CloseClean.
   ShardedStats Stats();
 
-  // Clean shutdown of every shard (table marker, epoch drain, pool). The
-  // store must not be used afterwards.
+  // Clean shutdown: stops accepting submissions (subsequent Submit*/
+  // Multi* reject with kInvalidArgument), drains every queued batch,
+  // joins the workers, then closes every shard (table marker, epoch
+  // drain, pool). Idempotent; single-op calls are invalid afterwards.
   void CloseClean();
 
   size_t shard_count() const { return shards_.size(); }
+  // Whether per-shard workers are running (false for inline stores).
+  bool async_enabled() const { return executor_ != nullptr; }
   // The shard index `key` routes to (stable across runs).
   size_t ShardOf(uint64_t key) const;
   // Direct access for tests / introspection.
@@ -147,14 +209,54 @@ class ShardedStore {
     }
   }
 
-  // Shared scatter/prime/dispatch/gather loop behind the homogeneous
-  // Multi* entry points. `values_in` feeds insert/update payloads;
-  // `values_out` receives search results; either may be null.
+  // Caller holds the submission gate: when the store is closed, fills
+  // every status slot with kInvalidArgument and returns true.
+  bool RejectClosed(Status* statuses, size_t count) const {
+    if (accepting_) return false;
+    for (size_t i = 0; i < count; ++i) {
+      statuses[i] = Status::kInvalidArgument;
+    }
+    return true;
+  }
+
+  // Shared submission path: scatter into `state`, then enqueue (or run
+  // inline when no executor). `key_at(i)` returns caller slot i's routing
+  // key (cheap, called during the scatter); `make_op(i)` materializes its
+  // full descriptor once for the regrouped copy; `run_direct(index)`
+  // executes the batch natively out of the caller's arrays — used by the
+  // single-shard inline fast path, which needs no scatter state at all.
+  template <typename KeyAt, typename MakeOp, typename RunDirect>
+  BatchFuture SubmitScattered(std::shared_ptr<internal::BatchState> state,
+                              size_t count, KeyAt key_at, MakeOp make_op,
+                              RunDirect run_direct);
+
+  // Sequential scatter/prime/dispatch/gather loop behind the homogeneous
+  // Multi* entry points when no executor is running. `values_in` feeds
+  // insert/update payloads; `values_out` receives search results; either
+  // may be null.
   void MultiUniform(BatchKind kind, const uint64_t* keys,
                     const uint64_t* values_in, uint64_t* values_out,
                     size_t count, Status* statuses);
 
+  static ShardedStats Aggregate(const IndexStats* per_shard, size_t count);
+
   std::vector<Shard> shards_;
+
+  // Submission gate: submitters (and single ops) hold it shared for the
+  // whole scatter + enqueue / probe, CloseClean takes it exclusive to
+  // flip `accepting_`, so a batch is never half-enqueued across a
+  // shutdown. `accepting_` doubles as the idempotency latch: CloseClean
+  // early-returns once it is false. `close_mu_` serializes whole
+  // CloseClean calls, so a concurrent second caller blocks until the
+  // first close (drain + shard teardown) has fully finished instead of
+  // returning mid-close.
+  std::shared_mutex submit_mu_;
+  std::mutex close_mu_;
+  bool accepting_ = true;
+
+  // Declared last: destroyed first, which joins the workers before the
+  // shards they execute on go away.
+  std::unique_ptr<ShardExecutor> executor_;
 };
 
 }  // namespace dash::api

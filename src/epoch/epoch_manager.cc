@@ -88,6 +88,14 @@ void EpochManager::DiscardAll() {
   retired_.clear();
 }
 
+void EpochManager::ReleaseCurrentThreadSlot() {
+  ThreadSlot& slot = slots_[util::ThreadId()];
+  assert(slot.nesting.load(std::memory_order_relaxed) == 0 &&
+         "releasing an epoch slot while a guard is active");
+  slot.nesting.store(0, std::memory_order_relaxed);
+  slot.pinned.store(kIdle, std::memory_order_release);
+}
+
 size_t EpochManager::PendingCount() {
   std::lock_guard<std::mutex> lock(retired_mutex_);
   return retired_.size();

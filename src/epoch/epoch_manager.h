@@ -138,6 +138,12 @@ class EpochManager {
   // retire buffer is recovered at the next pool open instead.
   void DiscardAll();
 
+  // Called by a long-lived worker thread (ShardedStore executor workers)
+  // immediately before it exits and returns its dense thread id to the
+  // pool (util::ReleaseThreadId): asserts the thread holds no guard and
+  // resets its slot so the id's next owner starts from a clean pin state.
+  void ReleaseCurrentThreadSlot();
+
   uint64_t global_epoch() const {
     return global_epoch_.load(std::memory_order_acquire);
   }

@@ -20,9 +20,28 @@ namespace {
 
 constexpr size_t kPageSize = 4096;
 
+#if defined(__SANITIZE_THREAD__)
+#define DASH_PM_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DASH_PM_TSAN_BUILD 1
+#endif
+#endif
+
 // Candidate fixed base addresses; chosen high in the VA space to avoid the
 // heap and library mappings (same trick as the paper's MAP_FIXED_NOREPLACE
 // scheme, §6.1). Spaced 2 TB apart so many multi-GB pools coexist.
+#ifdef DASH_PM_TSAN_BUILD
+// ThreadSanitizer owns the 0x1000'0000'0000+ ranges for its shadow and
+// meta mappings and rejects fixed maps there; its low application region
+// spans the first 512 GiB of the VA space, so TSan builds map pools
+// there instead — 32 GiB apart, which bounds per-pool size under TSan.
+constexpr uint64_t kBaseCandidates[] = {
+    0x0040'0000'0000ULL, 0x0048'0000'0000ULL, 0x0050'0000'0000ULL,
+    0x0058'0000'0000ULL, 0x0060'0000'0000ULL, 0x0068'0000'0000ULL,
+    0x0070'0000'0000ULL, 0x0078'0000'0000ULL,
+};
+#else
 constexpr uint64_t kBaseCandidates[] = {
     0x2000'0000'0000ULL, 0x2200'0000'0000ULL, 0x2400'0000'0000ULL,
     0x2600'0000'0000ULL, 0x2800'0000'0000ULL, 0x2A00'0000'0000ULL,
@@ -31,6 +50,7 @@ constexpr uint64_t kBaseCandidates[] = {
     0x3800'0000'0000ULL, 0x3A00'0000'0000ULL, 0x3C00'0000'0000ULL,
     0x3E00'0000'0000ULL,
 };
+#endif
 
 constexpr size_t RoundPage(size_t n) {
   return (n + kPageSize - 1) & ~(kPageSize - 1);

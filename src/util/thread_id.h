@@ -1,5 +1,14 @@
 // Process-wide small dense thread ids, used to index per-thread persistent
 // structures (allocator reservation slots, tx logs) and epoch slots.
+//
+// Ids are assigned on a thread's first call and can be explicitly returned
+// to a free pool by long-lived worker threads right before they exit
+// (ShardedStore's per-shard executor workers do this), so bounded worker
+// churn — a server opening and closing many stores — does not exhaust the
+// kMaxThreadId id space. An id may only be released once its owner is
+// fully quiesced: the next thread adopting the id inherits the per-id
+// slots (allocator reservation, tx log, epoch pin) exactly as the previous
+// owner left them, which is only safe when they were left idle.
 
 #ifndef DASH_PM_UTIL_THREAD_ID_H_
 #define DASH_PM_UTIL_THREAD_ID_H_
@@ -7,19 +16,69 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 namespace dash::util {
 
 inline constexpr uint32_t kMaxThreadId = 256;
 
-// Returns this thread's dense id in [0, kMaxThreadId). Ids are assigned on
-// first call and never recycled; a process must not create more than
-// kMaxThreadId distinct threads that touch PM structures.
+namespace detail {
+
+struct ThreadIdPool {
+  std::mutex mu;
+  std::vector<uint32_t> freed;
+  uint32_t next = 0;
+};
+
+inline ThreadIdPool& GetThreadIdPool() {
+  static ThreadIdPool pool;
+  return pool;
+}
+
+struct ThreadIdSlot {
+  uint32_t id = 0;
+  bool assigned = false;
+};
+
+inline thread_local ThreadIdSlot tls_thread_id;
+
+}  // namespace detail
+
+// Returns this thread's dense id in [0, kMaxThreadId), assigning one on
+// first call (preferring a released id over a fresh one). A process must
+// not have more than kMaxThreadId *concurrent* threads touching PM
+// structures.
 inline uint32_t ThreadId() {
-  static std::atomic<uint32_t> next{0};
-  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
-  assert(id < kMaxThreadId && "too many threads for per-thread PM slots");
-  return id;
+  detail::ThreadIdSlot& slot = detail::tls_thread_id;
+  if (!slot.assigned) {
+    detail::ThreadIdPool& pool = detail::GetThreadIdPool();
+    std::lock_guard<std::mutex> lock(pool.mu);
+    if (!pool.freed.empty()) {
+      slot.id = pool.freed.back();
+      pool.freed.pop_back();
+    } else {
+      slot.id = pool.next++;
+    }
+    slot.assigned = true;
+  }
+  assert(slot.id < kMaxThreadId &&
+         "too many threads for per-thread PM slots");
+  return slot.id;
+}
+
+// Returns the calling thread's id to the free pool for adoption by a later
+// thread. Only valid when this thread will never again touch PM
+// structures, epochs, or allocator slots under the old id (in practice:
+// immediately before thread exit, with no operation in flight). A
+// subsequent ThreadId() call on the same thread assigns a fresh id.
+inline void ReleaseThreadId() {
+  detail::ThreadIdSlot& slot = detail::tls_thread_id;
+  if (!slot.assigned) return;
+  detail::ThreadIdPool& pool = detail::GetThreadIdPool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  pool.freed.push_back(slot.id);
+  slot.assigned = false;
 }
 
 }  // namespace dash::util

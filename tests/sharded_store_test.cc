@@ -21,43 +21,8 @@
 namespace dash::api {
 namespace {
 
-// Temp path prefix whose `.shard<i>` pool files are removed on teardown.
-class TempShardPaths {
- public:
-  explicit TempShardPaths(const std::string& tag, size_t shards)
-      : shards_(shards) {
-    const char* base = access("/dev/shm", W_OK) == 0 ? "/dev/shm" : "/tmp";
-    prefix_ = std::string(base) + "/dash_test_" + tag + "_" +
-              std::to_string(getpid()) + "_" + std::to_string(counter_++);
-    Cleanup();
-  }
-  ~TempShardPaths() { Cleanup(); }
-
-  const std::string& prefix() const { return prefix_; }
-
- private:
-  void Cleanup() {
-    for (size_t i = 0; i < shards_; ++i) {
-      std::remove((prefix_ + ".shard" + std::to_string(i)).c_str());
-    }
-    std::remove((prefix_ + ".manifest").c_str());
-  }
-
-  static inline int counter_ = 0;
-  size_t shards_;
-  std::string prefix_;
-};
-
-ShardedStoreOptions SmallStoreOptions(const std::string& prefix,
-                                      size_t shards) {
-  ShardedStoreOptions options;
-  options.kind = IndexKind::kDashEH;
-  options.shards = shards;
-  options.path_prefix = prefix;
-  options.shard_pool_size = 128ull << 20;
-  options.table.buckets_per_segment = 16;
-  return options;
-}
+using test::SmallStoreOptions;
+using test::TempShardPaths;
 
 TEST(ShardedStoreTest, SingleOpsRouteAndRoundTrip) {
   TempShardPaths paths("store_basic", 4);
@@ -303,6 +268,96 @@ TEST(ShardedStoreTest, ConcurrentMixedBatches) {
     ASSERT_EQ(value, k + 1);
   }
   store->CloseClean();
+}
+
+// Regression (issue: stats during concurrent batches): Stats() must be
+// routed through the shard queues, so a snapshot taken right after a pile
+// of async submissions — without waiting on their futures — still counts
+// every record of every batch enqueued before it (per-shard FIFO), and
+// never reads a shard mid-batch.
+TEST(ShardedStoreTest, StatsSnapshotsQueuedBatches) {
+  TempShardPaths paths("store_stats", 4);
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 4));
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->async_enabled());
+
+  constexpr size_t kBatches = 16;
+  constexpr size_t kBatch = 256;
+  std::vector<std::vector<Op>> ops(kBatches);
+  std::vector<std::vector<Status>> statuses(kBatches);
+  std::vector<BatchFuture> futures(kBatches);
+  uint64_t next_key = 1;
+  for (size_t b = 0; b < kBatches; ++b) {
+    ops[b].reserve(kBatch);
+    statuses[b].resize(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+      ops[b].push_back(Op::Insert(next_key++, 1));
+    }
+    futures[b] =
+        store->SubmitExecute(ops[b].data(), kBatch, statuses[b].data());
+    ASSERT_EQ(futures[b].submit_status(), Status::kOk);
+  }
+
+  // No future has been waited on: the snapshot request queues behind all
+  // of the insert batches on every shard.
+  const ShardedStats stats = store->Stats();
+  EXPECT_EQ(stats.totals.records, kBatches * kBatch);
+
+  for (auto& future : futures) future.Wait();
+  for (size_t b = 0; b < kBatches; ++b) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      ASSERT_EQ(statuses[b][i], Status::kOk);
+    }
+  }
+  store->CloseClean();
+  // Stats after a clean close is guarded, not undefined.
+  EXPECT_EQ(store->Stats().shard_count, 0u);
+}
+
+// The sequential scatter/execute/gather path (async.workers = false) must
+// stay semantically identical to the executor-backed wrappers.
+TEST(ShardedStoreTest, InlineModeMatchesModel) {
+  TempShardPaths paths("store_inline", 4);
+  ShardedStoreOptions options = SmallStoreOptions(paths.prefix(), 4);
+  options.async.workers = false;
+  auto store = ShardedStore::Open(options);
+  ASSERT_NE(store, nullptr);
+  ASSERT_FALSE(store->async_enabled());
+
+  constexpr size_t kN = 300;
+  std::vector<uint64_t> keys(kN), values(kN), got(kN);
+  std::vector<Status> statuses(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    keys[i] = i + 1;
+    values[i] = i + 42;
+  }
+  store->MultiInsert(keys.data(), values.data(), kN, statuses.data());
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(statuses[i], Status::kOk);
+  store->MultiSearch(keys.data(), kN, got.data(), statuses.data());
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(statuses[i], Status::kOk);
+    ASSERT_EQ(got[i], values[i]);
+  }
+
+  // Submit* on an inline store executes on the caller thread; the future
+  // is born ready.
+  std::vector<Op> ops;
+  for (size_t i = 0; i < kN; ++i) ops.push_back(Op::Search(keys[i]));
+  BatchFuture future = store->SubmitExecute(ops.data(), kN, statuses.data());
+  EXPECT_TRUE(future.Ready());
+  EXPECT_EQ(future.pending_shards(), 0u);
+  future.Wait();
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(statuses[i], Status::kOk);
+    ASSERT_EQ(ops[i].value, values[i]);
+  }
+
+  store->CloseClean();
+  // The inline wrappers reject after close, like the executor path.
+  store->MultiDelete(keys.data(), kN, statuses.data());
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(statuses[i], Status::kInvalidArgument);
+  }
 }
 
 TEST(ShardedStoreTest, RejectsBadOptions) {

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "api/sharded_store.h"
 #include "pmem/pool.h"
 
 namespace dash::test {
@@ -37,6 +38,47 @@ inline std::unique_ptr<pmem::PmPool> CreatePool(const TempPoolFile& file,
   pmem::PmPool::Options options;
   options.pool_size = size;
   return pmem::PmPool::Create(file.path(), options);
+}
+
+// Temp path prefix for a ShardedStore whose `.shard<i>` pool files and
+// `.manifest` are removed on construction and teardown.
+class TempShardPaths {
+ public:
+  explicit TempShardPaths(const std::string& tag, size_t shards)
+      : shards_(shards) {
+    const char* base = access("/dev/shm", W_OK) == 0 ? "/dev/shm" : "/tmp";
+    prefix_ = std::string(base) + "/dash_test_" + tag + "_" +
+              std::to_string(getpid()) + "_" + std::to_string(counter_++);
+    Cleanup();
+  }
+  ~TempShardPaths() { Cleanup(); }
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  void Cleanup() {
+    for (size_t i = 0; i < shards_; ++i) {
+      std::remove((prefix_ + ".shard" + std::to_string(i)).c_str());
+    }
+    std::remove((prefix_ + ".manifest").c_str());
+  }
+
+  static inline int counter_ = 0;
+  size_t shards_;
+  std::string prefix_;
+};
+
+// The test-sized ShardedStore shape shared by the sharded-store and
+// executor suites: Dash-EH, small pools, small segments.
+inline api::ShardedStoreOptions SmallStoreOptions(const std::string& prefix,
+                                                  size_t shards) {
+  api::ShardedStoreOptions options;
+  options.kind = api::IndexKind::kDashEH;
+  options.shards = shards;
+  options.path_prefix = prefix;
+  options.shard_pool_size = 128ull << 20;
+  options.table.buckets_per_segment = 16;
+  return options;
 }
 
 }  // namespace dash::test
