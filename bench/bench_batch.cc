@@ -10,11 +10,16 @@
 // speedup summary line per table) for the perf trajectory.
 //
 // Flags: --preload=N --ops=M --batch=B (defaults 3M / 2M / 16) plus the
-// common --pool-gb/--pool-dir flags. --shards=N (N >= 1) switches to the
-// ShardedStore facade: the same key stream runs once through single-op
-// calls and once through mixed-op MultiExecute descriptor batches that
-// are scattered/regrouped per shard (sequential caller-thread execution,
-// the PR2 baseline).
+// common --pool-gb/--pool-dir flags. --pipeline={group,amac,both}
+// (default both) A/B-tests the PR-1 group pipeline against the
+// state-machine AMAC engine on the same tables; AMAC measurements carry
+// the engine's per-state suspend/resume counters in their JSON lines.
+// --check-speedup=X exits non-zero if any table's batch search speedup
+// over single-op falls below X on the selected pipeline (CI gate).
+// --shards=N (N >= 1) switches to the ShardedStore facade: the same key
+// stream runs once through single-op calls and once through mixed-op
+// MultiExecute descriptor batches that are scattered/regrouped per shard
+// (sequential caller-thread execution, the PR2 baseline).
 //
 // --shards=N --threads=K engages the async serving mode instead: K
 // submitter threads drive SubmitExecute against the per-shard worker
@@ -31,12 +36,40 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "util/amac.h"
 #include "util/hash.h"
 
 namespace dash::bench {
 namespace {
 
 constexpr size_t kMaxBatch = 256;
+
+const char* PipelineName(BatchPipeline p) {
+  return p == BatchPipeline::kAmac ? "amac" : "group";
+}
+
+// One JSON fragment with the AMAC engine's per-op suspend/resume
+// telemetry (drained between phases; empty for the group pipeline, whose
+// measurements carry no counters).
+std::string TelemetryJson(const util::AmacTelemetry& t) {
+  if (t.ops == 0) return "";
+  char buf[512];
+  const double ops = static_cast<double>(t.ops);
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"amac\":{\"steps_per_op\":%.2f,\"suspends_per_op\":%.2f,"
+      "\"suspends\":{\"hash\":%.2f,\"dir_probe\":%.2f,\"seg_resolve\":%.2f,"
+      "\"bucket_probe\":%.2f,\"execute\":%.2f,\"retry\":%.2f}}",
+      static_cast<double>(t.steps) / ops,
+      static_cast<double>(t.TotalSuspends()) / ops,
+      static_cast<double>(t.suspends[0]) / ops,
+      static_cast<double>(t.suspends[1]) / ops,
+      static_cast<double>(t.suspends[2]) / ops,
+      static_cast<double>(t.suspends[3]) / ops,
+      static_cast<double>(t.suspends[4]) / ops,
+      static_cast<double>(t.suspends[5]) / ops);
+  return buf;
+}
 
 PhaseResult BatchSearchPhase(api::KvIndex* table, uint64_t preloaded,
                              uint64_t ops, size_t batch) {
@@ -80,14 +113,19 @@ PhaseResult BatchInsertPhase(api::KvIndex* table, uint64_t base, uint64_t n,
 
 void PrintJson(const std::string& table, const std::string& op,
                const std::string& mode, size_t batch,
-               const PhaseResult& result, size_t shards = 0) {
+               const PhaseResult& result, size_t shards = 0,
+               const std::string& pipeline = "",
+               const std::string& extra = "") {
+  const std::string pipeline_field =
+      pipeline.empty() ? "" : "\"pipeline\":\"" + pipeline + "\",";
   std::printf(
       "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"op\":\"%s\","
-      "\"mode\":\"%s\",\"batch\":%zu,\"threads\":1,\"shards\":%zu,"
+      "\"mode\":\"%s\",%s\"batch\":%zu,\"threads\":1,\"shards\":%zu,"
       "\"mops\":%.4f,"
-      "\"reads_per_op\":%.2f,\"clwb_per_op\":%.2f}\n",
-      table.c_str(), op.c_str(), mode.c_str(), batch, shards, result.mops,
-      result.reads_per_op, result.clwb_per_op);
+      "\"reads_per_op\":%.2f,\"clwb_per_op\":%.2f%s}\n",
+      table.c_str(), op.c_str(), mode.c_str(), pipeline_field.c_str(),
+      batch, shards, result.mops, result.reads_per_op, result.clwb_per_op,
+      extra.c_str());
   std::fflush(stdout);
 }
 
@@ -324,6 +362,8 @@ int main(int argc, char** argv) {
   bool has_threads_flag = false;
   std::string only_table;
   std::string json_out = "BENCH_async.json";
+  std::string pipeline_arg = "both";
+  double check_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--preload=", 10) == 0) {
       preload = std::strtoull(argv[i] + 10, nullptr, 10);
@@ -343,7 +383,31 @@ int main(int argc, char** argv) {
       json_out = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--table=", 8) == 0) {
       only_table = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--pipeline=", 11) == 0) {
+      pipeline_arg = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--check-speedup=", 16) == 0) {
+      check_speedup = std::strtod(argv[i] + 16, nullptr);
     }
+  }
+  std::vector<BatchPipeline> pipelines;
+  if (pipeline_arg == "group") {
+    pipelines = {BatchPipeline::kGroup};
+  } else if (pipeline_arg == "amac") {
+    pipelines = {BatchPipeline::kAmac};
+  } else if (pipeline_arg == "both") {
+    pipelines = {BatchPipeline::kGroup, BatchPipeline::kAmac};
+  } else {
+    std::fprintf(stderr, "unknown --pipeline=%s (group|amac|both)\n",
+                 pipeline_arg.c_str());
+    return 1;
+  }
+  // The gated pipeline: the explicitly selected one, amac under "both".
+  const BatchPipeline gated = pipelines.back();
+  if (check_speedup > 0 && shards > 0) {
+    std::fprintf(stderr,
+                 "--check-speedup only applies to the per-table A/B mode; "
+                 "drop --shards/--threads\n");
+    return 1;
   }
   const uint64_t insert_ops = std::min<uint64_t>(ops / 2, preload);
 
@@ -412,6 +476,7 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     return 0;
   }
+  std::vector<std::string> gate_failures;
   for (api::IndexKind kind :
        {api::IndexKind::kDashEH, api::IndexKind::kDashLH,
         api::IndexKind::kCCEH, api::IndexKind::kLevel}) {
@@ -419,8 +484,11 @@ int main(int argc, char** argv) {
     if (!only_table.empty() && only_table != name) continue;
     DashOptions options;
 
-    // Searches do not mutate the table, so both modes share one table.
-    PhaseResult single_search, batch_search;
+    // Searches do not mutate the table, so the single-op baseline and
+    // every pipeline's batch phase share one table (identical key
+    // stream, identical layout).
+    PhaseResult single_search;
+    std::vector<PhaseResult> batch_search(pipelines.size());
     {
       TableHandle handle = MakeTable(kind, config, options);
       Preload(handle.table.get(), preload, /*threads=*/1);
@@ -429,15 +497,25 @@ int main(int argc, char** argv) {
       PrintRow("bench_batch", name, "search-single", 1, single_search);
       PrintJson(name, "search", "single", 1, single_search);
 
-      batch_search = BatchSearchPhase(handle.table.get(), preload, ops, batch);
-      PrintRow("bench_batch", name, "search-batch", 1, batch_search);
-      PrintJson(name, "search", "batch", batch, batch_search);
+      for (size_t m = 0; m < pipelines.size(); ++m) {
+        const char* pname = PipelineName(pipelines[m]);
+        handle.table->SetBatchPipeline(pipelines[m]);
+        util::AmacTelemetry::DrainAll();
+        batch_search[m] =
+            BatchSearchPhase(handle.table.get(), preload, ops, batch);
+        const auto tele = util::AmacTelemetry::DrainAll();
+        PrintRow("bench_batch", name,
+                 std::string("search-batch-") + pname, 1, batch_search[m]);
+        PrintJson(name, "search", "batch", batch, batch_search[m], 0, pname,
+                  TelemetryJson(tele));
+      }
     }
 
-    // Fresh-key inserts: a fresh preloaded table per mode, so both modes
-    // start from the same load factor and hit the same split/resize
+    // Fresh-key inserts: a fresh preloaded table per mode, so every mode
+    // starts from the same load factor and hits the same split/resize
     // schedule.
-    PhaseResult single_insert, batch_insert;
+    PhaseResult single_insert;
+    std::vector<PhaseResult> batch_insert(pipelines.size());
     {
       TableHandle handle = MakeTable(kind, config, options);
       Preload(handle.table.get(), preload, /*threads=*/1);
@@ -445,28 +523,47 @@ int main(int argc, char** argv) {
       PrintRow("bench_batch", name, "insert-single", 1, single_insert);
       PrintJson(name, "insert", "single", 1, single_insert);
     }
-    {
+    for (size_t m = 0; m < pipelines.size(); ++m) {
+      const char* pname = PipelineName(pipelines[m]);
       TableHandle handle = MakeTable(kind, config, options);
+      handle.table->SetBatchPipeline(pipelines[m]);
       Preload(handle.table.get(), preload, /*threads=*/1);
-      batch_insert =
+      util::AmacTelemetry::DrainAll();
+      batch_insert[m] =
           BatchInsertPhase(handle.table.get(), preload, insert_ops, batch);
-      PrintRow("bench_batch", name, "insert-batch", 1, batch_insert);
-      PrintJson(name, "insert", "batch", batch, batch_insert);
+      const auto tele = util::AmacTelemetry::DrainAll();
+      PrintRow("bench_batch", name, std::string("insert-batch-") + pname, 1,
+               batch_insert[m]);
+      PrintJson(name, "insert", "batch", batch, batch_insert[m], 0, pname,
+                TelemetryJson(tele));
     }
 
-    std::printf(
-        "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"batch\":%zu,"
-        "\"search_speedup_vs_single\":%.3f,"
-        "\"insert_speedup_vs_single\":%.3f}\n",
-        name.c_str(), batch, batch_search.mops / single_search.mops,
-        batch_insert.mops / single_insert.mops);
-    std::fflush(stdout);
+    for (size_t m = 0; m < pipelines.size(); ++m) {
+      const double search_speedup =
+          batch_search[m].mops / single_search.mops;
+      std::printf(
+          "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"pipeline\":\"%s\","
+          "\"batch\":%zu,\"search_speedup_vs_single\":%.3f,"
+          "\"insert_speedup_vs_single\":%.3f}\n",
+          name.c_str(), PipelineName(pipelines[m]), batch, search_speedup,
+          batch_insert[m].mops / single_insert.mops);
+      std::fflush(stdout);
+      if (check_speedup > 0 && pipelines[m] == gated &&
+          search_speedup < check_speedup) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%s %s search %.3fx < %.3fx",
+                      name.c_str(), PipelineName(pipelines[m]),
+                      search_speedup, check_speedup);
+        gate_failures.push_back(buf);
+      }
+    }
   }
 
   // Batch-size sweep on Dash-EH: how wide the group must be before the
-  // pipeline covers the memory latency.
+  // pipeline covers the memory latency. Runs on the gated pipeline.
   if (only_table.empty() || only_table == "dash-eh") {
     DashOptions options;
+    options.batch_pipeline = gated;
     TableHandle handle =
         MakeTable(api::IndexKind::kDashEH, config, options);
     Preload(handle.table.get(), preload, /*threads=*/1);
@@ -475,8 +572,16 @@ int main(int argc, char** argv) {
           BatchSearchPhase(handle.table.get(), preload, ops, b);
       PrintRow("bench_batch", "dash-eh", "search-b" + std::to_string(b), 1,
                r);
-      PrintJson("dash-eh", "search-sweep", "batch", b, r);
+      PrintJson("dash-eh", "search-sweep", "batch", b, r, 0,
+                PipelineName(gated));
     }
+  }
+
+  if (!gate_failures.empty()) {
+    for (const std::string& f : gate_failures) {
+      std::fprintf(stderr, "SPEEDUP GATE FAILED: %s\n", f.c_str());
+    }
+    return 1;
   }
   return 0;
 }

@@ -19,6 +19,7 @@ cceh::CcehOptions ToCcehOptions(const DashOptions& o) {
   // Match total segment bytes: Dash 64 x 256 B buckets == CCEH 256 x 64 B.
   c.buckets_per_segment = o.buckets_per_segment * 4;
   c.initial_depth = o.initial_depth;
+  c.batch_pipeline = o.batch_pipeline;
   return c;
 }
 
@@ -31,6 +32,7 @@ level::LevelOptions ToLevelOptions(const DashOptions& o) {
   uint64_t buckets = 16;
   while (buckets * level::kSlotsPerBucket * 3 / 2 < slots) buckets *= 2;
   l.initial_top_buckets = buckets;
+  l.batch_pipeline = o.batch_pipeline;
   return l;
 }
 
@@ -151,6 +153,10 @@ class IndexAdapter : public Base {
     }
   }
 
+  void SetBatchPipeline(BatchPipeline pipeline) override {
+    table_.set_batch_pipeline(pipeline);
+  }
+
   void CloseClean() override { table_.CloseClean(); }
   IndexStats Stats() override {
     const auto s = table_.Stats();
@@ -159,6 +165,7 @@ class IndexAdapter : public Base {
     out.capacity_slots = s.capacity_slots;
     out.load_factor = s.load_factor;
     out.bytes_used = pool_->allocator().bytes_in_use();
+    out.pool_page_bytes = pool_->MappedPageBytes();
     return out;
   }
   IndexKind kind() const override { return Kind; }

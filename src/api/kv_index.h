@@ -46,6 +46,12 @@ struct IndexStats {
   // Heap bytes the index's pool has handed out (bump high-water mark:
   // includes blocks awaiting epoch reclamation, so an upper bound).
   uint64_t bytes_used = 0;
+  // Page size backing the pool mapping (4096, or 2 MB when the pool got
+  // huge pages — hugetlbfs or transparent huge pages). Software
+  // prefetches only survive a DTLB miss when the TLB can hold the working
+  // set, so this is the knob that decides whether the batch pipeline's
+  // extra prefetches actually land.
+  uint64_t pool_page_bytes = 4096;
 };
 
 // Fixed-length (8-byte) key index. All operations are thread-safe.
@@ -150,6 +156,11 @@ class KvIndex {
     (void)for_write;
   }
 
+  // Selects the batch execution engine behind the Multi* entry points
+  // (A/B hook for bench_batch; see dash::BatchPipeline). Default no-op
+  // for implementations without a native pipeline.
+  virtual void SetBatchPipeline(BatchPipeline pipeline) { (void)pipeline; }
+
   // Marks a clean shutdown (before closing the pool).
   virtual void CloseClean() = 0;
   virtual IndexStats Stats() = 0;
@@ -226,6 +237,9 @@ class VarKvIndex {
     (void)count;
     (void)for_write;
   }
+
+  // Batch-engine selector; same contract as KvIndex::SetBatchPipeline.
+  virtual void SetBatchPipeline(BatchPipeline pipeline) { (void)pipeline; }
 
   virtual void CloseClean() = 0;
   virtual IndexStats Stats() = 0;

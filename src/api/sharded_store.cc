@@ -57,6 +57,7 @@ std::unique_ptr<ShardedStore> ShardedStore::Open(
   if (!CheckOrWriteManifest(options, &wrote_manifest)) return nullptr;
   std::unique_ptr<ShardedStore> store(new ShardedStore());
   store->shards_.reserve(options.shards);
+  store->gates_ = std::make_unique<ShardGate[]>(options.shards);
   bool any_preexisting = false;
   std::vector<std::string> created_paths;
   bool failed = false;
@@ -127,36 +128,50 @@ size_t ShardedStore::ShardOf(uint64_t key) const {
   return util::Mix64(util::HashInt64(key)) % shards_.size();
 }
 
-// Single ops hold the submission gate shared for the duration of the
-// probe, like every batch path: a CloseClean racing the call waits until
-// the probe is off the shard instead of unmapping under it.
+// Single ops hold their own shard's close gate shared for the duration of
+// the probe: a CloseClean racing the call waits until the probe is off the
+// shard instead of unmapping under it, and the op never touches another
+// shard's gate cacheline (the PR-3 store-wide gate made every op on every
+// core contend on one shared line).
 
 Status ShardedStore::Insert(uint64_t key, uint64_t value) {
   if (IsReservedKey(key)) return Status::kInvalidArgument;
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
-  if (!accepting_) return Status::kInvalidArgument;
-  return shards_[ShardOf(key)].index->Insert(key, value);
+  const size_t s = ShardOf(key);
+  std::shared_lock<std::shared_mutex> gate(gates_[s].mu);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Status::kInvalidArgument;
+  }
+  return shards_[s].index->Insert(key, value);
 }
 
 Status ShardedStore::Search(uint64_t key, uint64_t* value) {
   if (IsReservedKey(key)) return Status::kInvalidArgument;
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
-  if (!accepting_) return Status::kInvalidArgument;
-  return shards_[ShardOf(key)].index->Search(key, value);
+  const size_t s = ShardOf(key);
+  std::shared_lock<std::shared_mutex> gate(gates_[s].mu);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Status::kInvalidArgument;
+  }
+  return shards_[s].index->Search(key, value);
 }
 
 Status ShardedStore::Update(uint64_t key, uint64_t value) {
   if (IsReservedKey(key)) return Status::kInvalidArgument;
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
-  if (!accepting_) return Status::kInvalidArgument;
-  return shards_[ShardOf(key)].index->Update(key, value);
+  const size_t s = ShardOf(key);
+  std::shared_lock<std::shared_mutex> gate(gates_[s].mu);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Status::kInvalidArgument;
+  }
+  return shards_[s].index->Update(key, value);
 }
 
 Status ShardedStore::Delete(uint64_t key) {
   if (IsReservedKey(key)) return Status::kInvalidArgument;
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
-  if (!accepting_) return Status::kInvalidArgument;
-  return shards_[ShardOf(key)].index->Delete(key);
+  const size_t s = ShardOf(key);
+  std::shared_lock<std::shared_mutex> gate(gates_[s].mu);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Status::kInvalidArgument;
+  }
+  return shards_[s].index->Delete(key);
 }
 
 namespace {
@@ -175,20 +190,26 @@ BatchFuture ShardedStore::SubmitScattered(
     std::shared_ptr<internal::BatchState> state, size_t count, KeyAt key_at,
     MakeOp make_op, RunDirect run_direct) {
   const size_t num_shards = shards_.size();
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
-  if (!accepting_) {
+  const auto reject = [&state, count] {
     state->submit_status = Status::kInvalidArgument;
+    // The scatter may have primed the shard-completion count already;
+    // nothing will ever be enqueued, so the future must be born ready.
+    state->pending.store(0, std::memory_order_relaxed);
     for (size_t i = 0; i < count; ++i) {
       state->statuses[i] = Status::kInvalidArgument;
     }
     return BatchFuture(std::move(state));
-  }
+  };
+  // Fast-path check; the authoritative re-check happens under the gates.
+  if (!accepting_.load(std::memory_order_acquire)) return reject();
   if (count == 0) return BatchFuture(std::move(state));
 
   if (executor_ == nullptr && num_shards == 1) {
     // Inline single-shard fast path: no scatter state, no copies — run
     // the shard's native batch entry point straight off the caller's
     // arrays; the future is born ready.
+    std::shared_lock<std::shared_mutex> gate(gates_[0].mu);
+    if (!accepting_.load(std::memory_order_acquire)) return reject();
     run_direct(shards_[0].index.get());
     return BatchFuture(std::move(state));
   }
@@ -213,6 +234,16 @@ BatchFuture ShardedStore::SubmitScattered(
     state->sub[j] = make_op(state->origin[j]);
   }
 
+  // Hold the touched shards' gates across the whole enqueue so the batch
+  // is never half-enqueued across a shutdown: a CloseClean that flipped
+  // `accepting_` blocks on the first touched gate until every sub-batch
+  // is in its queue (the executor drain then completes them all).
+  GateSpan gates;
+  gates.LockTouched(gates_.get(), state->start, num_shards);
+  if (!accepting_.load(std::memory_order_acquire)) return reject();
+
+  // Only after the gated accept: a rejected batch must stay at pending
+  // == 0 so its future is born ready.
   uint32_t touched = 0;
   for (size_t s = 0; s < num_shards; ++s) {
     if (state->start[s + 1] > state->start[s]) ++touched;
@@ -228,8 +259,8 @@ BatchFuture ShardedStore::SubmitScattered(
       item.shard = static_cast<uint32_t>(s);
       item.batch = state;
       if (executor_->Submit(std::move(item))) continue;
-      // The executor only refuses after Stop(), which the submission gate
-      // rules out here; complete inline defensively all the same.
+      // The executor only refuses after Stop(), which the gates rule out
+      // here; complete inline defensively all the same.
     }
     state->RunShard(s, shards_[s].index.get());
   }
@@ -304,7 +335,6 @@ void ShardedStore::MultiSearch(const uint64_t* keys, size_t count,
     SubmitSearch(keys, count, values, statuses).Wait();
     return;
   }
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
   if (RejectClosed(statuses, count)) return;
   MultiUniform(BatchKind::kSearch, keys, nullptr, values, count, statuses);
 }
@@ -315,7 +345,6 @@ void ShardedStore::MultiInsert(const uint64_t* keys, const uint64_t* values,
     SubmitInsert(keys, values, count, statuses).Wait();
     return;
   }
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
   if (RejectClosed(statuses, count)) return;
   MultiUniform(BatchKind::kInsert, keys, values, nullptr, count, statuses);
 }
@@ -326,7 +355,6 @@ void ShardedStore::MultiUpdate(const uint64_t* keys, const uint64_t* values,
     SubmitUpdate(keys, values, count, statuses).Wait();
     return;
   }
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
   if (RejectClosed(statuses, count)) return;
   MultiUniform(BatchKind::kUpdate, keys, values, nullptr, count, statuses);
 }
@@ -337,7 +365,6 @@ void ShardedStore::MultiDelete(const uint64_t* keys, size_t count,
     SubmitDelete(keys, count, statuses).Wait();
     return;
   }
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
   if (RejectClosed(statuses, count)) return;
   MultiUniform(BatchKind::kDelete, keys, nullptr, nullptr, count, statuses);
 }
@@ -347,10 +374,11 @@ void ShardedStore::MultiExecute(Op* ops, size_t count, Status* statuses) {
     SubmitExecute(ops, count, statuses).Wait();
     return;
   }
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
   if (RejectClosed(statuses, count)) return;
   const size_t num_shards = shards_.size();
   if (num_shards == 1) {
+    std::shared_lock<std::shared_mutex> gate(gates_[0].mu);
+    if (RejectClosed(statuses, count)) return;
     shards_[0].index->MultiExecute(ops, count, statuses);
     return;
   }
@@ -383,8 +411,10 @@ void ShardedStore::MultiUniform(BatchKind kind, const uint64_t* keys,
                                 uint64_t* values_out, size_t count,
                                 Status* statuses) {
   const size_t num_shards = shards_.size();
-  KvIndex* first = shards_[0].index.get();
   if (num_shards == 1) {
+    std::shared_lock<std::shared_mutex> gate(gates_[0].mu);
+    if (RejectClosed(statuses, count)) return;
+    KvIndex* first = shards_[0].index.get();
     switch (kind) {
       case BatchKind::kSearch:
         first->MultiSearch(keys, count, values_out, statuses);
@@ -448,6 +478,11 @@ void ShardedStore::MultiUniform(BatchKind kind, const uint64_t* keys,
     if (copy_values) sub_vals[j] = values_in[origin[j]];
   }
 
+  // Gates of the touched shards, held across prime + dispatch.
+  GateSpan gates;
+  gates.LockTouched(gates_.get(), start, num_shards);
+  if (RejectClosed(statuses, count)) return;
+
   // Cross-shard prefetch priming (see ExecuteScattered).
   if (count <= kStackBatch) {
     const bool for_write = kind != BatchKind::kSearch;
@@ -481,6 +516,7 @@ void ShardedStore::MultiUniform(BatchKind kind, const uint64_t* keys,
         break;
     }
   }
+  gates.Release();
 
   // Gather in caller order.
   for (size_t j = 0; j < count; ++j) {
@@ -504,6 +540,11 @@ void ShardedStore::ExecuteScattered(Op* ops, size_t count, Status* statuses,
   PlanScatter(count, [&](size_t i) { return ops[i].key; }, shard_of, start,
               cursor, origin);
   for (size_t j = 0; j < count; ++j) sub[j] = ops[origin[j]];
+
+  // Gates of the touched shards, held across prime + dispatch.
+  GateSpan gates;
+  gates.LockTouched(gates_.get(), start, num_shards);
+  if (RejectClosed(statuses, count)) return;
 
   // Cross-shard prefetch priming: run every shard's prefetch stages
   // before any shard executes, so shard B's cache lines are already in
@@ -533,6 +574,7 @@ void ShardedStore::ExecuteScattered(Op* ops, size_t count, Status* statuses,
     shards_[s].index->MultiExecute(sub + start[s], len,
                                    sub_status + start[s]);
   }
+  gates.Release();
 
   // Gather: write statuses (and search results) back in caller order.
   for (size_t j = 0; j < count; ++j) {
@@ -554,6 +596,11 @@ ShardedStats ShardedStore::Aggregate(const IndexStats* per_shard,
     out.totals.records += s.records;
     out.totals.capacity_slots += s.capacity_slots;
     out.totals.bytes_used += s.bytes_used;
+    // Conservative: report the smallest page size any shard got (one
+    // 4K-backed shard is enough to reintroduce its DTLB misses).
+    out.totals.pool_page_bytes =
+        i == 0 ? s.pool_page_bytes
+               : std::min(out.totals.pool_page_bytes, s.pool_page_bytes);
     out.min_shard_load_factor =
         i == 0 ? s.load_factor
                : std::min(out.min_shard_load_factor, s.load_factor);
@@ -576,8 +623,11 @@ ShardedStats ShardedStore::Stats() {
     auto state = std::make_shared<internal::StatsState>();
     state->per_shard.resize(shards_.size());
     {
-      std::shared_lock<std::shared_mutex> lock(submit_mu_);
-      if (!accepting_) return ShardedStats{};
+      GateSpan gates;
+      gates.LockAll(gates_.get(), shards_.size());
+      if (!accepting_.load(std::memory_order_acquire)) {
+        return ShardedStats{};
+      }
       state->pending.store(static_cast<uint32_t>(shards_.size()),
                            std::memory_order_relaxed);
       for (size_t s = 0; s < shards_.size(); ++s) {
@@ -594,8 +644,9 @@ ShardedStats ShardedStore::Stats() {
     state->Wait();
     return Aggregate(state->per_shard.data(), state->per_shard.size());
   }
-  std::shared_lock<std::shared_mutex> lock(submit_mu_);
-  if (!accepting_) return ShardedStats{};
+  GateSpan gates;
+  gates.LockAll(gates_.get(), shards_.size());
+  if (!accepting_.load(std::memory_order_acquire)) return ShardedStats{};
   std::vector<IndexStats> per_shard(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     per_shard[i] = shards_[i].index->Stats();
@@ -608,10 +659,16 @@ void ShardedStore::CloseClean() {
   // winner's drain + teardown completes, then early-returns, so "after
   // CloseClean returned" always means "fully closed".
   std::lock_guard<std::mutex> close_lock(close_mu_);
-  {
-    std::unique_lock<std::shared_mutex> lock(submit_mu_);
-    if (!accepting_) return;  // already closed
-    accepting_ = false;
+  if (!accepting_.exchange(false, std::memory_order_acq_rel)) {
+    return;  // already closed
+  }
+  // Sweep every gate exclusively once, in the same ascending order every
+  // holder acquires in: this waits out each in-flight op/batch that read
+  // accepting_ == true, and the release/acquire through each gate makes
+  // every later holder observe the flip and back off.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    gates_[s].mu.lock();
+    gates_[s].mu.unlock();
   }
   // Drain every queued batch and join the workers before touching the
   // shards: every future handed out before the close becomes ready.

@@ -38,6 +38,7 @@
 #ifndef DASH_PM_API_SHARDED_STORE_H_
 #define DASH_PM_API_SHARDED_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -209,10 +210,12 @@ class ShardedStore {
     }
   }
 
-  // Caller holds the submission gate: when the store is closed, fills
-  // every status slot with kInvalidArgument and returns true.
+  // When the store is closed, fills every status slot with
+  // kInvalidArgument and returns true. Authoritative when the caller
+  // holds the relevant gates; used gate-free only as a fast-path check
+  // (the gated re-check follows).
   bool RejectClosed(Status* statuses, size_t count) const {
-    if (accepting_) return false;
+    if (accepting_.load(std::memory_order_acquire)) return false;
     for (size_t i = 0; i < count; ++i) {
       statuses[i] = Status::kInvalidArgument;
     }
@@ -242,17 +245,72 @@ class ShardedStore {
 
   std::vector<Shard> shards_;
 
-  // Submission gate: submitters (and single ops) hold it shared for the
-  // whole scatter + enqueue / probe, CloseClean takes it exclusive to
-  // flip `accepting_`, so a batch is never half-enqueued across a
-  // shutdown. `accepting_` doubles as the idempotency latch: CloseClean
-  // early-returns once it is false. `close_mu_` serializes whole
-  // CloseClean calls, so a concurrent second caller blocks until the
-  // first close (drain + shard teardown) has fully finished instead of
-  // returning mid-close.
-  std::shared_mutex submit_mu_;
+  // Per-shard close gates (replacing the PR-3 store-wide shared_mutex):
+  // each shard owns one cacheline-padded gate; a single op holds only its
+  // own shard's gate shared for the duration of the probe, and a batch
+  // holds the gates of exactly the shards it touches (acquired in
+  // ascending shard order — the same order CloseClean sweeps — so the
+  // two can never deadlock). The old design made every single op take a
+  // shared-mode CAS on one store-wide cacheline, which bounced between
+  // every core serving traffic; gates keep that line per shard.
+  //
+  // CloseClean flips `accepting_` and then locks/unlocks every gate
+  // exclusively once, in order. The sweep (a) waits out every in-flight
+  // holder that read accepting_ == true, and (b) forms a release/acquire
+  // edge through each gate, so any later holder of that gate observes
+  // accepting_ == false and backs off before touching the shard.
+  struct alignas(64) ShardGate {
+    std::shared_mutex mu;
+  };
+
+  // RAII shared hold on a set of gates, ascending. Either every gate
+  // (`LockAll`) or the shards a scatter touched (`LockTouched`, where
+  // start[s + 1] > start[s] marks shard s as touched).
+  class GateSpan {
+   public:
+    GateSpan() = default;
+    GateSpan(const GateSpan&) = delete;
+    GateSpan& operator=(const GateSpan&) = delete;
+    ~GateSpan() { Release(); }
+
+    void LockAll(ShardGate* gates, size_t n) {
+      gates_ = gates;
+      n_ = n;
+      start_ = nullptr;
+      for (size_t s = 0; s < n; ++s) gates[s].mu.lock_shared();
+    }
+    void LockTouched(ShardGate* gates, const size_t* start, size_t n) {
+      gates_ = gates;
+      n_ = n;
+      start_ = start;
+      for (size_t s = 0; s < n; ++s) {
+        if (start[s + 1] > start[s]) gates[s].mu.lock_shared();
+      }
+    }
+    void Release() {
+      if (gates_ == nullptr) return;
+      for (size_t s = 0; s < n_; ++s) {
+        if (start_ == nullptr || start_[s + 1] > start_[s]) {
+          gates_[s].mu.unlock_shared();
+        }
+      }
+      gates_ = nullptr;
+    }
+
+   private:
+    ShardGate* gates_ = nullptr;
+    const size_t* start_ = nullptr;
+    size_t n_ = 0;
+  };
+
+  std::unique_ptr<ShardGate[]> gates_;
+  // Idempotency latch and fast-path reject flag; authoritative only when
+  // read under a gate (see ShardGate comment). `close_mu_` serializes
+  // whole CloseClean calls, so a concurrent second caller blocks until
+  // the first close (drain + shard teardown) has fully finished instead
+  // of returning mid-close.
   std::mutex close_mu_;
-  bool accepting_ = true;
+  std::atomic<bool> accepting_{true};
 
   // Declared last: destroyed first, which joins the workers before the
   // shards they execute on go away.

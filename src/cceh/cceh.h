@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "dash/config.h"
 #include "dash/key_policy.h"
 #include "dash/op_status.h"
 #include "epoch/epoch_manager.h"
@@ -33,6 +34,7 @@
 #include "pmem/mini_tx.h"
 #include "pmem/persist.h"
 #include "pmem/pool.h"
+#include "util/amac.h"
 #include "util/lock.h"
 #include "util/prefetch.h"
 
@@ -133,6 +135,8 @@ struct CcehRoot {
 struct CcehOptions {
   uint32_t buckets_per_segment = 256;  // 256 x 64 B = 16 KB segments
   uint32_t initial_depth = 1;
+  // Batch engine behind Multi* (see dash::BatchPipeline).
+  BatchPipeline batch_pipeline = BatchPipeline::kAmac;
 };
 
 // Aggregate statistics, mirroring DashTableStats.
@@ -199,17 +203,27 @@ class CCEH {
     return UpdateWithHash(key, value, h);
   }
 
-  // ---- batched operations (AMAC-style interleaved probing) ----
+  // ---- batched operations ----
   //
-  // Same three-stage pipeline as the Dash tables: hash + directory-entry
-  // prefetch, segment resolution + prefetch, then the ordinary per-op
-  // logic with one epoch guard per group. The segment header is fetched
-  // for writing — even a CCEH search writes the PM-resident rw-lock word —
-  // and the whole bounded linear-probe window (4 cachelines) is prefetched
-  // since a probe may touch all of it.
+  // Two engines (opts_.batch_pipeline). kGroup is the PR-1 three-stage
+  // pipeline: hash + directory-entry prefetch, segment resolution +
+  // prefetch, then the ordinary per-op logic with one epoch guard per
+  // group. kAmac runs per-op state machines: each op resolves its
+  // directory entry, prefetches the segment header for ownership (even a
+  // CCEH search writes the PM-resident rw-lock word) together with its
+  // bounded linear-probe window (4 cachelines), and yields between the
+  // steps so another op's window fill covers this op's miss. The locked
+  // probe itself runs in one step — CCEH's pessimistic segment lock rules
+  // out suspension inside it (see util/amac.h).
 
   void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
                    OpStatus* statuses) {
+    if (opts_.batch_pipeline == BatchPipeline::kAmac) {
+      AmacForEach(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
+        statuses[i] = SearchWithHash(key, h, &values[i]);
+      });
+      return;
+    }
     ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
       statuses[i] = SearchWithHash(key, h, &values[i]);
     });
@@ -217,6 +231,12 @@ class CCEH {
 
   void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
                    OpStatus* statuses) {
+    if (opts_.batch_pipeline == BatchPipeline::kAmac) {
+      AmacForEach(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
+        statuses[i] = InsertWithHash(key, values[i], h);
+      });
+      return;
+    }
     ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
       statuses[i] = InsertWithHash(key, values[i], h);
     });
@@ -224,16 +244,31 @@ class CCEH {
 
   void MultiUpdate(const KeyArg* keys, const uint64_t* values, size_t count,
                    OpStatus* statuses) {
+    if (opts_.batch_pipeline == BatchPipeline::kAmac) {
+      AmacForEach(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
+        statuses[i] = UpdateWithHash(key, values[i], h);
+      });
+      return;
+    }
     ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
       statuses[i] = UpdateWithHash(key, values[i], h);
     });
   }
 
   void MultiDelete(const KeyArg* keys, size_t count, OpStatus* statuses) {
+    if (opts_.batch_pipeline == BatchPipeline::kAmac) {
+      AmacForEach(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
+        statuses[i] = DeleteWithHash(key, h);
+      });
+      return;
+    }
     ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
       statuses[i] = DeleteWithHash(key, h);
     });
   }
+
+  // Batch-engine selector (A/B testing hook; volatile).
+  void set_batch_pipeline(BatchPipeline p) { opts_.batch_pipeline = p; }
 
   // Runs only the prefetch stages of the batch pipeline (pure hint; see
   // DashEH::PrefetchBatch). CCEH always fetches for ownership, so the
@@ -266,6 +301,65 @@ class CCEH {
       for (size_t i = 0; i < n; ++i) {
         exec(base + i, keys[base + i], hashes[i]);
       }
+    }
+  }
+
+  // ---- state-machine (AMAC) engine ----
+
+  struct AmacOp {
+    uint64_t hash;
+  };
+
+  // Hash -> DirProbe (resolve entry, prefetch header for ownership + the
+  // probe window) -> Execute (the ordinary locked per-op body). CCEH's
+  // machine has a fixed schedule — every op takes exactly these steps,
+  // and the whole probe runs under the segment's pessimistic rw-lock, so
+  // there is no variable-length continuation for the round-robin
+  // scheduler to interleave. Two plain passes realize the same memory
+  // schedule without the scheduler's bookkeeping; the engines differ for
+  // CCEH only in the per-state accounting the AMAC path reports.
+  template <typename ExecFn>
+  void AmacForEach(const KeyArg* keys, size_t count, ExecFn exec) {
+    util::AmacTelemetry& tele = util::AmacTelemetry::Local();
+    AmacOp ops[util::kBatchGroupWidth];
+    const uint32_t mask = opts_.buckets_per_segment - 1;
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      epoch::EpochManager::Guard guard(*epochs_);
+      util::AmacGroupCounters ctr;
+      ++tele.groups;
+      tele.ops += n;
+      // One directory snapshot per group (a stale entry is re-validated
+      // by the execute body under the segment lock).
+      CcehDirectory* dir = Dir();
+      const uint64_t gd = dir->global_depth;
+      std::atomic<uint64_t>* entries = dir->entries();
+      for (size_t i = 0; i < n; ++i) {
+        ops[i].hash = KP::Hash(keys[base + i]);
+        const uint64_t idx = gd == 0 ? 0 : (ops[i].hash >> (64 - gd));
+        util::PrefetchRead(&entries[idx]);
+        ctr.Suspend(util::AmacState::kHash);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ++ctr.steps;
+        const uint64_t idx = gd == 0 ? 0 : (ops[i].hash >> (64 - gd));
+        auto* seg = reinterpret_cast<CcehSegment*>(
+            entries[idx].load(std::memory_order_acquire));
+        util::PrefetchWrite(seg);  // header line holds the rw-lock
+        const uint32_t y =
+            CcehSegment::BucketIndex(ops[i].hash, opts_.buckets_per_segment);
+        for (uint64_t p = 0; p < kProbeBuckets; ++p) {
+          util::PrefetchRead(seg->bucket((y + p) & mask));
+        }
+        ctr.Suspend(util::AmacState::kDirProbe);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ++ctr.steps;
+        // The body revalidates under the segment lock, so a directory
+        // gone stale since resolution costs one warm retry.
+        exec(base + i, keys[base + i], ops[i].hash);
+      }
+      ctr.FlushTo(tele);
     }
   }
 

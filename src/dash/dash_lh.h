@@ -34,6 +34,7 @@
 #include "pmem/mini_tx.h"
 #include "pmem/persist.h"
 #include "pmem/pool.h"
+#include "util/amac.h"
 #include "util/lock.h"
 #include "util/prefetch.h"
 
@@ -117,17 +118,24 @@ class DashLH {
     return DeleteWithHash(key, h);
   }
 
-  // ---- batched operations (AMAC-style interleaved probing) ----
+  // ---- batched operations ----
   //
-  // Same three-stage pipeline as Dash-EH (see dash_eh.h): hash + directory
-  // prefetch, segment resolution + bucket prefetch, then the ordinary
-  // per-op logic over warm cachelines, one epoch guard per group.
-  // Stage 2 walks the hybrid-expansion directory (§5.2): the root's entry
-  // table is a single hot cacheline, so only the segment-pointer array
-  // slot and the segment itself are worth prefetching.
+  // Two engines (opts_.batch_pipeline), mirroring Dash-EH. The group
+  // pipeline (PR-1) prefetches the segment-pointer array slots and bucket
+  // lines stage-wise, then executes serially. The state-machine engine
+  // additionally interleaves the hybrid-expansion address resolution
+  // (§5.2) itself: each op's (N, Next) snapshot, array-slot load, header
+  // validation, helping-path detours, bucket probe and stash/chain scan
+  // are separate resumable steps, so the extra resolution work that
+  // diluted Dash-LH's group-pipeline overlap now runs under other ops'
+  // misses instead of in front of them.
 
   void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
                    OpStatus* statuses) {
+    if (opts_.batch_pipeline == BatchPipeline::kAmac) {
+      AmacMultiSearch(keys, count, values, statuses);
+      return;
+    }
     ForEachGroup(
         keys, count, /*for_write=*/false,
         [&](size_t i, KeyArg key, uint64_t h, Segment* seg) {
@@ -150,6 +158,13 @@ class DashLH {
 
   void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
                    OpStatus* statuses) {
+    if (opts_.batch_pipeline == BatchPipeline::kAmac) {
+      AmacForEach(keys, count, /*for_write=*/true,
+                  [&](size_t i, KeyArg key, uint64_t h) {
+                    statuses[i] = InsertWithHash(key, values[i], h);
+                  });
+      return;
+    }
     ForEachGroup(keys, count, /*for_write=*/true,
                  [&](size_t i, KeyArg key, uint64_t h, Segment*) {
                    statuses[i] = InsertWithHash(key, values[i], h);
@@ -158,6 +173,13 @@ class DashLH {
 
   void MultiUpdate(const KeyArg* keys, const uint64_t* values, size_t count,
                    OpStatus* statuses) {
+    if (opts_.batch_pipeline == BatchPipeline::kAmac) {
+      AmacForEach(keys, count, /*for_write=*/true,
+                  [&](size_t i, KeyArg key, uint64_t h) {
+                    statuses[i] = UpdateWithHash(key, values[i], h);
+                  });
+      return;
+    }
     ForEachGroup(keys, count, /*for_write=*/true,
                  [&](size_t i, KeyArg key, uint64_t h, Segment*) {
                    statuses[i] = UpdateWithHash(key, values[i], h);
@@ -165,11 +187,21 @@ class DashLH {
   }
 
   void MultiDelete(const KeyArg* keys, size_t count, OpStatus* statuses) {
+    if (opts_.batch_pipeline == BatchPipeline::kAmac) {
+      AmacForEach(keys, count, /*for_write=*/true,
+                  [&](size_t i, KeyArg key, uint64_t h) {
+                    statuses[i] = DeleteWithHash(key, h);
+                  });
+      return;
+    }
     ForEachGroup(keys, count, /*for_write=*/true,
                  [&](size_t i, KeyArg key, uint64_t h, Segment*) {
                    statuses[i] = DeleteWithHash(key, h);
                  });
   }
+
+  // Batch-engine selector (A/B testing hook; volatile).
+  void set_batch_pipeline(BatchPipeline p) { opts_.batch_pipeline = p; }
 
   // Runs only the prefetch stages of the batch pipeline (pure hint; see
   // DashEH::PrefetchBatch).
@@ -256,6 +288,178 @@ class DashLH {
       for (size_t i = 0; i < n; ++i) {
         exec(base + i, keys[base + i], hashes[i], segs[i]);
       }
+    }
+  }
+
+  // ---- state-machine (AMAC) engine ----
+  //
+  // Monotonic per-op machines scheduled as state passes (util/amac.h).
+  // Dash-LH's machine carries one more resolved artifact than Dash-EH's:
+  // the hybrid-expansion walk (meta snapshot -> IndexFor -> EntryFor
+  // binary search -> array slot) runs once per op in the Hash pass and
+  // caches the slot pointer, so the extra address-resolution work that
+  // diluted the group pipeline's overlap is both amortized and covered
+  // by the slot-line prefetch issued in the same pass.
+
+  // Interleaved search: Hash pass (hash; resolve + prefetch the
+  // segment-pointer array slot) -> DirProbe pass (slot load; segment
+  // header and probe lines prefetched together) -> BucketProbe pass
+  // (validate the warm header: version, NEW-state, pattern — then probe
+  // the warm pair; stash-implicated ops prefetch their planned lines and
+  // suspend once more) -> Execute pass (stash/chain scans over warm
+  // lines). Rare invalidations — a missing buddy slot, an unrecovered or
+  // NEW segment, a stale pattern, a torn read — fall back to the
+  // single-op loop, whose LookupLive performs the helping and recovery.
+  void AmacMultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
+                       OpStatus* statuses) {
+    util::AmacTelemetry& tele = util::AmacTelemetry::Local();
+    uint64_t hashes[util::kBatchGroupWidth];
+    std::atomic<uint64_t>* slots[util::kBatchGroupWidth];
+    Segment* segs[util::kBatchGroupWidth];
+    Segment::StashPlan plans[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      epoch::EpochManager::Guard guard(*epochs_);
+      util::AmacGroupCounters ctr;
+      ++tele.groups;
+      tele.ops += n;
+      // One (N, Next) snapshot per group, like the group pipeline: the
+      // execute pass revalidates against the live segment state.
+      const uint64_t meta = root_->meta.load(std::memory_order_acquire);
+      const uint32_t rounds = DashLhRoot::MetaN(meta);
+      const uint32_t next = DashLhRoot::MetaNext(meta);
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = KP::Hash(keys[base + i]);
+        const uint64_t idx = IndexFor(SegBits(hashes[i]), rounds, next);
+        const size_t e = EntryFor(idx);
+        std::atomic<uint64_t>* array = ArrayAt(e);
+        slots[i] = array == nullptr ? nullptr : &array[idx - starts_[e]];
+        if (slots[i] != nullptr) {
+          util::PrefetchRead(slots[i]);
+        }
+        ctr.Suspend(util::AmacState::kHash);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ++ctr.steps;
+        segs[i] = slots[i] == nullptr
+                      ? nullptr
+                      : reinterpret_cast<Segment*>(
+                            slots[i]->load(std::memory_order_acquire));
+        if (segs[i] != nullptr) {
+          util::PrefetchRead(segs[i]);  // header: version / state / pattern
+          segs[i]->PrefetchProbe(hashes[i], opts_.buckets_per_segment,
+                                 opts_.use_probing_bucket,
+                                 /*for_write=*/false);
+        }
+        ctr.Suspend(util::AmacState::kDirProbe);
+      }
+      util::AmacReadyList stash_pending;
+      for (size_t i = 0; i < n; ++i) {
+        ++ctr.steps;
+        const KeyArg key = keys[base + i];
+        if (opts_.concurrency != ConcurrencyMode::kOptimistic) {
+          statuses[base + i] =
+              SearchWithHash(key, hashes[i], &values[base + i]);
+          continue;
+        }
+        OpStatus status = OpStatus::kRetry;
+        plans[i] = Segment::StashPlan{};
+        Segment* seg = segs[i];
+        if (seg != nullptr && seg->version() == root_->global_version &&
+            seg->state() != Segment::kNew &&
+            (SegBits(hashes[i]) & (Capacity(seg->local_depth()) - 1)) ==
+                seg->pattern()) {
+          status = seg->template SearchPairOptimistic<KP>(
+              key, hashes[i], opts_, &values[base + i],
+              [&] { return SegmentValid(seg, hashes[i]); }, &plans[i]);
+        }
+        if (status == OpStatus::kRetry) {
+          ctr.Suspend(util::AmacState::kRetry);
+          statuses[base + i] =
+              SearchWithHash(key, hashes[i], &values[base + i]);
+          continue;
+        }
+        if (plans[i].pending) {
+          seg->PrefetchStashPlan(plans[i]);
+          stash_pending.Push(i);
+          ctr.Suspend(util::AmacState::kBucketProbe);
+          continue;
+        }
+        statuses[base + i] = status;
+      }
+      for (size_t j = 0; j < stash_pending.count; ++j) {
+        const size_t i = stash_pending.idx[j];
+        ++ctr.steps;
+        const KeyArg key = keys[base + i];
+        const OpStatus status = segs[i]->template SearchStashPlanned<KP>(
+            key, Segment::Fingerprint(hashes[i]), plans[i], opts_,
+            &values[base + i]);
+        if (status == OpStatus::kRetry) {
+          ctr.Suspend(util::AmacState::kRetry);
+          statuses[base + i] =
+              SearchWithHash(key, hashes[i], &values[base + i]);
+          continue;
+        }
+        statuses[base + i] = status;
+      }
+      ctr.FlushTo(tele);
+    }
+  }
+
+  // Write engine: resolve + prefetch passes (the Hash pass runs the
+  // hybrid-expansion walk and caches the array slot), then the locked op
+  // bodies in index order — the ordered execute pass preserves the batch
+  // API's same-type ordering, and the bodies revalidate through
+  // LookupLive themselves, so a view gone stale since resolution costs
+  // one warm retry.
+  template <typename ExecFn>
+  void AmacForEach(const KeyArg* keys, size_t count, bool for_write,
+                   ExecFn exec) {
+    util::AmacTelemetry& tele = util::AmacTelemetry::Local();
+    uint64_t hashes[util::kBatchGroupWidth];
+    std::atomic<uint64_t>* slots[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      epoch::EpochManager::Guard guard(*epochs_);
+      util::AmacGroupCounters ctr;
+      ++tele.groups;
+      tele.ops += n;
+      const uint64_t meta = root_->meta.load(std::memory_order_acquire);
+      const uint32_t rounds = DashLhRoot::MetaN(meta);
+      const uint32_t next = DashLhRoot::MetaNext(meta);
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = KP::Hash(keys[base + i]);
+        const uint64_t idx = IndexFor(SegBits(hashes[i]), rounds, next);
+        const size_t e = EntryFor(idx);
+        std::atomic<uint64_t>* array = ArrayAt(e);
+        slots[i] = array == nullptr ? nullptr : &array[idx - starts_[e]];
+        if (slots[i] != nullptr) {
+          util::PrefetchRead(slots[i]);
+        }
+        ctr.Suspend(util::AmacState::kHash);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ++ctr.steps;
+        Segment* seg = slots[i] == nullptr
+                           ? nullptr
+                           : reinterpret_cast<Segment*>(
+                                 slots[i]->load(std::memory_order_acquire));
+        if (seg != nullptr) {
+          if (for_write) {
+            util::PrefetchWrite(seg);
+          } else {
+            util::PrefetchRead(seg);
+          }
+          seg->PrefetchProbe(hashes[i], opts_.buckets_per_segment,
+                             opts_.use_probing_bucket, for_write);
+        }
+        ctr.Suspend(util::AmacState::kDirProbe);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ++ctr.steps;
+        exec(base + i, keys[base + i], hashes[i]);
+      }
+      ctr.FlushTo(tele);
     }
   }
 

@@ -269,8 +269,137 @@ class Segment {
     return OpStatus::kNeedSplit;
   }
 
-  // Searches for `key`. Algorithm 3 for optimistic mode; shared locks in
-  // rw mode (Fig. 13 baseline).
+  // Resumable-search continuation: which stash buckets (and whether the
+  // chain) still need probing after the bucket pair came up empty. Filled
+  // by SearchPairOptimistic; consumed by SearchStashPlanned, optionally
+  // with a PrefetchStashPlan suspend point in between (the AMAC engine's
+  // execute-stage overlap).
+  struct StashPlan {
+    uint32_t mask = 0;        // stash-bucket positions to probe
+    bool scan_chain = false;  // also walk the chained stash buckets
+    bool pending = false;     // true => the stash scan must still run
+  };
+
+  // First half of the optimistic search (Algorithm 3): probe the
+  // target/probing bucket pair under version validation. Returns kOk,
+  // kRetry, or kNotFound; a kNotFound with plan->pending set means the
+  // verdict is provisional and SearchStashPlanned must complete it.
+  template <typename KP, typename VerifyFn>
+  OpStatus SearchPairOptimistic(typename KP::KeyArg key, uint64_t hash,
+                                const DashOptions& opts, uint64_t* out,
+                                VerifyFn verify, StashPlan* plan) {
+    const uint8_t fp = Fingerprint(hash);
+    const uint32_t mask = num_buckets_ - 1;
+    const uint32_t y0 = BucketIndex(hash, num_buckets_);
+    Bucket* b0 = bucket(y0);
+    Bucket* b1 = opts.use_probing_bucket ? bucket((y0 + 1) & mask) : nullptr;
+
+    const uint32_t v0 = b0->lock().Snapshot();
+    const uint32_t v1 = b1 != nullptr ? b1->lock().Snapshot() : 0;
+    if (!verify()) return OpStatus::kRetry;
+
+    int slot = b0->FindKey<KP>(fp, key, opts);
+    if (slot >= 0) {
+      const uint64_t value = b0->record(slot).value;
+      if (!b0->lock().Verify(v0)) return OpStatus::kRetry;
+      *out = value;
+      return OpStatus::kOk;
+    }
+    if (b1 != nullptr) {
+      slot = b1->FindKey<KP>(fp, key, opts);
+      if (slot >= 0) {
+        const uint64_t value = b1->record(slot).value;
+        if (!b1->lock().Verify(v1)) return OpStatus::kRetry;
+        *out = value;
+        return OpStatus::kOk;
+      }
+    }
+    // A negative answer is only valid if neither bucket changed while we
+    // probed (a record can migrate between the pair via displacement).
+    if (!b0->lock().Verify(v0) ||
+        (b1 != nullptr && !b1->lock().Verify(v1))) {
+      return OpStatus::kRetry;
+    }
+    if (num_stash_ == 0 && stash_chain() == nullptr) {
+      return OpStatus::kNotFound;
+    }
+    if (opts.use_overflow_metadata && b0->overflow_count() == 0) {
+      uint32_t hints = b0->OverflowStashHints(fp, /*member=*/false);
+      if (b1 != nullptr) hints |= b1->OverflowStashHints(fp, /*member=*/true);
+      // The metadata lives in the (unlocked) bucket pair; re-validate it.
+      if (!b0->lock().Verify(v0) ||
+          (b1 != nullptr && !b1->lock().Verify(v1))) {
+        return OpStatus::kRetry;
+      }
+      if (hints == 0) return OpStatus::kNotFound;  // early stop (§4.3)
+      plan->mask = hints;
+      plan->scan_chain = false;
+    } else {
+      plan->mask = ~0u;
+      plan->scan_chain = true;
+    }
+    plan->pending = true;
+    return OpStatus::kNotFound;
+  }
+
+  // Prefetches the stash cachelines a planned scan will touch. The stash
+  // bucket addresses are pure arithmetic off the segment pointer; only the
+  // first chain node is prefetched (chains are short and rare).
+  void PrefetchStashPlan(const StashPlan& plan) const {
+    for (uint32_t pos = 0; pos < num_stash_; ++pos) {
+      if ((plan.mask >> pos) & 1) {
+        util::PrefetchRange(bucket(num_buckets_ + pos), sizeof(Bucket));
+      }
+    }
+    if (plan.scan_chain) {
+      StashChainNode* node = stash_chain();
+      if (node != nullptr) {
+        util::PrefetchRead(node);  // `next` + pad line
+        util::PrefetchRange(&node->bucket, sizeof(Bucket));
+      }
+    }
+  }
+
+  // Second half of the optimistic search: the planned stash scan, with
+  // per-stash-bucket version validation.
+  template <typename KP>
+  OpStatus SearchStashPlanned(typename KP::KeyArg key, uint8_t fp,
+                              const StashPlan& plan, const DashOptions& opts,
+                              uint64_t* out) {
+    for (uint32_t pos = 0; pos < num_stash_; ++pos) {
+      if (((plan.mask >> pos) & 1) == 0) continue;
+      Bucket* s = stash_bucket(pos);
+      const uint32_t vs = s->lock().Snapshot();
+      const int slot = s->FindKey<KP>(fp, key, opts);
+      if (slot >= 0) {
+        const uint64_t value = s->record(slot).value;
+        if (!s->lock().Verify(vs)) return OpStatus::kRetry;
+        *out = value;
+        return OpStatus::kOk;
+      }
+      if (!s->lock().Verify(vs)) return OpStatus::kRetry;
+    }
+    if (plan.scan_chain) {
+      for (StashChainNode* node = stash_chain(); node != nullptr;
+           node = reinterpret_cast<StashChainNode*>(node->next)) {
+        Bucket* s = &node->bucket;
+        const uint32_t vs = s->lock().Snapshot();
+        const int slot = s->FindKey<KP>(fp, key, opts);
+        if (slot >= 0) {
+          const uint64_t value = s->record(slot).value;
+          if (!s->lock().Verify(vs)) return OpStatus::kRetry;
+          *out = value;
+          return OpStatus::kOk;
+        }
+        if (!s->lock().Verify(vs)) return OpStatus::kRetry;
+      }
+    }
+    return OpStatus::kNotFound;
+  }
+
+  // Searches for `key`. Algorithm 3 for optimistic mode (pair probe +
+  // planned stash scan, the same two halves the AMAC engine suspends
+  // between); shared locks in rw mode (Fig. 13 baseline).
   template <typename KP, typename VerifyFn>
   OpStatus Search(typename KP::KeyArg key, uint64_t hash,
                   const DashOptions& opts, uint64_t* out, VerifyFn verify) {
@@ -281,33 +410,11 @@ class Segment {
     Bucket* b1 = opts.use_probing_bucket ? bucket((y0 + 1) & mask) : nullptr;
 
     if (opts.concurrency == ConcurrencyMode::kOptimistic) {
-      const uint32_t v0 = b0->lock().Snapshot();
-      const uint32_t v1 = b1 != nullptr ? b1->lock().Snapshot() : 0;
-      if (!verify()) return OpStatus::kRetry;
-
-      int slot = b0->FindKey<KP>(fp, key, opts);
-      if (slot >= 0) {
-        const uint64_t value = b0->record(slot).value;
-        if (!b0->lock().Verify(v0)) return OpStatus::kRetry;
-        *out = value;
-        return OpStatus::kOk;
-      }
-      if (b1 != nullptr) {
-        slot = b1->FindKey<KP>(fp, key, opts);
-        if (slot >= 0) {
-          const uint64_t value = b1->record(slot).value;
-          if (!b1->lock().Verify(v1)) return OpStatus::kRetry;
-          *out = value;
-          return OpStatus::kOk;
-        }
-      }
-      // A negative answer is only valid if neither bucket changed while we
-      // probed (a record can migrate between the pair via displacement).
-      if (!b0->lock().Verify(v0) ||
-          (b1 != nullptr && !b1->lock().Verify(v1))) {
-        return OpStatus::kRetry;
-      }
-      return StashSearch<KP>(key, fp, y0, b0, b1, opts, out, v0, v1);
+      StashPlan plan;
+      const OpStatus status =
+          SearchPairOptimistic<KP>(key, hash, opts, out, verify, &plan);
+      if (!plan.pending) return status;
+      return SearchStashPlanned<KP>(key, fp, plan, opts, out);
     }
 
     // Pessimistic mode: hold shared locks on the pair while probing.
@@ -609,64 +716,6 @@ class Segment {
       if (slot >= 0) {
         *out = node->bucket.record(slot).value;
         return OpStatus::kOk;
-      }
-    }
-    return OpStatus::kNotFound;
-  }
-
-  // Optimistic stash search: validates the metadata snapshot (v0/v1) and
-  // each stash bucket's version around the probe.
-  template <typename KP>
-  OpStatus StashSearch(typename KP::KeyArg key, uint8_t fp, uint32_t /*y0*/,
-                       Bucket* b0, Bucket* b1, const DashOptions& opts,
-                       uint64_t* out, uint32_t v0, uint32_t v1) {
-    if (num_stash_ == 0 && stash_chain() == nullptr) {
-      return OpStatus::kNotFound;
-    }
-    uint32_t scan_mask;
-    bool scan_chain;
-    if (opts.use_overflow_metadata && b0->overflow_count() == 0) {
-      uint32_t hints = b0->OverflowStashHints(fp, /*member=*/false);
-      if (b1 != nullptr) hints |= b1->OverflowStashHints(fp, /*member=*/true);
-      // The metadata lives in the (unlocked) bucket pair; re-validate it.
-      if (!b0->lock().Verify(v0) ||
-          (b1 != nullptr && !b1->lock().Verify(v1))) {
-        return OpStatus::kRetry;
-      }
-      if (hints == 0) return OpStatus::kNotFound;  // early stop (§4.3)
-      scan_mask = hints;
-      scan_chain = false;
-    } else {
-      scan_mask = ~0u;
-      scan_chain = true;
-    }
-
-    for (uint32_t pos = 0; pos < num_stash_; ++pos) {
-      if (((scan_mask >> pos) & 1) == 0) continue;
-      Bucket* s = stash_bucket(pos);
-      const uint32_t vs = s->lock().Snapshot();
-      const int slot = s->FindKey<KP>(fp, key, opts);
-      if (slot >= 0) {
-        const uint64_t value = s->record(slot).value;
-        if (!s->lock().Verify(vs)) return OpStatus::kRetry;
-        *out = value;
-        return OpStatus::kOk;
-      }
-      if (!s->lock().Verify(vs)) return OpStatus::kRetry;
-    }
-    if (scan_chain) {
-      for (StashChainNode* node = stash_chain(); node != nullptr;
-           node = reinterpret_cast<StashChainNode*>(node->next)) {
-        Bucket* s = &node->bucket;
-        const uint32_t vs = s->lock().Snapshot();
-        const int slot = s->FindKey<KP>(fp, key, opts);
-        if (slot >= 0) {
-          const uint64_t value = s->record(slot).value;
-          if (!s->lock().Verify(vs)) return OpStatus::kRetry;
-          *out = value;
-          return OpStatus::kOk;
-        }
-        if (!s->lock().Verify(vs)) return OpStatus::kRetry;
       }
     }
     return OpStatus::kNotFound;

@@ -20,6 +20,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "dash/config.h"
 #include "dash/key_policy.h"
 #include "dash/op_status.h"
 #include "epoch/epoch_manager.h"
@@ -28,6 +29,7 @@
 #include "pmem/mini_tx.h"
 #include "pmem/persist.h"
 #include "pmem/pool.h"
+#include "util/amac.h"
 #include "util/hash.h"
 #include "util/lock.h"
 #include "util/prefetch.h"
@@ -87,6 +89,8 @@ struct LevelRoot {
 struct LevelOptions {
   // Initial top-level bucket count (power of two). 2^10 x 128 B = 128 KB.
   uint64_t initial_top_buckets = 1024;
+  // Batch engine behind Multi* (see dash::BatchPipeline).
+  BatchPipeline batch_pipeline = BatchPipeline::kAmac;
 };
 
 struct LevelStats {
@@ -160,21 +164,36 @@ class LevelHashing {
     return UpdateWithHashes(key, value, h1, h2);
   }
 
-  // ---- batched operations (AMAC-style interleaved probing) ----
+  // ---- batched operations ----
   //
-  // Stage 1 computes both hash choices for every key in the group and
-  // prefetches all four candidate buckets (two top, two bottom); stage 2
-  // runs the ordinary per-op logic over warm cachelines under one
-  // epoch guard per group. There is no directory here, so the pipeline has
-  // one prefetch stage instead of two.
+  // Two engines (opts_.batch_pipeline). kGroup (PR-1): compute both hash
+  // choices for every key in the group, prefetch all four candidate
+  // buckets (two top, two bottom), then run the ordinary per-op logic
+  // serially over warm cachelines. kAmac splits the two-level reprobe
+  // into resumable halves: each search prefetches only its two top-level
+  // candidates first, yields, probes them, and only on a top-level miss
+  // prefetches + probes the bottom (standby) level — so one op's
+  // bottom-level fill overlaps other ops' top-level probes, and top-level
+  // hits never fetch bottom lines at all. One epoch guard per group in
+  // both engines.
 
   void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
                    OpStatus* statuses) {
+    if (opts_.batch_pipeline == BatchPipeline::kAmac) {
+      AmacMultiSearch(keys, count, values, statuses);
+      return;
+    }
     ForEachGroup(keys, count, /*for_write=*/false,
                  [&](size_t i, KeyArg key, uint64_t h1, uint64_t h2) {
                    statuses[i] = SearchWithHashes(key, h1, h2, &values[i]);
                  });
   }
+
+  // Write batches use the group pipeline under both settings: a Level
+  // write probes all four candidates while holding every involved stripe
+  // lock (LockAll), so there is no lock-free program point left to
+  // suspend at — the state machine would degenerate to exactly the group
+  // pipeline's prefetch-then-execute schedule.
 
   void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
                    OpStatus* statuses) {
@@ -198,6 +217,9 @@ class LevelHashing {
                    statuses[i] = DeleteWithHashes(key, h1, h2);
                  });
   }
+
+  // Batch-engine selector (A/B testing hook; volatile).
+  void set_batch_pipeline(BatchPipeline p) { opts_.batch_pipeline = p; }
 
   // Runs only the prefetch stage of the batch pipeline (pure hint; see
   // DashEH::PrefetchBatch). No epoch guard needed: the stage computes
@@ -234,6 +256,12 @@ class LevelHashing {
 
  private:
   static constexpr uint32_t kStripes = 4096;
+
+  struct Candidates {
+    // 0,1 = top choices; 2,3 = bottom (standby) choices.
+    LevelBucket* buckets[4];
+    uint64_t ids[4];  // global bucket ids (top: [0,N), bottom: N + [0,N/2))
+  };
 
   // Batch scaffold: per group of
   // kBatchGroupWidth operations run the prefetch stage and invoke
@@ -278,19 +306,88 @@ class LevelHashing {
                             uint64_t* out) {
     resize_lock_.LockShared();
     Candidates c = Locate(h1, h2);
-    bool found = false;
-    for (int i = 0; i < 4 && !found; ++i) {
+    const bool found = ProbeCandidateRange(c, 0, 4, h1, key, out);
+    resize_lock_.UnlockShared();
+    return found ? OpStatus::kOk : OpStatus::kNotFound;
+  }
+
+  // Probes candidates [from, to) in order under their stripe shared
+  // locks; the caller holds the resize lock shared. The same helper backs
+  // the single-op search (whole range) and the AMAC search's two halves
+  // (top level then bottom level), so probe order and locking are shared.
+  bool ProbeCandidateRange(const Candidates& c, int from, int to,
+                           uint64_t h1, KeyArg key, uint64_t* out) {
+    for (int i = from; i < to; ++i) {
       const uint32_t stripe = StripeOf(c.ids[i]);
       locks_[stripe].LockShared();
       const int slot = FindIn(c.buckets[i], h1 & 0xFF, key);
       if (slot >= 0) {
         *out = c.buckets[i]->records[slot].value;
-        found = true;
+        locks_[stripe].UnlockShared();
+        return true;
       }
       locks_[stripe].UnlockShared();
     }
-    resize_lock_.UnlockShared();
-    return found ? OpStatus::kOk : OpStatus::kNotFound;
+    return false;
+  }
+
+  // ---- state-machine (AMAC) search engine ----
+  //
+  // Monotonic per-op machines scheduled as state passes (util/amac.h).
+  // The resize lock is held shared for the whole group instead of per op:
+  // the candidate pointers computed in the Hash pass stay valid across
+  // suspends, and a group is at most kBatchGroupWidth bounded probes, so
+  // a resize waits marginally longer than it would for one serial op.
+  // Searches never acquire the resize lock exclusively, so the group-held
+  // shared lock cannot self-deadlock the single-threaded scheduler.
+
+  void AmacMultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
+                       OpStatus* statuses) {
+    util::AmacTelemetry& tele = util::AmacTelemetry::Local();
+    uint64_t h1s[util::kBatchGroupWidth];
+    Candidates cands[util::kBatchGroupWidth];
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      epoch::EpochManager::Guard guard(*epochs_);
+      resize_lock_.LockShared();
+      util::AmacGroupCounters ctr;
+      ++tele.groups;
+      tele.ops += n;
+      for (size_t i = 0; i < n; ++i) {
+        h1s[i] = KP::Hash(keys[base + i]);
+        cands[i] = Locate(h1s[i], util::Mix64(h1s[i]));
+        // Top-level candidates only; the bottom level is fetched lazily
+        // on a top-level miss (the second reprobe half).
+        util::PrefetchRange(cands[i].buckets[0], sizeof(LevelBucket));
+        util::PrefetchRange(cands[i].buckets[1], sizeof(LevelBucket));
+        ctr.Suspend(util::AmacState::kHash);
+      }
+      util::AmacReadyList bottom_pending;
+      for (size_t i = 0; i < n; ++i) {
+        ++ctr.steps;
+        if (ProbeCandidateRange(cands[i], 0, 2, h1s[i], keys[base + i],
+                                &values[base + i])) {
+          statuses[base + i] = OpStatus::kOk;
+          continue;
+        }
+        util::PrefetchRange(cands[i].buckets[2], sizeof(LevelBucket));
+        util::PrefetchRange(cands[i].buckets[3], sizeof(LevelBucket));
+        bottom_pending.Push(i);
+        ctr.Suspend(util::AmacState::kBucketProbe);
+      }
+      for (size_t j = 0; j < bottom_pending.count; ++j) {
+        const size_t i = bottom_pending.idx[j];
+        ++ctr.steps;
+        // Bottom (standby) level reprobe over warm lines.
+        statuses[base + i] =
+            ProbeCandidateRange(cands[i], 2, 4, h1s[i], keys[base + i],
+                                &values[base + i])
+                ? OpStatus::kOk
+                : OpStatus::kNotFound;
+      }
+      ctr.FlushTo(tele);
+      resize_lock_.UnlockShared();
+    }
   }
 
   OpStatus DeleteWithHashes(KeyArg key, uint64_t h1, uint64_t h2) {
@@ -357,12 +454,6 @@ class LevelHashing {
       }
     }
   }
-
-  struct Candidates {
-    // 0,1 = top choices; 2,3 = bottom (standby) choices.
-    LevelBucket* buckets[4];
-    uint64_t ids[4];  // global bucket ids (top: [0,N), bottom: N + [0,N/2))
-  };
 
   LevelBucket* Top() const {
     return reinterpret_cast<LevelBucket*>(

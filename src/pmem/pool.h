@@ -16,6 +16,7 @@
 #ifndef DASH_PM_PMEM_POOL_H_
 #define DASH_PM_PMEM_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -47,6 +48,22 @@ struct PoolHeader {
   uint64_t heap_offset;
 };
 
+// How the pool's virtual mapping is backed. Software prefetches (the batch
+// pipeline's overlap mechanism) are dropped by the core when the address
+// misses the DTLB; 4 KB pages cap the TLB-covered working set at a few MB,
+// while 2 MB pages cover multi-GB pools. kHugeTlb is a MAP_HUGETLB mapping
+// (only possible for hugetlbfs-backed files); kThpAdvised means the kernel
+// accepted madvise(MADV_HUGEPAGE) on the mapping (tmpfs pools — the
+// default /dev/shm location — are eligible when shmem THP is enabled);
+// k4K is the universal fallback.
+enum class PageMode : uint8_t {
+  k4K = 0,
+  kThpAdvised = 1,
+  kHugeTlb = 2,
+};
+
+const char* PageModeName(PageMode mode);
+
 // A bounded persistent buffer of blocks that are logically unreachable but
 // not yet returned to the allocator (e.g., a replaced directory that epoch
 // reclamation will free). If the process crashes first, pool open returns
@@ -61,6 +78,10 @@ class PmPool {
   struct Options {
     size_t pool_size = 1ull << 30;  // 1 GB default
     size_t root_size = 4096;
+    // Attempt huge-page backing (MAP_HUGETLB, then MADV_HUGEPAGE) before
+    // falling back to 4 KB pages. Never a hard failure: environments
+    // without huge-page support (CI containers) silently get k4K.
+    bool try_huge_pages = true;
   };
 
   PmPool(const PmPool&) = delete;
@@ -75,7 +96,8 @@ class PmPool {
                                         const Options& options);
 
   // Opens an existing pool, mapping it at its recorded base address.
-  static std::unique_ptr<PmPool> Open(const std::string& path);
+  static std::unique_ptr<PmPool> Open(const std::string& path,
+                                      bool try_huge_pages = true);
 
   // Opens `path` if it exists, otherwise creates it. `created` (optional)
   // reports which happened.
@@ -131,6 +153,18 @@ class PmPool {
 
   PoolHeader* header() const { return static_cast<PoolHeader*>(base_); }
 
+  // How the mapping was established (volatile; re-derived on every open).
+  PageMode page_mode() const { return page_mode_; }
+
+  // The page size actually backing the mapping: 2 MB for a hugetlb
+  // mapping, 2 MB for a THP-advised mapping the kernel has PMD-mapped
+  // (checked against /proc/self/smaps), else 4 KB. THP promotion is
+  // asynchronous, so a kThpAdvised pool may report 4096 right after
+  // creation and 2 MB once khugepaged has collapsed the range. The
+  // smaps scan runs at most until it first confirms promotion (sticky
+  // for a live mapping), so repeated Stats() polls don't re-parse it.
+  size_t MappedPageBytes() const;
+
  private:
   PmPool() = default;
 
@@ -138,6 +172,10 @@ class PmPool {
 
   void* base_ = nullptr;
   int fd_ = -1;
+  PageMode page_mode_ = PageMode::k4K;
+  // Sticky "smaps confirmed PMD-mapped pages" flag for kThpAdvised
+  // pools; atomic because Stats() may poll from several shard workers.
+  mutable std::atomic<bool> thp_confirmed_{false};
   bool closed_ = false;
   bool recovered_from_crash_ = false;
   uint64_t retire_claimed_ = 0;  // volatile claims on staged retire slots

@@ -1,0 +1,53 @@
+#include "util/amac.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dash::util {
+
+namespace {
+
+// Registry of per-thread counter blocks. Entries are heap-owned and never
+// freed, so DrainAll can still read a thread's counters after it exits
+// (benchmark worker threads are joined before the drain). Bounded by the
+// number of distinct threads the process ever runs batches on.
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<std::unique_ptr<AmacTelemetry>>& Registry() {
+  static std::vector<std::unique_ptr<AmacTelemetry>> entries;
+  return entries;
+}
+
+}  // namespace
+
+AmacTelemetry& AmacTelemetry::Local() {
+  thread_local AmacTelemetry* local = [] {
+    auto entry = std::make_unique<AmacTelemetry>();
+    AmacTelemetry* ptr = entry.get();
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    Registry().push_back(std::move(entry));
+    return ptr;
+  }();
+  return *local;
+}
+
+AmacTelemetry AmacTelemetry::DrainAll() {
+  AmacTelemetry sum;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (auto& entry : Registry()) {
+    for (size_t i = 0; i < kAmacStateCount; ++i) {
+      sum.suspends[i] += entry->suspends[i];
+    }
+    sum.steps += entry->steps;
+    sum.ops += entry->ops;
+    sum.groups += entry->groups;
+    *entry = AmacTelemetry{};
+  }
+  return sum;
+}
+
+}  // namespace dash::util

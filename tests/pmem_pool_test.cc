@@ -58,6 +58,51 @@ TEST(PmPoolTest, DestructorIsDirtyClose) {
   pool->CloseClean();
 }
 
+// Huge-page backing is best-effort: the pool must open everywhere (CI
+// containers without hugetlbfs or shmem THP included), falling back
+// silently, and report which page size it actually obtained.
+TEST(PmPoolTest, HugePageRequestFallsBackGracefully) {
+  TempPoolFile file("pool_huge");
+  PmPool::Options options;
+  options.pool_size = 64ull << 20;  // 2 MB-aligned, hugetlb-eligible
+  options.try_huge_pages = true;
+  {
+    auto pool = PmPool::Create(file.path(), options);
+    ASSERT_NE(pool, nullptr) << "huge-page attempt must never fail creation";
+    const PageMode mode = pool->page_mode();
+    EXPECT_TRUE(mode == PageMode::k4K || mode == PageMode::kThpAdvised ||
+                mode == PageMode::kHugeTlb)
+        << static_cast<int>(mode);
+    const size_t page = pool->MappedPageBytes();
+    EXPECT_TRUE(page == 4096 || page == (2ull << 20)) << page;
+    // A hugetlb mapping always implies 2 MB pages; a plain mapping never
+    // reports more than its mode can deliver.
+    if (mode == PageMode::kHugeTlb) EXPECT_EQ(page, 2ull << 20);
+    if (mode == PageMode::k4K) EXPECT_EQ(page, 4096u);
+    std::strcpy(static_cast<char*>(pool->root()), "huge ok");
+    Persist(pool->root(), 16);
+    pool->CloseClean();
+  }
+  // Reopen honors the same best-effort policy and still sees the data.
+  auto pool = PmPool::Open(file.path(), /*try_huge_pages=*/true);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_STREQ(static_cast<char*>(pool->root()), "huge ok");
+  pool->CloseClean();
+}
+
+TEST(PmPoolTest, HugePagesDisabledReports4K) {
+  TempPoolFile file("pool_4k");
+  PmPool::Options options;
+  options.pool_size = 64ull << 20;
+  options.try_huge_pages = false;
+  auto pool = PmPool::Create(file.path(), options);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->page_mode(), PageMode::k4K);
+  EXPECT_EQ(pool->MappedPageBytes(), 4096u);
+  EXPECT_STREQ(PageModeName(pool->page_mode()), "4k");
+  pool->CloseClean();
+}
+
 TEST(PmPoolTest, CreateFailsIfExists) {
   TempPoolFile file("pool_exists");
   auto pool = test::CreatePool(file);
