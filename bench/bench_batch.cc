@@ -14,8 +14,19 @@
 // (default both) A/B-tests the PR-1 group pipeline against the
 // state-machine AMAC engine on the same tables; AMAC measurements carry
 // the engine's per-state suspend/resume counters in their JSON lines.
+// Every per-table measurement also carries the read-path lock telemetry
+// deltas (optimistic retries, version conflicts, exclusive lock
+// acquisitions — IndexStats), which is how "searches write no lock word"
+// is observable: search-only phases report "write_locks":0.
 // --check-speedup=X exits non-zero if any table's batch search speedup
 // over single-op falls below X on the selected pipeline (CI gate).
+//
+// --workload={a,b,c} switches to the YCSB-style mixed mode instead:
+// 50/50, 95/5 or 100/0 search/update over a zipfian key choice
+// (theta 0.99) against the preloaded table, run at each --threads value,
+// single-op loop vs MultiExecute descriptor batches per pipeline. This
+// measures the optimistic read path under write contention rather than
+// in a pure search phase.
 // --shards=N (N >= 1) switches to the ShardedStore facade: the same key
 // stream runs once through single-op calls and once through mixed-op
 // MultiExecute descriptor batches that are scattered/regrouped per shard
@@ -38,6 +49,8 @@
 #include "bench_common.h"
 #include "util/amac.h"
 #include "util/hash.h"
+#include "util/rand.h"
+#include "util/zipf.h"
 
 namespace dash::bench {
 namespace {
@@ -68,6 +81,35 @@ std::string TelemetryJson(const util::AmacTelemetry& t) {
       static_cast<double>(t.suspends[3]) / ops,
       static_cast<double>(t.suspends[4]) / ops,
       static_cast<double>(t.suspends[5]) / ops);
+  return buf;
+}
+
+// Read-path lock telemetry snapshot (cumulative per table); JSON lines
+// report the per-phase delta. A search-only phase on the optimistic
+// tables must show write_locks == 0 — the observable form of "searches
+// perform zero PM lock-word writes".
+struct LockCounters {
+  uint64_t opt_retries = 0;
+  uint64_t version_conflicts = 0;
+  uint64_t write_locks = 0;
+};
+
+LockCounters SnapshotLockCounters(api::KvIndex* table) {
+  const api::IndexStats s = table->Stats();
+  return {s.opt_retries, s.version_conflicts, s.write_locks};
+}
+
+std::string LockJson(const LockCounters& before, const LockCounters& after) {
+  char buf[192];
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"lock\":{\"opt_retries\":%llu,\"version_conflicts\":%llu,"
+      "\"write_locks\":%llu}",
+      static_cast<unsigned long long>(after.opt_retries - before.opt_retries),
+      static_cast<unsigned long long>(after.version_conflicts -
+                                      before.version_conflicts),
+      static_cast<unsigned long long>(after.write_locks -
+                                      before.write_locks));
   return buf;
 }
 
@@ -111,22 +153,146 @@ PhaseResult BatchInsertPhase(api::KvIndex* table, uint64_t base, uint64_t n,
       });
 }
 
+// ---- YCSB-style mixed workload mode (--workload={a,b,c}) ----
+//
+// 50/50 (a), 95/5 (b) or 100/0 (c) search/update over a zipfian key
+// choice (theta 0.99, YCSB's default skew) against the preloaded key
+// space. Both phases replay identical per-thread op streams (fixed
+// generator seeds), so single vs batch compares only the execution path.
+
+PhaseResult WorkloadSinglePhase(api::KvIndex* table, uint64_t ops,
+                                int threads, int read_pct,
+                                const util::ZipfGenerator& zipf_proto) {
+  return RunParallel(
+      threads, ops,
+      [table, read_pct, &zipf_proto](int t, uint64_t begin, uint64_t end) {
+        util::ZipfGenerator zipf(zipf_proto, 42 + t);
+        util::Xoshiro256 op_rng(1000 + t);
+        uint64_t value = 0;
+        for (uint64_t i = begin; i < end; ++i) {
+          const uint64_t key = zipf.Next() + 1;
+          if (op_rng.NextBounded(100) <
+              static_cast<uint64_t>(read_pct)) {
+            table->Search(key, &value);
+          } else {
+            table->Update(key, i);
+          }
+        }
+      });
+}
+
+PhaseResult WorkloadBatchPhase(api::KvIndex* table, uint64_t ops,
+                               int threads, int read_pct, size_t batch,
+                               const util::ZipfGenerator& zipf_proto) {
+  return RunParallel(
+      threads, ops,
+      [table, read_pct, batch, &zipf_proto](int t, uint64_t begin,
+                                            uint64_t end) {
+        util::ZipfGenerator zipf(zipf_proto, 42 + t);
+        util::Xoshiro256 op_rng(1000 + t);
+        api::Op descriptors[kMaxBatch];
+        api::Status statuses[kMaxBatch];
+        uint64_t i = begin;
+        while (i < end) {
+          const size_t n = std::min<uint64_t>(batch, end - i);
+          for (size_t j = 0; j < n; ++j) {
+            const uint64_t key = zipf.Next() + 1;
+            descriptors[j] =
+                op_rng.NextBounded(100) < static_cast<uint64_t>(read_pct)
+                    ? api::Op::Search(key)
+                    : api::Op::Update(key, i + j);
+          }
+          table->MultiExecute(descriptors, n, statuses);
+          i += n;
+        }
+      });
+}
+
 void PrintJson(const std::string& table, const std::string& op,
                const std::string& mode, size_t batch,
                const PhaseResult& result, size_t shards = 0,
                const std::string& pipeline = "",
-               const std::string& extra = "") {
+               const std::string& extra = "", int threads = 1) {
   const std::string pipeline_field =
       pipeline.empty() ? "" : "\"pipeline\":\"" + pipeline + "\",";
   std::printf(
       "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"op\":\"%s\","
-      "\"mode\":\"%s\",%s\"batch\":%zu,\"threads\":1,\"shards\":%zu,"
+      "\"mode\":\"%s\",%s\"batch\":%zu,\"threads\":%d,\"shards\":%zu,"
       "\"mops\":%.4f,"
       "\"reads_per_op\":%.2f,\"clwb_per_op\":%.2f%s}\n",
       table.c_str(), op.c_str(), mode.c_str(), pipeline_field.c_str(),
-      batch, shards, result.mops, result.reads_per_op, result.clwb_per_op,
-      extra.c_str());
+      batch, threads, shards, result.mops, result.reads_per_op,
+      result.clwb_per_op, extra.c_str());
   std::fflush(stdout);
+}
+
+// The --workload={a,b,c} mode: for every table, at every --threads
+// value, run the zipfian read/update mix once through the single-op loop
+// and once through MultiExecute descriptor batches per pipeline. JSON
+// lines carry the lock-telemetry deltas, so the contention behaviour of
+// the optimistic read path (retries/conflicts vs exclusive acquisitions)
+// is recorded alongside throughput.
+int RunWorkloadMode(const std::string& workload,
+                    const std::vector<BatchPipeline>& pipelines,
+                    const std::string& only_table, uint64_t preload,
+                    uint64_t ops, size_t batch, const BenchConfig& config) {
+  int read_pct;
+  if (workload == "a") {
+    read_pct = 50;
+  } else if (workload == "b") {
+    read_pct = 95;
+  } else if (workload == "c") {
+    read_pct = 100;
+  } else {
+    std::fprintf(stderr, "unknown --workload=%s (a|b|c)\n",
+                 workload.c_str());
+    return 1;
+  }
+  const std::string opname = "ycsb-" + workload;
+  for (api::IndexKind kind :
+       {api::IndexKind::kDashEH, api::IndexKind::kDashLH,
+        api::IndexKind::kCCEH, api::IndexKind::kLevel}) {
+    const std::string name = api::IndexKindName(kind);
+    if (!only_table.empty() && only_table != name) continue;
+    DashOptions options;
+    TableHandle handle = MakeTable(kind, config, options);
+    Preload(handle.table.get(), preload, /*threads=*/1);
+    api::KvIndex* table = handle.table.get();
+    // One zeta computation (O(preload) pow calls) outside every timed
+    // region; the per-thread generators derive from it.
+    const util::ZipfGenerator zipf_proto(preload, 0.99, 0);
+    for (int threads : config.thread_counts) {
+      LockCounters lc0 = SnapshotLockCounters(table);
+      const PhaseResult single =
+          WorkloadSinglePhase(table, ops, threads, read_pct, zipf_proto);
+      LockCounters lc1 = SnapshotLockCounters(table);
+      PrintRow("bench_batch", name, opname + "-single", threads, single);
+      PrintJson(name, opname, "single", 1, single, 0, "", LockJson(lc0, lc1),
+                threads);
+      for (BatchPipeline p : pipelines) {
+        const char* pname = PipelineName(p);
+        table->SetBatchPipeline(p);
+        util::AmacTelemetry::DrainAll();
+        lc0 = SnapshotLockCounters(table);
+        const PhaseResult batched = WorkloadBatchPhase(
+            table, ops, threads, read_pct, batch, zipf_proto);
+        lc1 = SnapshotLockCounters(table);
+        const auto tele = util::AmacTelemetry::DrainAll();
+        PrintRow("bench_batch", name,
+                 opname + "-batch-" + pname, threads, batched);
+        PrintJson(name, opname, "batch", batch, batched, 0, pname,
+                  TelemetryJson(tele) + LockJson(lc0, lc1), threads);
+        std::printf(
+            "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"workload\":"
+            "\"%s\",\"pipeline\":\"%s\",\"threads\":%d,\"batch\":%zu,"
+            "\"read_pct\":%d,\"mixed_speedup_vs_single\":%.3f}\n",
+            name.c_str(), workload.c_str(), pname, threads, batch,
+            read_pct, batched.mops / single.mops);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
 }
 
 // ---- ShardedStore phases (mixed-op descriptor batches) ----
@@ -363,6 +529,7 @@ int main(int argc, char** argv) {
   std::string only_table;
   std::string json_out = "BENCH_async.json";
   std::string pipeline_arg = "both";
+  std::string workload_arg;
   double check_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--preload=", 10) == 0) {
@@ -385,6 +552,8 @@ int main(int argc, char** argv) {
       only_table = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--pipeline=", 11) == 0) {
       pipeline_arg = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--workload=", 11) == 0) {
+      workload_arg = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--check-speedup=", 16) == 0) {
       check_speedup = std::strtod(argv[i] + 16, nullptr);
     }
@@ -412,6 +581,18 @@ int main(int argc, char** argv) {
   const uint64_t insert_ops = std::min<uint64_t>(ops / 2, preload);
 
   PrintHeader("bench_batch");
+
+  // --workload={a,b,c}: the YCSB-style zipfian read/update mix.
+  if (!workload_arg.empty()) {
+    if (shards > 0) {
+      std::fprintf(stderr,
+                   "--workload applies to the per-table mode; drop "
+                   "--shards/--threads\n");
+      return 1;
+    }
+    return RunWorkloadMode(workload_arg, pipelines, only_table, preload,
+                           ops, batch, config);
+  }
 
   // --shards=N --threads=K: the async serving mode (multi-client
   // submission against the per-shard worker executor).
@@ -492,22 +673,29 @@ int main(int argc, char** argv) {
     {
       TableHandle handle = MakeTable(kind, config, options);
       Preload(handle.table.get(), preload, /*threads=*/1);
+      LockCounters lc0 = SnapshotLockCounters(handle.table.get());
       single_search =
           PositiveSearchPhase(handle.table.get(), preload, ops, 1);
+      LockCounters lc1 = SnapshotLockCounters(handle.table.get());
       PrintRow("bench_batch", name, "search-single", 1, single_search);
-      PrintJson(name, "search", "single", 1, single_search);
+      // Search-only phase: on the optimistic tables the write_locks
+      // delta here must be zero (no lock-word writes on the read path).
+      PrintJson(name, "search", "single", 1, single_search, 0, "",
+                LockJson(lc0, lc1));
 
       for (size_t m = 0; m < pipelines.size(); ++m) {
         const char* pname = PipelineName(pipelines[m]);
         handle.table->SetBatchPipeline(pipelines[m]);
         util::AmacTelemetry::DrainAll();
+        lc0 = SnapshotLockCounters(handle.table.get());
         batch_search[m] =
             BatchSearchPhase(handle.table.get(), preload, ops, batch);
+        lc1 = SnapshotLockCounters(handle.table.get());
         const auto tele = util::AmacTelemetry::DrainAll();
         PrintRow("bench_batch", name,
                  std::string("search-batch-") + pname, 1, batch_search[m]);
         PrintJson(name, "search", "batch", batch, batch_search[m], 0, pname,
-                  TelemetryJson(tele));
+                  TelemetryJson(tele) + LockJson(lc0, lc1));
       }
     }
 
@@ -529,13 +717,15 @@ int main(int argc, char** argv) {
       handle.table->SetBatchPipeline(pipelines[m]);
       Preload(handle.table.get(), preload, /*threads=*/1);
       util::AmacTelemetry::DrainAll();
+      const LockCounters lc0 = SnapshotLockCounters(handle.table.get());
       batch_insert[m] =
           BatchInsertPhase(handle.table.get(), preload, insert_ops, batch);
+      const LockCounters lc1 = SnapshotLockCounters(handle.table.get());
       const auto tele = util::AmacTelemetry::DrainAll();
       PrintRow("bench_batch", name, std::string("insert-batch-") + pname, 1,
                batch_insert[m]);
       PrintJson(name, "insert", "batch", batch, batch_insert[m], 0, pname,
-                TelemetryJson(tele));
+                TelemetryJson(tele) + LockJson(lc0, lc1));
     }
 
     for (size_t m = 0; m < pipelines.size(); ++m) {

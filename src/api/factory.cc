@@ -166,6 +166,13 @@ class IndexAdapter : public Base {
     out.load_factor = s.load_factor;
     out.bytes_used = pool_->allocator().bytes_in_use();
     out.pool_page_bytes = pool_->MappedPageBytes();
+    // Optimistic read-path telemetry, where the table reports it (CCEH
+    // and Level; the Dash tables predate the counters).
+    if constexpr (requires { s.opt_retries; }) {
+      out.opt_retries = s.opt_retries;
+      out.version_conflicts = s.version_conflicts;
+      out.write_locks = s.write_locks;
+    }
     return out;
   }
   IndexKind kind() const override { return Kind; }

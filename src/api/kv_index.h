@@ -52,6 +52,17 @@ struct IndexStats {
   // set, so this is the knob that decides whether the batch pipeline's
   // extra prefetches actually land.
   uint64_t pool_page_bytes = 4096;
+  // Read-path concurrency telemetry (cumulative since table open), for
+  // tables with optimistic versioned search paths (CCEH, Level): how
+  // often optimistic reads retried after a failed revalidation, how often
+  // a snapshot observed an active writer, and how many exclusive
+  // (lock-word-writing) acquisitions the write paths performed. In a
+  // search-only phase `write_locks` staying zero is the observable form
+  // of "searches perform no lock-word writes". Dash tables' optimistic
+  // buckets predate these counters and report zeros.
+  uint64_t opt_retries = 0;
+  uint64_t version_conflicts = 0;
+  uint64_t write_locks = 0;
 };
 
 // Fixed-length (8-byte) key index. All operations are thread-safe.

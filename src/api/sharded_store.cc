@@ -596,6 +596,9 @@ ShardedStats ShardedStore::Aggregate(const IndexStats* per_shard,
     out.totals.records += s.records;
     out.totals.capacity_slots += s.capacity_slots;
     out.totals.bytes_used += s.bytes_used;
+    out.totals.opt_retries += s.opt_retries;
+    out.totals.version_conflicts += s.version_conflicts;
+    out.totals.write_locks += s.write_locks;
     // Conservative: report the smallest page size any shard got (one
     // 4K-backed shard is enough to reintroduce its DTLB misses).
     out.totals.pool_page_bytes =

@@ -4,8 +4,6 @@
 //  * 16 KB segments of 64-byte buckets (4 records each),
 //  * linear probing bounded to four cachelines,
 //  * MSB segment addressing with a persistent directory,
-//  * pessimistic reader-writer locking (the paper ports CCEH to PMDK
-//    rw-locks, §6.1) — every search writes the PM-resident lock word,
 //  * recovery by scanning the directory on open (Table 1: recovery time
 //    grows linearly with data size),
 //  * a reserved key value (0) marks empty slots (§6.3 notes this CCEH
@@ -15,6 +13,16 @@
 // same way Dash's own splits are made safe: allocate-activate through the
 // side-link plus a mini-transaction commit (§6.1 "we fixed this problem
 // using PMDK transaction").
+//
+// Locking. The original port used a pessimistic reader-writer lock per
+// segment (the paper ports CCEH to PMDK rw-locks, §6.1): every search
+// *wrote* the PM-resident lock word, which Fig. 8a identifies as a primary
+// PM bottleneck. The segment lock is now a Dash-style version lock (§4.4):
+// writers still acquire it exclusively (one PM lock-word write per write
+// op, as before), but searches are lock-free — snapshot the version,
+// probe, revalidate, retry on conflict. A split bumps the version on
+// release, so an in-flight reader of a stale segment fails revalidation
+// (or the pattern coverage check) and retries through the directory.
 
 #ifndef DASH_PM_CCEH_CCEH_H_
 #define DASH_PM_CCEH_CCEH_H_
@@ -50,6 +58,25 @@ inline constexpr uint64_t kProbeBuckets = 4;     // probe <= 4 cachelines
 struct CcehSlot {
   uint64_t key;
   uint64_t value;
+
+  // Optimistic readers probe slots without the segment lock, so every
+  // access that can race a writer goes through 8-byte atomics (the
+  // snapshot/revalidate protocol discards torn *logical* states; these
+  // keep the individual loads/stores untorn and TSan-clean).
+  uint64_t LoadKeyAcquire() const {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(&key)->load(
+        std::memory_order_acquire);
+  }
+  uint64_t LoadValueAcquire() const {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(&value)->load(
+        std::memory_order_acquire);
+  }
+  // Value stores are ordered before the key's atomic publication
+  // (pmem::AtomicPersist64), so relaxed is enough here.
+  void StoreValueRelaxed(uint64_t v) {
+    reinterpret_cast<std::atomic<uint64_t>*>(&value)->store(
+        v, std::memory_order_relaxed);
+  }
 };
 
 struct CcehBucket {
@@ -68,8 +95,9 @@ struct CcehSegment {
   uint64_t pattern = 0;
   uint32_t num_buckets = 0;
   uint32_t pad = 0;
-  // The PM-resident reader-writer lock: CCEH-style pessimistic locking.
-  util::RwSpinLock lock;
+  // PM-resident version lock: writers acquire exclusively (and still pay
+  // the PM lock-word write); searches snapshot/revalidate and never write.
+  util::VersionLock lock;
   uint8_t pad2[28] = {};
 
   static size_t AllocSize(uint32_t num_buckets) {
@@ -92,6 +120,18 @@ struct CcehSegment {
   }
   uint64_t* depth_state_word() {
     return reinterpret_cast<uint64_t*>(&depth_state);
+  }
+  // Pattern accessors for the paths that race optimistic readers: the
+  // split's coverage handoff (FinishSplit) stores it atomically and the
+  // lock-free search loads it atomically. Lock-holding code may keep
+  // reading the plain field (no writer can run concurrently).
+  uint64_t PatternAcquire() const {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(&pattern)->load(
+        std::memory_order_acquire);
+  }
+  void StorePatternRelease(uint64_t p) {
+    reinterpret_cast<std::atomic<uint64_t>*>(&pattern)->store(
+        p, std::memory_order_release);
   }
   CcehSegment* side() const {
     return reinterpret_cast<CcehSegment*>(
@@ -145,6 +185,13 @@ struct CcehStats {
   uint64_t records = 0;
   uint64_t capacity_slots = 0;
   double load_factor = 0.0;
+  // Read-path concurrency telemetry (cumulative since table open): how
+  // often optimistic searches retried, how often they observed a writer
+  // holding the segment lock, and how many exclusive (PM-writing) lock
+  // acquisitions the write paths performed.
+  uint64_t opt_retries = 0;
+  uint64_t version_conflicts = 0;
+  uint64_t write_locks = 0;
 };
 
 template <typename KP = IntKeyPolicy>
@@ -208,25 +255,26 @@ class CCEH {
   // Two engines (opts_.batch_pipeline). kGroup is the PR-1 three-stage
   // pipeline: hash + directory-entry prefetch, segment resolution +
   // prefetch, then the ordinary per-op logic with one epoch guard per
-  // group. kAmac runs per-op state machines: each op resolves its
-  // directory entry, prefetches the segment header for ownership (even a
-  // CCEH search writes the PM-resident rw-lock word) together with its
-  // bounded linear-probe window (4 cachelines), and yields between the
-  // steps so another op's window fill covers this op's miss. The locked
-  // probe itself runs in one step — CCEH's pessimistic segment lock rules
-  // out suspension inside it (see util/amac.h).
+  // group. kAmac runs per-op state machines (util/amac.h). Searches are
+  // lock-free (optimistic versioned probes), so their machine suspends at
+  // the execute-stage probe: resolve + prefetch the header for *read*
+  // plus the 4-cacheline probe window, yield, then probe over warm lines
+  // and revalidate; version conflicts re-resolve through the directory in
+  // a dedicated Retry pass over freshly prefetched lines. Write ops keep
+  // the fixed locked schedule (prefetch-for-ownership, then the exclusive
+  // body in one pass visit — see the suspension constraint in
+  // util/amac.h).
 
   void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
                    OpStatus* statuses) {
     if (opts_.batch_pipeline == BatchPipeline::kAmac) {
-      AmacForEach(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
-        statuses[i] = SearchWithHash(key, h, &values[i]);
-      });
+      AmacMultiSearch(keys, count, values, statuses);
       return;
     }
-    ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
-      statuses[i] = SearchWithHash(key, h, &values[i]);
-    });
+    ForEachGroup(keys, count, /*for_write=*/false,
+                 [&](size_t i, KeyArg key, uint64_t h) {
+                   statuses[i] = SearchWithHash(key, h, &values[i]);
+                 });
   }
 
   void MultiInsert(const KeyArg* keys, const uint64_t* values, size_t count,
@@ -237,9 +285,10 @@ class CCEH {
       });
       return;
     }
-    ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
-      statuses[i] = InsertWithHash(key, values[i], h);
-    });
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h) {
+                   statuses[i] = InsertWithHash(key, values[i], h);
+                 });
   }
 
   void MultiUpdate(const KeyArg* keys, const uint64_t* values, size_t count,
@@ -250,9 +299,10 @@ class CCEH {
       });
       return;
     }
-    ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
-      statuses[i] = UpdateWithHash(key, values[i], h);
-    });
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h) {
+                   statuses[i] = UpdateWithHash(key, values[i], h);
+                 });
   }
 
   void MultiDelete(const KeyArg* keys, size_t count, OpStatus* statuses) {
@@ -262,34 +312,36 @@ class CCEH {
       });
       return;
     }
-    ForEachGroup(keys, count, [&](size_t i, KeyArg key, uint64_t h) {
-      statuses[i] = DeleteWithHash(key, h);
-    });
+    ForEachGroup(keys, count, /*for_write=*/true,
+                 [&](size_t i, KeyArg key, uint64_t h) {
+                   statuses[i] = DeleteWithHash(key, h);
+                 });
   }
 
   // Batch-engine selector (A/B testing hook; volatile).
   void set_batch_pipeline(BatchPipeline p) { opts_.batch_pipeline = p; }
 
   // Runs only the prefetch stages of the batch pipeline (pure hint; see
-  // DashEH::PrefetchBatch). CCEH always fetches for ownership, so the
-  // for_write flag is ignored.
-  void PrefetchBatch(const KeyArg* keys, size_t count, bool /*for_write*/) {
+  // DashEH::PrefetchBatch). Searches are optimistic and fetch the header
+  // for read; write batches fetch it for ownership.
+  void PrefetchBatch(const KeyArg* keys, size_t count, bool for_write) {
     uint64_t hashes[util::kBatchGroupWidth];
     for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
       const size_t n = std::min(util::kBatchGroupWidth, count - base);
       epoch::EpochManager::Guard guard(*epochs_);
-      PrefetchGroup(keys + base, n, hashes);
+      PrefetchGroup(keys + base, n, hashes, for_write);
     }
   }
 
  private:
   // Batch scaffold: per group of
   // kBatchGroupWidth operations run the prefetch stages and invoke
-  // exec(global_index, key, hash) for each. No for_write flag: every CCEH
-  // op (search included) writes the segment's PM-resident rw-lock, so the
-  // prefetch stage always fetches the header for ownership.
+  // exec(global_index, key, hash) for each. `for_write` selects how the
+  // segment header is prefetched: write ops take the exclusive lock (a PM
+  // lock-word write), searches only read it (version snapshot).
   template <typename ExecFn>
-  void ForEachGroup(const KeyArg* keys, size_t count, ExecFn exec) {
+  void ForEachGroup(const KeyArg* keys, size_t count, bool for_write,
+                    ExecFn exec) {
     uint64_t hashes[util::kBatchGroupWidth];
     for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
       const size_t n = std::min(util::kBatchGroupWidth, count - base);
@@ -297,7 +349,7 @@ class CCEH {
       // kBatchGroupWidth ops without stalling reclamation for the whole
       // (unbounded) batch.
       epoch::EpochManager::Guard guard(*epochs_);
-      PrefetchGroup(keys + base, n, hashes);
+      PrefetchGroup(keys + base, n, hashes, for_write);
       for (size_t i = 0; i < n; ++i) {
         exec(base + i, keys[base + i], hashes[i]);
       }
@@ -308,16 +360,94 @@ class CCEH {
 
   struct AmacOp {
     uint64_t hash;
+    CcehSegment* seg;
   };
 
-  // Hash -> DirProbe (resolve entry, prefetch header for ownership + the
-  // probe window) -> Execute (the ordinary locked per-op body). CCEH's
-  // machine has a fixed schedule — every op takes exactly these steps,
-  // and the whole probe runs under the segment's pessimistic rw-lock, so
-  // there is no variable-length continuation for the round-robin
-  // scheduler to interleave. Two plain passes realize the same memory
-  // schedule without the scheduler's bookkeeping; the engines differ for
-  // CCEH only in the per-state accounting the AMAC path reports.
+  // Lock-free search machine: Hash pass (hash + directory-entry
+  // prefetch) -> DirProbe pass (resolve the segment, prefetch its header
+  // for *read* and the bounded 4-cacheline probe window) -> Execute pass
+  // (optimistic snapshot/probe/revalidate over warm lines). Ops whose
+  // snapshot conflicted with a writer or whose segment went stale under a
+  // split re-resolve through the live directory, prefetch the fresh
+  // segment, and suspend once more (the Retry pass), finishing with the
+  // single-op retry loop over warm lines. Because the probe takes no
+  // lock, the machine may suspend at the execute stage — the capability
+  // the pessimistic segment lock used to rule out.
+  void AmacMultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
+                       OpStatus* statuses) {
+    util::AmacTelemetry& tele = util::AmacTelemetry::Local();
+    AmacOp ops[util::kBatchGroupWidth];
+    const uint32_t mask = opts_.buckets_per_segment - 1;
+    for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
+      const size_t n = std::min(util::kBatchGroupWidth, count - base);
+      epoch::EpochManager::Guard guard(*epochs_);
+      util::AmacGroupCounters ctr;
+      ++tele.groups;
+      tele.ops += n;
+      // One directory snapshot per group (a stale entry fails the
+      // optimistic coverage check and lands in the Retry pass).
+      CcehDirectory* dir = Dir();
+      const uint64_t gd = dir->global_depth;
+      std::atomic<uint64_t>* entries = dir->entries();
+      for (size_t i = 0; i < n; ++i) {
+        ops[i].hash = KP::Hash(keys[base + i]);
+        const uint64_t idx = gd == 0 ? 0 : (ops[i].hash >> (64 - gd));
+        util::PrefetchRead(&entries[idx]);
+        ctr.Suspend(util::AmacState::kHash);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ++ctr.steps;
+        const uint64_t idx = gd == 0 ? 0 : (ops[i].hash >> (64 - gd));
+        ops[i].seg = reinterpret_cast<CcehSegment*>(
+            entries[idx].load(std::memory_order_acquire));
+        util::PrefetchRead(ops[i].seg);  // header: version / depth / pattern
+        const uint32_t y =
+            CcehSegment::BucketIndex(ops[i].hash, opts_.buckets_per_segment);
+        for (uint64_t p = 0; p < kProbeBuckets; ++p) {
+          util::PrefetchRead(ops[i].seg->bucket((y + p) & mask));
+        }
+        ctr.Suspend(util::AmacState::kDirProbe);
+      }
+      util::AmacReadyList retry_pending;
+      for (size_t i = 0; i < n; ++i) {
+        ++ctr.steps;
+        const OpStatus status = SearchSegmentOptimistic(
+            ops[i].seg, keys[base + i], ops[i].hash, &values[base + i]);
+        if (status != OpStatus::kRetry) {
+          statuses[base + i] = status;
+          continue;
+        }
+        // Conflict or stale segment: re-resolve through the live
+        // directory, put the fresh lines in flight, resume next pass.
+        ops[i].seg = Lookup(ops[i].hash);
+        util::PrefetchRead(ops[i].seg);
+        const uint32_t y =
+            CcehSegment::BucketIndex(ops[i].hash, opts_.buckets_per_segment);
+        for (uint64_t p = 0; p < kProbeBuckets; ++p) {
+          util::PrefetchRead(ops[i].seg->bucket((y + p) & mask));
+        }
+        retry_pending.Push(i);
+        ctr.Suspend(util::AmacState::kRetry);
+      }
+      for (size_t j = 0; j < retry_pending.count; ++j) {
+        const size_t i = retry_pending.idx[j];
+        ++ctr.steps;
+        // Revalidate-and-finish over warm lines; the single-op loop keeps
+        // retrying if writers stay ahead of us.
+        statuses[base + i] =
+            SearchWithHash(keys[base + i], ops[i].hash, &values[base + i]);
+      }
+      ctr.FlushTo(tele);
+    }
+  }
+
+  // Write machine: Hash -> DirProbe (resolve entry, prefetch header for
+  // ownership + the probe window) -> Execute (the ordinary locked per-op
+  // body). Fixed schedule — the whole write body runs under the
+  // segment's exclusive lock, so there is no variable-length continuation
+  // for the round-robin scheduler to interleave (see util/amac.h). Two
+  // plain passes realize the same memory schedule without the scheduler's
+  // bookkeeping.
   template <typename ExecFn>
   void AmacForEach(const KeyArg* keys, size_t count, ExecFn exec) {
     util::AmacTelemetry& tele = util::AmacTelemetry::Local();
@@ -345,7 +475,7 @@ class CCEH {
         const uint64_t idx = gd == 0 ? 0 : (ops[i].hash >> (64 - gd));
         auto* seg = reinterpret_cast<CcehSegment*>(
             entries[idx].load(std::memory_order_acquire));
-        util::PrefetchWrite(seg);  // header line holds the rw-lock
+        util::PrefetchWrite(seg);  // header line holds the version lock
         const uint32_t y =
             CcehSegment::BucketIndex(ops[i].hash, opts_.buckets_per_segment);
         for (uint64_t p = 0; p < kProbeBuckets; ++p) {
@@ -368,8 +498,7 @@ class CCEH {
   OpStatus InsertWithHash(KeyArg key, uint64_t value, uint64_t h) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
-      seg->lock.Lock();
-      pmem::WriteHint(&seg->lock);
+      LockSegment(seg);
       if (!Valid(seg, h)) {
         seg->lock.Unlock();
         continue;
@@ -383,7 +512,7 @@ class CCEH {
       CcehSlot* free_slot = FindEmpty(seg, y);
       if (free_slot != nullptr) {
         const uint64_t stored = KP::MakeStored(key, alloc_);
-        free_slot->value = value;
+        free_slot->StoreValueRelaxed(value);
         pmem::Persist(&free_slot->value, sizeof(uint64_t));
         // Publishing the key is the atomic commit of the insert.
         pmem::AtomicPersist64(&free_slot->key, stored);
@@ -395,33 +524,57 @@ class CCEH {
     }
   }
 
+  // Optimistic probe of one segment view (§4.4 applied to CCEH): snapshot
+  // the version, check the segment still covers `h` (a completed split
+  // moves coverage to the child and is detected here), probe the bounded
+  // window, then revalidate. Returns kOk/kNotFound on a verified probe,
+  // kRetry when the caller must re-resolve through the directory (writer
+  // active, version moved, or stale coverage). Never writes the
+  // PM-resident lock word.
+  OpStatus SearchSegmentOptimistic(CcehSegment* seg, KeyArg key, uint64_t h,
+                                   uint64_t* out) {
+    const uint32_t snap = seg->lock.Snapshot();
+    if (util::VersionLock::IsLocked(snap)) {
+      lock_stats_.CountConflict();
+      return OpStatus::kRetry;
+    }
+    // Coverage check under the snapshot: after a split this segment's
+    // pattern no longer matches keys routed to the new child, so a reader
+    // holding a stale directory entry retries against the live directory.
+    const uint32_t ld = seg->local_depth();
+    if (ld != 0 && (h >> (64 - ld)) != seg->PatternAcquire()) {
+      lock_stats_.CountRetry();
+      return OpStatus::kRetry;
+    }
+    const uint32_t y = CcehSegment::BucketIndex(h, seg->num_buckets);
+    const CcehSlot* slot = FindSlot(seg, y, key);
+    const bool found = slot != nullptr;
+    const uint64_t value = found ? slot->LoadValueAcquire() : 0;
+    if (!seg->lock.Verify(snap)) {
+      lock_stats_.CountRetry();
+      return OpStatus::kRetry;
+    }
+    if (found) *out = value;
+    return found ? OpStatus::kOk : OpStatus::kNotFound;
+  }
+
   OpStatus SearchWithHash(KeyArg key, uint64_t h, uint64_t* out) {
+    // Lock-free search: the pessimistic shared lock (a PM write per
+    // acquisition/release — the bottleneck the paper identifies in
+    // Fig. 8b/c and Fig. 13) is gone; conflicts retry via the directory.
+    util::SpinBackoff backoff;
     for (;;) {
       CcehSegment* seg = Lookup(h);
-      // Pessimistic read lock: a PM write per acquisition/release — the
-      // scalability bottleneck the paper identifies (Fig. 8b/c, Fig. 13).
-      seg->lock.LockShared();
-      pmem::WriteHint(&seg->lock);
-      if (!Valid(seg, h)) {
-        seg->lock.UnlockShared();
-        pmem::WriteHint(&seg->lock);
-        continue;
-      }
-      const uint32_t y = CcehSegment::BucketIndex(h, seg->num_buckets);
-      CcehSlot* slot = FindSlot(seg, y, key);
-      const bool found = slot != nullptr;
-      if (found) *out = slot->value;
-      seg->lock.UnlockShared();
-      pmem::WriteHint(&seg->lock);
-      return found ? OpStatus::kOk : OpStatus::kNotFound;
+      const OpStatus status = SearchSegmentOptimistic(seg, key, h, out);
+      if (status != OpStatus::kRetry) return status;
+      backoff.Pause();
     }
   }
 
   OpStatus DeleteWithHash(KeyArg key, uint64_t h) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
-      seg->lock.Lock();
-      pmem::WriteHint(&seg->lock);
+      LockSegment(seg);
       if (!Valid(seg, h)) {
         seg->lock.Unlock();
         continue;
@@ -441,8 +594,7 @@ class CCEH {
   OpStatus UpdateWithHash(KeyArg key, uint64_t value, uint64_t h) {
     for (;;) {
       CcehSegment* seg = Lookup(h);
-      seg->lock.Lock();
-      pmem::WriteHint(&seg->lock);
+      LockSegment(seg);
       if (!Valid(seg, h)) {
         seg->lock.Unlock();
         continue;
@@ -458,10 +610,12 @@ class CCEH {
 
   // Stages 1-2 of the batch pipeline: hash the group and prefetch each
   // directory entry, then resolve the segments and prefetch the header
-  // (written by the rw-lock on every op) plus the bounded linear-probe
-  // window around the target bucket. The directory snapshot may go stale;
-  // the execute stage revalidates under the segment lock as usual.
-  void PrefetchGroup(const KeyArg* keys, size_t n, uint64_t* hashes) {
+  // (for ownership only on write batches — searches never write it) plus
+  // the bounded linear-probe window around the target bucket. The
+  // directory snapshot may go stale; the execute stage revalidates (under
+  // the segment lock for writes, via snapshot/verify for searches).
+  void PrefetchGroup(const KeyArg* keys, size_t n, uint64_t* hashes,
+                     bool for_write) {
     CcehDirectory* dir = Dir();
     const uint64_t gd = dir->global_depth;
     std::atomic<uint64_t>* entries = dir->entries();
@@ -474,7 +628,11 @@ class CCEH {
     for (size_t i = 0; i < n; ++i) {
       const uint64_t idx = gd == 0 ? 0 : (hashes[i] >> (64 - gd));
       CcehSegment* seg = dir->entry(idx);
-      util::PrefetchWrite(seg);  // header line holds the PM-resident lock
+      if (for_write) {
+        util::PrefetchWrite(seg);  // header line holds the PM-resident lock
+      } else {
+        util::PrefetchRead(seg);
+      }
       const uint32_t y =
           CcehSegment::BucketIndex(hashes[i], opts_.buckets_per_segment);
       for (uint64_t p = 0; p < kProbeBuckets; ++p) {
@@ -506,7 +664,9 @@ class CCEH {
           static_cast<uint64_t>(seg->num_buckets) * kSlotsPerBucket;
       for (uint32_t b = 0; b < seg->num_buckets; ++b) {
         for (uint64_t s = 0; s < kSlotsPerBucket; ++s) {
-          if (seg->bucket(b)->slots[s].key != kEmptyKey) ++stats.records;
+          if (seg->bucket(b)->slots[s].LoadKeyAcquire() != kEmptyKey) {
+            ++stats.records;
+          }
         }
       }
     });
@@ -514,6 +674,12 @@ class CCEH {
                             ? 0.0
                             : static_cast<double>(stats.records) /
                                   static_cast<double>(stats.capacity_slots);
+    stats.opt_retries =
+        lock_stats_.opt_retries.load(std::memory_order_relaxed);
+    stats.version_conflicts =
+        lock_stats_.version_conflicts.load(std::memory_order_relaxed);
+    stats.write_locks =
+        lock_stats_.write_locks.load(std::memory_order_relaxed);
     return stats;
   }
 
@@ -608,6 +774,14 @@ class CCEH {
     return dir->entry(idx);
   }
 
+  // Exclusive segment acquisition for the write paths: the lock CAS is
+  // the PM lock-word write searches no longer pay.
+  void LockSegment(CcehSegment* seg) {
+    seg->lock.Lock();
+    pmem::WriteHint(&seg->lock);
+    lock_stats_.CountWriteLock();
+  }
+
   bool Valid(CcehSegment* seg, uint64_t h) const {
     if (Lookup(h) != seg) return false;
     const uint32_t ld = seg->local_depth();
@@ -616,14 +790,18 @@ class CCEH {
   }
 
   // Probes the bounded linear-probe window (4 buckets = 4 cachelines).
+  // Shared by the locked write bodies and the lock-free search, so keys
+  // are loaded atomically (a concurrent publish/delete is an atomic store
+  // on the writer side; the search's version check discards stale hits).
   CcehSlot* FindSlot(CcehSegment* seg, uint32_t y, KeyArg key) const {
     const uint32_t mask = seg->num_buckets - 1;
     for (uint64_t p = 0; p < kProbeBuckets; ++p) {
       CcehBucket* bucket = seg->bucket((y + p) & mask);
       pmem::ReadProbe(bucket);  // one cacheline per probed bucket
       for (auto& slot : bucket->slots) {
-        if (slot.key == kEmptyKey) continue;
-        if (KP::EqualStored(slot.key, key)) return &slot;
+        const uint64_t stored = slot.LoadKeyAcquire();
+        if (stored == kEmptyKey) continue;
+        if (KP::EqualStored(stored, key)) return &slot;
       }
     }
     return nullptr;
@@ -644,8 +822,7 @@ class CCEH {
   // pool is out of memory (the insert path surfaces kOutOfMemory instead
   // of retrying forever).
   bool Split(CcehSegment* seg, uint64_t h) {
-    seg->lock.Lock();
-    pmem::WriteHint(&seg->lock);
+    LockSegment(seg);
     if (!Valid(seg, h)) {
       seg->lock.Unlock();
       return true;  // someone else already split; caller retries
@@ -696,7 +873,7 @@ class CCEH {
           for (uint64_t p = 0; p < kProbeBuckets && !placed; ++p) {
             for (auto& dst : child->bucket((y + p) & mask)->slots) {
               if (dst.key == kEmptyKey) {
-                dst.value = slot.value;
+                dst.StoreValueRelaxed(slot.value);
                 pmem::Persist(&dst.value, sizeof(uint64_t));
                 pmem::AtomicPersist64(&dst.key, slot.key);
                 placed = true;
@@ -724,7 +901,10 @@ class CCEH {
   }
 
   void FinishSplit(CcehSegment* seg, CcehSegment* child, uint32_t old_depth) {
-    seg->pattern = child->pattern & ~1ull;
+    // Atomic store: optimistic readers load the pattern for their
+    // coverage check while this handoff runs (their version snapshot
+    // invalidates the result either way).
+    seg->StorePatternRelease(child->pattern & ~1ull);
     pmem::Persist(&seg->pattern, sizeof(seg->pattern));
     dir_lock_.LockShared();
     CcehDirectory* dir = Dir();
@@ -783,6 +963,9 @@ class CCEH {
   CcehOptions opts_;
   CcehRoot* root_;
   util::RwSpinLock dir_lock_;
+  // Read-path concurrency telemetry (own cacheline: the counters are
+  // written by every thread and must not share a line with hot state).
+  alignas(64) mutable util::OptimisticLockStats lock_stats_;
 };
 
 }  // namespace dash::cceh

@@ -11,6 +11,15 @@
 //  * lock striping for concurrency: all locks live in one small, contiguous
 //    (and therefore cacheable) array;
 //  * constant-time recovery (Table 1): only the root pointers are read.
+//
+// Locking. The striped bucket locks and the resize lock's read side are
+// *optimistic* (Dash §4.4 applied to the baseline): searches snapshot a
+// stripe's version, probe without writing any lock word, and revalidate —
+// retrying on conflict. Writers (insert/update/delete) still acquire
+// stripes exclusively, and still take the resize lock shared to exclude
+// the full-table resize; the resize itself bumps a seqlock-style version
+// (util::OptimisticRwLock) so in-flight readers of the old top/bottom
+// arrays detect the swap and retry instead of blocking behind it.
 
 #ifndef DASH_PM_LEVEL_LEVEL_HASHING_H_
 #define DASH_PM_LEVEL_LEVEL_HASHING_H_
@@ -62,10 +71,26 @@ struct LevelBucket {
   }
   uint32_t CountRecords() const { return __builtin_popcount(Occupied()); }
 
+  // Record-field atomics: optimistic searches probe buckets without the
+  // stripe lock, so every load/store that can race goes through 8-byte
+  // atomics (the version revalidation discards stale *logical* states;
+  // these keep the individual accesses untorn and TSan-clean).
+  uint64_t LoadKeyAcquire(int slot) const {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(&records[slot].key)
+        ->load(std::memory_order_acquire);
+  }
+  uint64_t LoadValueAcquire(int slot) const {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(
+               &records[slot].value)
+        ->load(std::memory_order_acquire);
+  }
+
   // Crash-consistent insert: record first, then the bitmap bit.
   void Insert(int slot, uint64_t stored, uint64_t value) {
-    records[slot].key = stored;
-    records[slot].value = value;
+    reinterpret_cast<std::atomic<uint64_t>*>(&records[slot].key)
+        ->store(stored, std::memory_order_relaxed);
+    reinterpret_cast<std::atomic<uint64_t>*>(&records[slot].value)
+        ->store(value, std::memory_order_relaxed);
     pmem::Persist(&records[slot], sizeof(LevelRecord));
     bitmap.store(Occupied() | (1u << slot), std::memory_order_release);
     pmem::Persist(this, 16);
@@ -99,6 +124,12 @@ struct LevelStats {
   uint64_t top_buckets = 0;
   uint64_t resizes = 0;
   double load_factor = 0.0;
+  // Read-path concurrency telemetry (cumulative since table open): see
+  // util::OptimisticLockStats. write_locks counts exclusive acquisitions
+  // (per-op stripe LockAll, movement-path TryLock wins, resizes).
+  uint64_t opt_retries = 0;
+  uint64_t version_conflicts = 0;
+  uint64_t write_locks = 0;
 };
 
 template <typename KP = IntKeyPolicy>
@@ -174,8 +205,11 @@ class LevelHashing {
   // candidates first, yields, probes them, and only on a top-level miss
   // prefetches + probes the bottom (standby) level — so one op's
   // bottom-level fill overlaps other ops' top-level probes, and top-level
-  // hits never fetch bottom lines at all. One epoch guard per group in
-  // both engines.
+  // hits never fetch bottom lines at all. Searches are optimistic (no
+  // stripe or resize lock held), so every suspend point is lock-free; a
+  // resize that commits mid-group fails the per-op revalidation and the
+  // op finishes through the Retry path. One epoch guard per group in both
+  // engines.
 
   void MultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
                    OpStatus* statuses) {
@@ -248,6 +282,12 @@ class LevelHashing {
                             ? 0.0
                             : static_cast<double>(stats.records) /
                                   static_cast<double>(stats.capacity_slots);
+    stats.opt_retries =
+        lock_stats_.opt_retries.load(std::memory_order_relaxed);
+    stats.version_conflicts =
+        lock_stats_.version_conflicts.load(std::memory_order_relaxed);
+    stats.write_locks =
+        lock_stats_.write_locks.load(std::memory_order_relaxed);
     return stats;
   }
 
@@ -302,31 +342,71 @@ class LevelHashing {
     }
   }
 
+  // Lock-free search: snapshot the resize version, probe the four
+  // candidates optimistically (per-stripe snapshot/verify), then confirm
+  // the table was not swapped under us. An in-flight or completed resize
+  // invalidates the snapshot and the whole op retries against the fresh
+  // top/bottom pointers; the epoch guard keeps a retired bottom array
+  // mapped while a stale probe is still touching it.
   OpStatus SearchWithHashes(KeyArg key, uint64_t h1, uint64_t h2,
                             uint64_t* out) {
-    resize_lock_.LockShared();
-    Candidates c = Locate(h1, h2);
-    const bool found = ProbeCandidateRange(c, 0, 4, h1, key, out);
-    resize_lock_.UnlockShared();
-    return found ? OpStatus::kOk : OpStatus::kNotFound;
+    util::SpinBackoff backoff;
+    for (;;) {
+      const uint32_t rs = SnapshotResize();
+      Candidates c = Locate(h1, h2);
+      const bool found = ProbeCandidateRangeOptimistic(c, 0, 4, h1, key, out);
+      if (resize_lock_.Verify(rs)) {
+        return found ? OpStatus::kOk : OpStatus::kNotFound;
+      }
+      lock_stats_.CountRetry();
+      backoff.Pause();
+    }
   }
 
-  // Probes candidates [from, to) in order under their stripe shared
-  // locks; the caller holds the resize lock shared. The same helper backs
-  // the single-op search (whole range) and the AMAC search's two halves
-  // (top level then bottom level), so probe order and locking are shared.
-  bool ProbeCandidateRange(const Candidates& c, int from, int to,
-                           uint64_t h1, KeyArg key, uint64_t* out) {
+  // Resize-version snapshot for optimistic reads; spins while a resize is
+  // active (odd parity) since the commit swaps the arrays mid-section.
+  uint32_t SnapshotResize() {
+    util::SpinBackoff backoff;
+    for (;;) {
+      const uint32_t rs = resize_lock_.Snapshot();
+      if (util::OptimisticRwLock::SnapshotValid(rs)) return rs;
+      lock_stats_.CountConflict();
+      backoff.Pause();
+    }
+  }
+
+  // Probes candidates [from, to) in order, each under its stripe's
+  // version: snapshot, probe, verify, retry the candidate on conflict.
+  // No lock word is written. The same helper backs the single-op search
+  // (whole range) and the AMAC search's two halves (top level then
+  // bottom), so probe order and revalidation are shared.
+  bool ProbeCandidateRangeOptimistic(const Candidates& c, int from, int to,
+                                     uint64_t h1, KeyArg key,
+                                     uint64_t* out) {
     for (int i = from; i < to; ++i) {
       const uint32_t stripe = StripeOf(c.ids[i]);
-      locks_[stripe].LockShared();
-      const int slot = FindIn(c.buckets[i], h1 & 0xFF, key);
-      if (slot >= 0) {
-        *out = c.buckets[i]->records[slot].value;
-        locks_[stripe].UnlockShared();
-        return true;
+      util::SpinBackoff backoff;
+      for (;;) {
+        const uint32_t snap = locks_[stripe].Snapshot();
+        if (util::VersionLock::IsLocked(snap)) {
+          lock_stats_.CountConflict();
+          backoff.Pause();
+          continue;
+        }
+        const int slot = FindIn(c.buckets[i], h1 & 0xFF, key);
+        const uint64_t value =
+            slot >= 0 ? c.buckets[i]->LoadValueAcquire(slot) : 0;
+        if (!locks_[stripe].Verify(snap)) {
+          lock_stats_.CountRetry();
+          backoff.Pause();
+          continue;
+        }
+        if (slot >= 0) {
+          *out = value;
+          return true;
+        }
+        break;
       }
-      locks_[stripe].UnlockShared();
     }
     return false;
   }
@@ -334,12 +414,14 @@ class LevelHashing {
   // ---- state-machine (AMAC) search engine ----
   //
   // Monotonic per-op machines scheduled as state passes (util/amac.h).
-  // The resize lock is held shared for the whole group instead of per op:
-  // the candidate pointers computed in the Hash pass stay valid across
-  // suspends, and a group is at most kBatchGroupWidth bounded probes, so
-  // a resize waits marginally longer than it would for one serial op.
-  // Searches never acquire the resize lock exclusively, so the group-held
-  // shared lock cannot self-deadlock the single-threaded scheduler.
+  // Searches take no locks at all: one resize-version snapshot covers the
+  // group (the candidate pointers computed in the Hash pass stay valid
+  // across suspends — the epoch guard keeps even a concurrently retired
+  // bottom array mapped), each op revalidates the snapshot when it
+  // completes, and ops that lose the race against a resize commit finish
+  // through the single-op retry loop in a dedicated Retry pass. A resize
+  // therefore never waits for an in-flight group, and a group never
+  // blocks behind a resize already in progress at snapshot time only.
 
   void AmacMultiSearch(const KeyArg* keys, size_t count, uint64_t* values,
                        OpStatus* statuses) {
@@ -349,25 +431,52 @@ class LevelHashing {
     for (size_t base = 0; base < count; base += util::kBatchGroupWidth) {
       const size_t n = std::min(util::kBatchGroupWidth, count - base);
       epoch::EpochManager::Guard guard(*epochs_);
-      resize_lock_.LockShared();
+      const uint32_t rs = SnapshotResize();
       util::AmacGroupCounters ctr;
       ++tele.groups;
       tele.ops += n;
       for (size_t i = 0; i < n; ++i) {
         h1s[i] = KP::Hash(keys[base + i]);
         cands[i] = Locate(h1s[i], util::Mix64(h1s[i]));
-        // Top-level candidates only; the bottom level is fetched lazily
-        // on a top-level miss (the second reprobe half).
+        // First top candidate only: each later candidate is fetched
+        // lazily on a miss of the previous one, keeping the group's
+        // outstanding-prefetch burst within what the core's miss buffers
+        // can track (16 ops x 2 lines instead of x 4+).
         util::PrefetchRange(cands[i].buckets[0], sizeof(LevelBucket));
-        util::PrefetchRange(cands[i].buckets[1], sizeof(LevelBucket));
         ctr.Suspend(util::AmacState::kHash);
       }
+      util::AmacReadyList second_pending;
       util::AmacReadyList bottom_pending;
+      util::AmacReadyList retry_pending;
       for (size_t i = 0; i < n; ++i) {
         ++ctr.steps;
-        if (ProbeCandidateRange(cands[i], 0, 2, h1s[i], keys[base + i],
-                                &values[base + i])) {
-          statuses[base + i] = OpStatus::kOk;
+        if (ProbeCandidateRangeOptimistic(cands[i], 0, 1, h1s[i],
+                                          keys[base + i],
+                                          &values[base + i])) {
+          if (resize_lock_.Verify(rs)) {
+            statuses[base + i] = OpStatus::kOk;
+          } else {
+            retry_pending.Push(i);
+            ctr.Suspend(util::AmacState::kRetry);
+          }
+          continue;
+        }
+        util::PrefetchRange(cands[i].buckets[1], sizeof(LevelBucket));
+        second_pending.Push(i);
+        ctr.Suspend(util::AmacState::kDirProbe);
+      }
+      for (size_t j = 0; j < second_pending.count; ++j) {
+        const size_t i = second_pending.idx[j];
+        ++ctr.steps;
+        if (ProbeCandidateRangeOptimistic(cands[i], 1, 2, h1s[i],
+                                          keys[base + i],
+                                          &values[base + i])) {
+          if (resize_lock_.Verify(rs)) {
+            statuses[base + i] = OpStatus::kOk;
+          } else {
+            retry_pending.Push(i);
+            ctr.Suspend(util::AmacState::kRetry);
+          }
           continue;
         }
         util::PrefetchRange(cands[i].buckets[2], sizeof(LevelBucket));
@@ -379,14 +488,26 @@ class LevelHashing {
         const size_t i = bottom_pending.idx[j];
         ++ctr.steps;
         // Bottom (standby) level reprobe over warm lines.
+        const bool found = ProbeCandidateRangeOptimistic(
+            cands[i], 2, 4, h1s[i], keys[base + i], &values[base + i]);
+        if (resize_lock_.Verify(rs)) {
+          statuses[base + i] = found ? OpStatus::kOk : OpStatus::kNotFound;
+        } else {
+          retry_pending.Push(i);
+          ctr.Suspend(util::AmacState::kRetry);
+        }
+      }
+      for (size_t j = 0; j < retry_pending.count; ++j) {
+        const size_t i = retry_pending.idx[j];
+        ++ctr.steps;
+        // A resize committed mid-group: redo against the live arrays
+        // (fresh snapshot, fresh candidate pointers).
+        lock_stats_.CountRetry();
         statuses[base + i] =
-            ProbeCandidateRange(cands[i], 2, 4, h1s[i], keys[base + i],
-                                &values[base + i])
-                ? OpStatus::kOk
-                : OpStatus::kNotFound;
+            SearchWithHashes(keys[base + i], h1s[i], util::Mix64(h1s[i]),
+                             &values[base + i]);
       }
       ctr.FlushTo(tele);
-      resize_lock_.UnlockShared();
     }
   }
 
@@ -471,7 +592,12 @@ class LevelHashing {
   }
 
   Candidates Locate(uint64_t h1, uint64_t h2) const {
-    const uint64_t n = root_->top_buckets;
+    // Atomic snapshot: lock-free searches race the resize commit's
+    // atomic store of the bucket count (a mutually inconsistent
+    // (n, top, bottom) triple is discarded by the resize-version check).
+    const uint64_t n =
+        reinterpret_cast<const std::atomic<uint64_t>*>(&root_->top_buckets)
+            ->load(std::memory_order_acquire);
     const uint64_t t1 = h1 & (n - 1);
     const uint64_t t2 = h2 & (n - 1);
     // Bottom indices use h mod (N/2). This is what makes resizing work:
@@ -502,6 +628,7 @@ class LevelHashing {
       if (s != last) locks_[s].Lock();
       last = s;
     }
+    lock_stats_.CountWriteLock();
   }
   void UnlockAll(const Candidates& c) {
     uint32_t stripes[4];
@@ -514,15 +641,18 @@ class LevelHashing {
     }
   }
 
+  // Shared by locked write bodies and lock-free searches, so keys are
+  // loaded atomically (slot reuse after a delete is an atomic store on
+  // the writer side; the stripe version check discards stale hits).
   int FindIn(LevelBucket* bucket, uint8_t /*fp*/, KeyArg key) const {
     // Two cachelines per probed bucket (128 B).
     pmem::ReadProbe(bucket, 2);
-    const uint32_t occupied = bucket->Occupied();
-    for (uint32_t slot = 0; slot < kSlotsPerBucket; ++slot) {
-      if (((occupied >> slot) & 1) == 0) continue;
-      if (KP::EqualStored(bucket->records[slot].key, key)) {
-        return static_cast<int>(slot);
-      }
+    uint32_t bits =
+        bucket->Occupied() & ((1u << kSlotsPerBucket) - 1);
+    while (bits != 0) {
+      const int slot = __builtin_ctz(bits);
+      bits &= bits - 1;
+      if (KP::EqualStored(bucket->LoadKeyAcquire(slot), key)) return slot;
     }
     return -1;
   }
@@ -570,6 +700,7 @@ class LevelHashing {
         if (alt == c.ids[0] || alt == c.ids[1]) continue;
         const uint32_t alt_stripe = StripeOf(alt);
         if (!locks_[alt_stripe].TryLock()) continue;
+        lock_stats_.CountWriteLock();
         LevelBucket* alt_bucket = &Top()[alt];
         const int free_slot = alt_bucket->FreeSlot();
         if (free_slot < 0) {
@@ -614,6 +745,7 @@ class LevelHashing {
   // out of memory.
   bool Resize(uint64_t expected_n) {
     resize_lock_.Lock();
+    lock_stats_.CountWriteLock();
     // Another thread may have resized while we waited for the lock.
     if (root_->top_buckets != expected_n) {
       resize_lock_.Unlock();
@@ -715,9 +847,15 @@ class LevelHashing {
   epoch::EpochManager* epochs_;
   LevelOptions opts_;
   LevelRoot* root_;
-  util::RwSpinLock resize_lock_;
-  util::RwSpinLock locks_[kStripes];  // lock striping (volatile)
+  // Resize lock: writers (insert/update/delete) hold it shared, the
+  // resize holds it exclusively, and searches read its version only.
+  util::OptimisticRwLock resize_lock_;
+  // Striped bucket version locks (volatile): writers exclusive, searches
+  // snapshot/verify — a search writes no lock word at all.
+  util::VersionLock locks_[kStripes];
   uint64_t resizes_ = 0;
+  // Read-path concurrency telemetry (own cacheline; see CCEH).
+  alignas(64) mutable util::OptimisticLockStats lock_stats_;
 };
 
 }  // namespace dash::level

@@ -32,7 +32,12 @@
 // single-threaded, so the holder would never resume and the waiter would
 // spin forever. All suspend points therefore sit at lock-free program
 // points; lock-protected regions (write ops, pessimistic probes) run to
-// completion within a single pass visit.
+// completion within a single pass visit. Since the optimistic-locking
+// conversion of CCEH and Level (versioned snapshot/revalidate searches),
+// every table's *search* path is lock-free end to end, so all four
+// tables suspend at the execute-stage probe; ops whose revalidation
+// fails against a concurrent SMO re-arm their prefetches and resume in
+// the kRetry state instead of stalling cold.
 
 #ifndef DASH_PM_UTIL_AMAC_H_
 #define DASH_PM_UTIL_AMAC_H_
@@ -46,7 +51,8 @@ namespace dash::util {
 
 // Canonical stage names for the per-op state machines. Tables reuse the
 // subset that applies to their layout (Level hashing has no directory;
-// CCEH folds its locked probe into kExecute).
+// CCEH's bounded-window probe covers kBucketProbe and kExecute in one
+// optimistic step).
 enum class AmacState : uint8_t {
   kHash = 0,        // key hashed, directory/candidate lines prefetched
   kDirProbe = 1,    // directory entry read, segment header prefetched

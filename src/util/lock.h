@@ -198,6 +198,92 @@ class VersionLock {
 
 static_assert(sizeof(VersionLock) == 4, "VersionLock must stay 4 bytes");
 
+// Read-path concurrency telemetry for tables with optimistic (versioned)
+// search paths. The counters make "searches no longer write the lock word"
+// observable: in a search-only phase `write_locks` stays zero while
+// `version_conflicts` / `opt_retries` record how often readers had to
+// retry against writers. Increments are relaxed; reads are snapshots.
+struct OptimisticLockStats {
+  std::atomic<uint64_t> opt_retries{0};        // probe restarts (failed Verify)
+  std::atomic<uint64_t> version_conflicts{0};  // snapshots that saw a writer
+  std::atomic<uint64_t> write_locks{0};        // exclusive lock acquisitions
+
+  void CountConflict() {
+    version_conflicts.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountRetry() { opt_retries.fetch_add(1, std::memory_order_relaxed); }
+  void CountWriteLock() {
+    write_locks.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+// Reader-writer lock with an additional *optimistic* read side: a seqlock
+// version word layered on the RwSpinLock. Three access modes:
+//
+//  * Lock()/Unlock()            — exclusive (writers, SMOs). Entry and exit
+//                                 each bump the version, so the version is
+//                                 odd exactly while an exclusive holder is
+//                                 active (seqlock parity).
+//  * LockShared()/UnlockShared()— pessimistic shared; excludes writers but
+//                                 not other shared holders and does NOT
+//                                 affect the version. Used by operations
+//                                 that must block the exclusive path but
+//                                 are themselves revalidated elsewhere
+//                                 (e.g., Level inserts vs. the resize).
+//  * Snapshot()/Verify()        — optimistic read: snapshot the version,
+//                                 read, verify it is unchanged. Shared
+//                                 holders are invisible to readers; only a
+//                                 completed or in-flight exclusive section
+//                                 invalidates a snapshot. Readers never
+//                                 write.
+class OptimisticRwLock {
+ public:
+  OptimisticRwLock() = default;
+  OptimisticRwLock(const OptimisticRwLock&) = delete;
+  OptimisticRwLock& operator=(const OptimisticRwLock&) = delete;
+
+  void LockShared() { rw_.LockShared(); }
+  void UnlockShared() { rw_.UnlockShared(); }
+
+  void Lock() {
+    rw_.Lock();
+    // Entry bump *after* exclusivity, *before* any protected write: a
+    // reader that snapshots mid-section sees an odd version and bails.
+    version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void Unlock() {
+    version_.fetch_add(1, std::memory_order_release);
+    rw_.Unlock();
+  }
+
+  // Version snapshot for optimistic reads. Odd means an exclusive holder
+  // is active — the caller must treat that as a conflict and retry.
+  uint32_t Snapshot() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  static bool SnapshotValid(uint32_t snapshot) {
+    return (snapshot & 1) == 0;
+  }
+
+  // True iff no exclusive section started or completed since `snapshot`.
+  bool Verify(uint32_t snapshot) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return version_.load(std::memory_order_acquire) == snapshot;
+  }
+
+  // Crash recovery: clears both the rw word and the version parity.
+  void Reset() {
+    rw_.Reset();
+    version_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  RwSpinLock rw_;
+  std::atomic<uint32_t> version_{0};
+};
+
 }  // namespace dash::util
 
 #endif  // DASH_PM_UTIL_LOCK_H_

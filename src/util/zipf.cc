@@ -21,6 +21,15 @@ ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
          (1.0 - zeta_theta_ / zeta_n_);
 }
 
+ZipfGenerator::ZipfGenerator(const ZipfGenerator& base, uint64_t seed)
+    : n_(base.n_),
+      theta_(base.theta_),
+      alpha_(base.alpha_),
+      zeta_n_(base.zeta_n_),
+      eta_(base.eta_),
+      zeta_theta_(base.zeta_theta_),
+      rng_(seed) {}
+
 uint64_t ZipfGenerator::Next() {
   const double u = rng_.NextDouble();
   const double uz = u * zeta_n_;

@@ -17,6 +17,11 @@ class ZipfGenerator {
  public:
   ZipfGenerator(uint64_t n, double theta, uint64_t seed);
 
+  // Derives a generator with `base`'s distribution but its own stream:
+  // reuses the O(n) zeta computation, reseeds the rng. Benchmarks build
+  // one prototype outside the timed region and derive per thread.
+  ZipfGenerator(const ZipfGenerator& base, uint64_t seed);
+
   // Returns the next Zipf-distributed rank in [0, n). Rank 0 is the hottest.
   uint64_t Next();
 
