@@ -49,6 +49,8 @@ BenchConfig ParseArgs(int argc, char** argv) {
       config.pool_gb = std::strtoul(arg + 10, nullptr, 10);
     } else if (std::strncmp(arg, "--pool-dir=", 11) == 0) {
       config.pool_dir = arg + 11;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      config.shards = std::strtoul(arg + 9, nullptr, 10);
     }
   }
   if (const char* env = std::getenv("DASH_BENCH_SCALE")) {

@@ -32,6 +32,10 @@ struct BenchConfig {
   std::vector<int> thread_counts = {1, 2, 4};
   size_t pool_gb = 4;
   std::string pool_dir;          // default: /dev/shm or /tmp
+  // > 0 switches supporting benches (tab1_recovery, fig14) into sharded
+  // mode: an N-shard ShardedStore is crashed and reopened, reporting the
+  // parallel-recovery timings as JSON instead of the per-table matrix.
+  size_t shards = 0;
 
   // Paper-sized phases, scaled.
   uint64_t Preload() const { return Scaled(10'000'000); }
@@ -42,7 +46,8 @@ struct BenchConfig {
   }
 };
 
-// Parses --scale=X, --threads=a,b,c, --pool-gb=N; ignores unknown flags.
+// Parses --scale=X, --threads=a,b,c, --pool-gb=N, --shards=N; ignores
+// unknown flags.
 BenchConfig ParseArgs(int argc, char** argv);
 
 // Cheap uniform stride walk over the preloaded key space [1, preloaded].

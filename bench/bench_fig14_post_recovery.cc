@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -92,10 +93,103 @@ void RunSeries(api::IndexKind kind, const BenchConfig& config, int threads) {
   std::fflush(stdout);
 }
 
+// Sharded mode (--shards=N): crash an N-shard store, reopen it with
+// parallel recovery, then sample post-recovery search throughput in fixed
+// windows — one JSON line per kind with the open timings and the ramp.
+void RunShardedSeries(api::IndexKind kind, const BenchConfig& config) {
+  static int counter = 0;
+  const std::string prefix = config.pool_dir + "/dash_fig14_sharded_" +
+                             std::to_string(getpid()) + "_" +
+                             std::to_string(counter++);
+  const uint64_t preload = config.Scaled(40'000'000);
+
+  api::ShardedStoreOptions options;
+  options.kind = kind;
+  options.shards = config.shards;
+  options.path_prefix = prefix;
+  options.shard_pool_size = std::max<size_t>(
+      (config.pool_gb << 30) / config.shards, 64ull << 20);
+  options.recovery_threads = config.shards;  // parallel reopen below
+  {
+    auto store = api::ShardedStore::Open(options);
+    if (store == nullptr) std::exit(1);
+    RunParallel(4, preload, [&](int, uint64_t begin, uint64_t end) {
+      for (uint64_t i = begin; i < end; ++i) store->Insert(i + 1, i + 1);
+    });
+    // Destroyed without CloseClean: dirty pools, as a power failure.
+  }
+
+  auto store = api::ShardedStore::Open(options);
+  if (store == nullptr) std::exit(1);
+  const api::RecoveryReport& report = store->recovery_report();
+
+  constexpr int kWindows = 24;
+  const auto window = std::chrono::milliseconds(50);
+  std::atomic<uint64_t> ops{0};
+  std::atomic<bool> stop{false};
+  const int threads = config.thread_counts.back();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 1);
+      uint64_t value;
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t key = rng.NextBounded(preload) + 1;
+        store->Search(key, &value);
+        if ((++local & 0xFF) == 0) {
+          ops.fetch_add(256, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<double> mops;
+  uint64_t prev = 0;
+  for (int w = 1; w <= kWindows; ++w) {
+    std::this_thread::sleep_for(window);
+    const uint64_t now = ops.load(std::memory_order_relaxed);
+    mops.push_back(static_cast<double>(now - prev) / 0.05 / 1e6);
+    prev = now;
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  std::printf("{\"bench\":\"fig14_sharded\",\"kind\":\"%s\",\"shards\":%zu,"
+              "\"records\":%lu,\"recovery_threads\":%zu,"
+              "\"open_total_ms\":%.3f,\"shard_ms\":[",
+              api::IndexKindName(kind), config.shards,
+              static_cast<unsigned long>(preload), report.threads,
+              report.total_ms);
+  for (size_t i = 0; i < report.shard_ms.size(); ++i) {
+    std::printf("%s%.3f", i == 0 ? "" : ",", report.shard_ms[i]);
+  }
+  std::printf("],\"window_ms\":50,\"threads\":%d,\"windows_mops\":[",
+              threads);
+  for (size_t i = 0; i < mops.size(); ++i) {
+    std::printf("%s%.3f", i == 0 ? "" : ",", mops[i]);
+  }
+  std::printf("]}\n");
+  std::fflush(stdout);
+
+  store->CloseClean();
+  store.reset();
+  for (size_t i = 0; i < config.shards; ++i) {
+    std::remove((prefix + ".shard" + std::to_string(i)).c_str());
+  }
+  std::remove((prefix + ".manifest").c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchConfig config = ParseArgs(argc, argv);
+  if (config.shards > 0) {
+    for (api::IndexKind kind :
+         {api::IndexKind::kDashEH, api::IndexKind::kDashLH}) {
+      RunShardedSeries(kind, config);
+    }
+    return 0;
+  }
   for (api::IndexKind kind :
        {api::IndexKind::kDashEH, api::IndexKind::kDashLH}) {
     RunSeries(kind, config, 1);

@@ -14,6 +14,7 @@
 #define DASH_PM_API_BATCH_FUTURE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -41,6 +42,16 @@ struct CompletionState {
     if (Ready()) return;
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [this] { return Ready(); });
+  }
+
+  // Bounded wait: returns Ready() after at most `timeout`. A false return
+  // means the batch is still in flight — the caller's arrays are NOT yet
+  // safe to read; Wait() (or another WaitFor) must still complete before
+  // they are touched or freed.
+  bool WaitFor(std::chrono::nanoseconds timeout) {
+    if (Ready()) return true;
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, timeout, [this] { return Ready(); });
   }
 
   void CompleteOne() {
@@ -85,10 +96,27 @@ struct BatchState : CompletionState {
   // status slot holds kInvalidArgument).
   Status submit_status = Status::kOk;
 
+  // Optional per-submit deadline (AsyncOptions / SubmitOptions). A shard
+  // worker that dequeues this batch after the deadline has passed fails
+  // the shard's slots with kTimeout instead of executing them, so a
+  // stuck or overloaded shard cannot hold the whole batch hostage.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
   // Runs shard s's sub-range against `index`, writes statuses (and search
   // results) back to the caller slots, and signals the shard completion.
   // Defined in executor.cc.
   void RunShard(size_t s, KvIndex* index);
+
+  // Completes shard s without executing it: every caller slot of the
+  // shard's sub-range gets `st` (kTimeout for an expired deadline,
+  // kUnavailable for a quarantined shard or exhausted queue retries).
+  void FailShard(size_t s, Status st) {
+    const size_t begin = start[s];
+    const size_t end = start[s + 1];
+    for (size_t j = begin; j < end; ++j) statuses[origin[j]] = st;
+    CompleteOne();
+  }
 
   // Points the spans at the inline arrays or, beyond their capacity, at
   // freshly sized heap vectors.
@@ -156,6 +184,14 @@ class BatchFuture {
   // to read. No-op on invalid futures.
   void Wait() {
     if (state_ != nullptr) state_->Wait();
+  }
+
+  // Bounded wait: blocks until the batch completes or `timeout` elapses,
+  // returning whether it completed. On false the batch is still running
+  // and the caller's arrays remain off-limits (and must outlive it) until
+  // a later Wait()/WaitFor() returns true. Invalid futures return true.
+  bool WaitFor(std::chrono::nanoseconds timeout) {
+    return state_ == nullptr || state_->WaitFor(timeout);
   }
 
   // Number of shard sub-batches still outstanding (0 once ready).

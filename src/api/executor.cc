@@ -54,10 +54,15 @@ void PinToCore(size_t core) {
 
 ShardExecutor::ShardExecutor(std::vector<ShardCtx> shards,
                              const ExecutorOptions& options)
-    : shards_(std::move(shards)), options_(options) {
+    : options_(options) {
   if (options_.queue_depth == 0) options_.queue_depth = 1;
-  queues_.reserve(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  shards_.reserve(shards.size());
+  queues_.reserve(shards.size());
+  for (const ShardCtx& ctx : shards) {
+    auto slot = std::make_unique<Slot>();
+    slot->index.store(ctx.index, std::memory_order_relaxed);
+    slot->epochs = ctx.epochs;
+    shards_.push_back(std::move(slot));
     queues_.push_back(std::make_unique<Queue>());
   }
   workers_.reserve(shards_.size());
@@ -83,6 +88,26 @@ bool ShardExecutor::Submit(WorkItem item) {
   return true;
 }
 
+ShardExecutor::SubmitResult ShardExecutor::TrySubmit(WorkItem item) {
+  assert(item.shard < queues_.size());
+  Queue& queue = *queues_[item.shard];
+  {
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (queue.stopped) return SubmitResult::kStopped;
+    if (queue.items.size() >= options_.queue_depth) {
+      return SubmitResult::kFull;
+    }
+    queue.items.push_back(std::move(item));
+  }
+  queue.not_empty.notify_one();
+  return SubmitResult::kQueued;
+}
+
+void ShardExecutor::SetIndex(size_t shard, KvIndex* index) {
+  assert(shard < shards_.size());
+  shards_[shard]->index.store(index, std::memory_order_release);
+}
+
 void ShardExecutor::Stop() {
   for (auto& queue : queues_) {
     std::lock_guard<std::mutex> lock(queue->mu);
@@ -100,7 +125,7 @@ void ShardExecutor::Stop() {
 void ShardExecutor::WorkerLoop(size_t s) {
   if (options_.pin_workers) PinToCore(s);
   Queue& queue = *queues_[s];
-  epoch::EpochManager* epochs = shards_[s].epochs;
+  epoch::EpochManager* epochs = shards_[s]->epochs;
   for (;;) {
     WorkItem item;
     {
@@ -128,12 +153,21 @@ void ShardExecutor::WorkerLoop(size_t s) {
 }
 
 void ShardExecutor::Execute(WorkItem& item, size_t s) {
+  KvIndex* index = shards_[s]->index.load(std::memory_order_acquire);
   switch (item.kind) {
     case WorkItem::Kind::kBatch:
-      item.batch->RunShard(s, shards_[s].index);
+      // Deadline check at dequeue time: a batch that waited out its
+      // deadline in the queue completes with kTimeout instead of running,
+      // so one overloaded shard cannot stall the whole future.
+      if (item.batch->has_deadline &&
+          std::chrono::steady_clock::now() > item.batch->deadline) {
+        item.batch->FailShard(s, Status::kTimeout);
+        break;
+      }
+      item.batch->RunShard(s, index);
       break;
     case WorkItem::Kind::kStats:
-      item.stats->per_shard[s] = shards_[s].index->Stats();
+      item.stats->per_shard[s] = index->Stats();
       item.stats->CompleteOne();
       break;
   }

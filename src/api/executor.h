@@ -20,6 +20,7 @@
 #ifndef DASH_PM_API_EXECUTOR_H_
 #define DASH_PM_API_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -76,6 +77,18 @@ class ShardExecutor {
   // is then not enqueued and the caller owns its completion).
   bool Submit(WorkItem item);
 
+  // Non-blocking submission attempt, for the bounded backoff-and-retry
+  // path: kFull means the queue was at capacity (the caller may back off
+  // and retry), kStopped that the executor is shut down. The item is only
+  // enqueued on kQueued.
+  enum class SubmitResult : uint8_t { kQueued, kFull, kStopped };
+  SubmitResult TrySubmit(WorkItem item);
+
+  // Swaps the index a shard's worker executes against (release store; the
+  // worker loads it per item). ShardedStore::RecoverShard uses this to
+  // point the worker at the freshly recovered table.
+  void SetIndex(size_t shard, KvIndex* index);
+
   // Marks every queue stopped, drains all queued work, and joins the
   // workers. Safe to call more than once. Submissions that lost the race
   // and arrived after Stop() return false from Submit.
@@ -93,11 +106,19 @@ class ShardExecutor {
     bool stopped = false;
   };
 
+  // Internal per-shard context: the index pointer is atomic so
+  // RecoverShard can swap it while the worker runs (the worker loads it
+  // acquire per work item); epochs never changes after construction.
+  struct Slot {
+    std::atomic<KvIndex*> index{nullptr};
+    epoch::EpochManager* epochs = nullptr;
+  };
+
   void WorkerLoop(size_t s);
   void Execute(WorkItem& item, size_t s);
 
-  std::vector<ShardCtx> shards_;
   ExecutorOptions options_;
+  std::vector<std::unique_ptr<Slot>> shards_;
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 };

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <concepts>
 #include <cstring>
 
 #include "api/kv_index.h"
@@ -155,6 +156,16 @@ class IndexAdapter : public Base {
 
   void SetBatchPipeline(BatchPipeline pipeline) override {
     table_.set_batch_pipeline(pipeline);
+  }
+
+  bool Verify() override {
+    if constexpr (requires(const Table& t) {
+                    { t.VerifyStructure() } -> std::same_as<bool>;
+                  }) {
+      return table_.VerifyStructure();
+    } else {
+      return true;
+    }
   }
 
   void CloseClean() override { table_.CloseClean(); }

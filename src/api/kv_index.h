@@ -172,6 +172,14 @@ class KvIndex {
   // for implementations without a native pipeline.
   virtual void SetBatchPipeline(BatchPipeline pipeline) { (void)pipeline; }
 
+  // Structural self-check, run after crash recovery: directory pointers
+  // inside the pool, depths consistent, bucket metadata sane. Returns
+  // false when the recovered image is structurally corrupt — ShardedStore
+  // quarantines such a shard instead of serving from it. Read-only and
+  // O(directory + buckets); the default accepts everything (for
+  // implementations without a native check).
+  virtual bool Verify() { return true; }
+
   // Marks a clean shutdown (before closing the pool).
   virtual void CloseClean() = 0;
   virtual IndexStats Stats() = 0;
@@ -251,6 +259,9 @@ class VarKvIndex {
 
   // Batch-engine selector; same contract as KvIndex::SetBatchPipeline.
   virtual void SetBatchPipeline(BatchPipeline pipeline) { (void)pipeline; }
+
+  // Structural self-check; same contract as KvIndex::Verify.
+  virtual bool Verify() { return true; }
 
   virtual void CloseClean() = 0;
   virtual IndexStats Stats() = 0;

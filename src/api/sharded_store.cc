@@ -1,11 +1,19 @@
 #include "api/sharded_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <mutex>
+#include <sstream>
+#include <thread>
 
+#include "pmem/crash_point.h"
 #include "util/hash.h"
+#include "util/thread_id.h"
 
 namespace dash::api {
 
@@ -17,22 +25,93 @@ namespace {
 // instead of silently routing keys to the wrong shard, and a crash or
 // partial failure mid-creation still leaves the manifest pinning the
 // configuration the existing pool files were laid out with.
+//
+// Format (v2): "v2 <shards> <kind> <epoch> <checksum-hex>". The checksum
+// covers every other field, so a torn write (crash mid-write on a
+// filesystem that does not make small writes atomic) is detected and the
+// open fails instead of trusting a half-written configuration. The file
+// is replaced via write-to-temp + rename — after any crash the path holds
+// either the complete old manifest or the complete new one. The epoch
+// counts manifest rewrites (diagnostics). Legacy v1 manifests
+// ("<shards> <kind>") are accepted and upgraded in place.
+
+uint64_t ManifestChecksum(size_t shards, const std::string& kind_name,
+                          uint64_t epoch) {
+  uint64_t h = util::Mix64(0x9e3779b97f4a7c15ull ^ shards);
+  h = util::Mix64(h ^ epoch);
+  for (char c : kind_name) {
+    h = util::Mix64(h ^ static_cast<unsigned char>(c));
+  }
+  return h;
+}
+
+bool WriteManifestV2(const std::string& path, size_t shards, IndexKind kind,
+                     uint64_t epoch) {
+  const std::string kind_name = IndexKindName(kind);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << "v2 " << shards << ' ' << kind_name << ' ' << epoch << ' '
+        << std::hex << ManifestChecksum(shards, kind_name, epoch) << '\n';
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  CRASH_POINT("manifest_before_rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  CRASH_POINT("manifest_after_rename");
+  return true;
+}
+
 // `wrote` reports whether this call created the manifest (vs found a
-// matching one).
+// matching one); a v1->v2 upgrade of an existing manifest does not count.
 bool CheckOrWriteManifest(const ShardedStoreOptions& options, bool* wrote) {
   const std::string path = options.path_prefix + ".manifest";
   *wrote = false;
-  {
-    std::ifstream in(path);
-    if (in) {
-      size_t shards = 0;
-      std::string kind_name;
-      in >> shards >> kind_name;
-      IndexKind kind;
-      if (shards == options.shards && ParseIndexKind(kind_name, &kind) &&
-          kind == options.kind) {
-        return true;
+  // A crash between writing the temp file and the rename leaves a stray
+  // .tmp; it was never authoritative — discard it.
+  std::remove((path + ".tmp").c_str());
+  std::ifstream in(path);
+  if (in) {
+    std::string first;
+    in >> first;
+    size_t shards = 0;
+    std::string kind_name;
+    bool upgrade_v1 = false;
+    if (first == "v2") {
+      uint64_t epoch = 0;
+      std::string sum_hex;
+      in >> shards >> kind_name >> epoch >> sum_hex;
+      const uint64_t sum = std::strtoull(sum_hex.c_str(), nullptr, 16);
+      if (!in || sum != ManifestChecksum(shards, kind_name, epoch)) {
+        std::fprintf(stderr,
+                     "ShardedStore::Open: manifest %s is torn or corrupt "
+                     "(checksum mismatch); refusing to guess the shard "
+                     "layout\n",
+                     path.c_str());
+        return false;
       }
+    } else {
+      // Legacy v1: "<shards> <kind>".
+      char* end = nullptr;
+      shards = std::strtoull(first.c_str(), &end, 10);
+      in >> kind_name;
+      if (first.empty() || end == nullptr || *end != '\0' || !in) {
+        std::fprintf(stderr,
+                     "ShardedStore::Open: manifest %s is unreadable\n",
+                     path.c_str());
+        return false;
+      }
+      upgrade_v1 = true;
+    }
+    IndexKind kind;
+    if (shards != options.shards || !ParseIndexKind(kind_name, &kind) ||
+        kind != options.kind) {
       std::fprintf(
           stderr,
           "ShardedStore::Open: %s was created with shards=%zu kind=%s; "
@@ -41,11 +120,33 @@ bool CheckOrWriteManifest(const ShardedStoreOptions& options, bool* wrote) {
           IndexKindName(options.kind));
       return false;
     }
+    if (upgrade_v1) {
+      // Best-effort upgrade; a failure leaves the valid v1 file in place.
+      WriteManifestV2(path, options.shards, options.kind, /*epoch=*/1);
+    }
+    return true;
   }
-  std::ofstream out(path);
-  out << options.shards << ' ' << IndexKindName(options.kind) << '\n';
+  if (!WriteManifestV2(path, options.shards, options.kind, /*epoch=*/1)) {
+    return false;
+  }
   *wrote = true;
-  return static_cast<bool>(out);
+  return true;
+}
+
+// Deterministic per-shard identity tag recorded in the pool header at
+// creation: detects a `.shard<i>` file that was swapped, renamed, or
+// restored from another store's backup — the keys inside would be ones
+// that route to a *different* shard index, silently corrupting lookups.
+// Never 0 (0 means "untagged" in the pool header).
+uint64_t ShardTag(IndexKind kind, size_t shard) {
+  const uint64_t h =
+      util::Mix64(0x53686172644b5653ull ^
+                  (static_cast<uint64_t>(kind) << 48) ^ shard);
+  return h != 0 ? h : 1;
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
 }
 
 }  // namespace
@@ -56,38 +157,156 @@ std::unique_ptr<ShardedStore> ShardedStore::Open(
   bool wrote_manifest = false;
   if (!CheckOrWriteManifest(options, &wrote_manifest)) return nullptr;
   std::unique_ptr<ShardedStore> store(new ShardedStore());
-  store->shards_.reserve(options.shards);
+  store->options_ = options;
+  store->shards_.resize(options.shards);
   store->gates_ = std::make_unique<ShardGate[]>(options.shards);
-  bool any_preexisting = false;
-  std::vector<std::string> created_paths;
-  bool failed = false;
+  store->quarantined_ =
+      std::make_unique<std::atomic<bool>[]>(options.shards);
   for (size_t i = 0; i < options.shards; ++i) {
-    Shard shard;
-    pmem::PmPool::Options pool_options;
-    pool_options.pool_size = options.shard_pool_size;
+    store->quarantined_[i].store(false, std::memory_order_relaxed);
+  }
+  RecoveryReport& report = store->recovery_;
+  report.shard_ms.assign(options.shards, 0.0);
+  report.shard_recovered.assign(options.shards, false);
+
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t threads =
+      options.recovery_threads == 0
+          ? std::min(options.shards, hw)
+          : std::min(options.recovery_threads, options.shards);
+  report.threads = threads;
+
+  // Shared open-phase state; `mu` guards everything the workers mutate
+  // except their own shard slot (each index is claimed exactly once via
+  // the atomic cursor, so distinct workers write distinct slots).
+  std::mutex mu;
+  std::vector<std::string> created_paths;
+  bool any_preexisting = false;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> hard_fail{false};
+  std::exception_ptr first_exception = nullptr;
+
+  // Opens shard i: pool (tagged), epochs, index, then — when the pool was
+  // dirty — the structural verify. A pre-existing shard that fails any
+  // step is quarantined (policy permitting); a shard that fails creation
+  // hard-fails the whole open (there is no data to degrade around).
+  auto open_one = [&](size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Shard& shard = store->shards_[i];
     const std::string path =
         options.path_prefix + ".shard" + std::to_string(i);
+    pmem::PmPool::Options pool_options;
+    pool_options.pool_size = options.shard_pool_size;
+    pool_options.app_tag = ShardTag(options.kind, i);
     bool created = false;
     shard.pool = pmem::PmPool::OpenOrCreate(path, pool_options, &created);
-    if (created) {
-      created_paths.push_back(path);
-    } else if (shard.pool != nullptr) {
-      any_preexisting = true;
+    const bool preexisting = shard.pool != nullptr ? !created
+                                                   : FileExists(path);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (created) created_paths.push_back(path);
+      if (preexisting) any_preexisting = true;
     }
-    if (shard.pool == nullptr) {
-      failed = true;
-      break;
-    }
+    // Quarantined shards still get an epoch manager: their executor
+    // worker idles on it, and RecoverShard reuses it when re-admitting.
     shard.epochs = std::make_unique<epoch::EpochManager>();
-    shard.index = CreateKvIndex(options.kind, shard.pool.get(),
-                                shard.epochs.get(), options.table);
-    if (shard.index == nullptr) {
-      failed = true;
-      break;
+    bool ok = shard.pool != nullptr;
+    const char* reason = ok ? nullptr : "pool open failed";
+    if (ok && preexisting &&
+        shard.pool->app_tag() != pool_options.app_tag) {
+      ok = false;
+      reason = "identity tag mismatch (swapped or foreign pool file)";
     }
-    store->shards_.push_back(std::move(shard));
+    if (ok) {
+      report.shard_recovered[i] = shard.pool->recovered_from_crash();
+      shard.index = CreateKvIndex(options.kind, shard.pool.get(),
+                                  shard.epochs.get(), options.table);
+      if (shard.index == nullptr) {
+        ok = false;
+        reason = "index attach failed";
+      } else if (options.verify_on_open && report.shard_recovered[i] &&
+                 !shard.index->Verify()) {
+        ok = false;
+        reason = "post-recovery structural verify failed";
+      }
+    }
+    if (!ok) {
+      if (preexisting && options.quarantine_failed_shards) {
+        std::fprintf(stderr,
+                     "ShardedStore::Open: quarantining shard %zu (%s): "
+                     "%s\n",
+                     i, path.c_str(), reason);
+        shard.index.reset();
+        shard.pool.reset();  // dirty close: keeps the recovery marker
+        store->quarantined_[i].store(true, std::memory_order_release);
+      } else {
+        hard_fail.store(true, std::memory_order_release);
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    report.shard_ms[i] =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+
+  const auto open_t0 = std::chrono::steady_clock::now();
+  auto worker = [&](bool spawned) {
+    std::vector<size_t> opened;
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= options.shards) break;
+      try {
+        open_one(i);
+        opened.push_back(i);
+      } catch (...) {
+        // Crash injection (or any other throw) mid-open: capture and
+        // rethrow on the caller thread after the join — an exception
+        // escaping a std::thread would terminate the process.
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_exception == nullptr) {
+          first_exception = std::current_exception();
+        }
+        hard_fail.store(true, std::memory_order_release);
+      }
+    }
+    if (spawned) {
+      // Table recovery may have pinned epochs under this thread's dense
+      // id; hand the slots and the id back before the thread dies so
+      // repeated opens cannot exhaust the id space.
+      for (size_t i : opened) {
+        if (store->shards_[i].epochs != nullptr) {
+          store->shards_[i].epochs->ReleaseCurrentThreadSlot();
+        }
+      }
+      util::ReleaseThreadId();
+    }
+  };
+  if (threads <= 1) {
+    worker(/*spawned=*/false);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, /*spawned=*/true);
+    }
+    for (auto& t : pool) t.join();
   }
-  if (failed) {
+  const auto open_t1 = std::chrono::steady_clock::now();
+  report.total_ms =
+      std::chrono::duration<double, std::milli>(open_t1 - open_t0).count();
+  for (size_t i = 0; i < options.shards; ++i) {
+    if (store->quarantined_[i].load(std::memory_order_acquire)) {
+      report.quarantined.push_back(i);
+    }
+  }
+
+  if (first_exception != nullptr) {
+    // Injected crash: release the mappings but leave every file exactly
+    // as the "power failure" left it — that on-disk state is what the
+    // recovery tests reopen.
+    store.reset();
+    std::rethrow_exception(first_exception);
+  }
+  if (hard_fail.load(std::memory_order_acquire)) {
     // A failed *creation* (nothing pre-existed) must not leave a stray
     // manifest pinning an unusable configuration, nor half-laid-out pool
     // files that a later Open with a different kind would misinterpret.
@@ -107,6 +326,8 @@ std::unique_ptr<ShardedStore> ShardedStore::Open(
     std::vector<ShardExecutor::ShardCtx> ctx;
     ctx.reserve(store->shards_.size());
     for (Shard& shard : store->shards_) {
+      // Quarantined shards contribute a null index: nothing is ever
+      // enqueued to them until RecoverShard swaps a live index in.
       ctx.push_back({shard.index.get(), shard.epochs.get()});
     }
     ExecutorOptions executor_options;
@@ -128,6 +349,43 @@ size_t ShardedStore::ShardOf(uint64_t key) const {
   return util::Mix64(util::HashInt64(key)) % shards_.size();
 }
 
+Status ShardedStore::RecoverShard(size_t i) {
+  if (i >= shards_.size()) return Status::kInvalidArgument;
+  // close_mu_ serializes against CloseClean and other RecoverShard calls;
+  // ops on other shards never touch it and keep serving.
+  std::lock_guard<std::mutex> close_lock(close_mu_);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Status::kInvalidArgument;
+  }
+  if (!quarantined_[i].load(std::memory_order_acquire)) return Status::kOk;
+  // Exclusive gate: defensive — routing rejects quarantined shards, so no
+  // op should be inside, but the gate makes the swap airtight.
+  std::lock_guard<std::shared_mutex> gate(gates_[i].mu);
+  Shard& shard = shards_[i];
+  shard.index.reset();
+  shard.pool.reset();
+  const std::string path =
+      options_.path_prefix + ".shard" + std::to_string(i);
+  pmem::PmPool::Options pool_options;
+  pool_options.pool_size = options_.shard_pool_size;
+  pool_options.app_tag = ShardTag(options_.kind, i);
+  bool created = false;
+  auto pool = pmem::PmPool::OpenOrCreate(path, pool_options, &created);
+  if (pool == nullptr) return Status::kUnavailable;
+  if (!created && pool->app_tag() != pool_options.app_tag) {
+    return Status::kUnavailable;  // dtor closes dirty
+  }
+  auto index = CreateKvIndex(options_.kind, pool.get(), shard.epochs.get(),
+                             options_.table);
+  // Always verify on re-admission — this shard already failed once.
+  if (index == nullptr || !index->Verify()) return Status::kUnavailable;
+  shard.pool = std::move(pool);
+  shard.index = std::move(index);
+  if (executor_ != nullptr) executor_->SetIndex(i, shard.index.get());
+  quarantined_[i].store(false, std::memory_order_release);
+  return Status::kOk;
+}
+
 // Single ops hold their own shard's close gate shared for the duration of
 // the probe: a CloseClean racing the call waits until the probe is off the
 // shard instead of unmapping under it, and the op never touches another
@@ -141,6 +399,9 @@ Status ShardedStore::Insert(uint64_t key, uint64_t value) {
   if (!accepting_.load(std::memory_order_acquire)) {
     return Status::kInvalidArgument;
   }
+  if (quarantined_[s].load(std::memory_order_acquire)) {
+    return Status::kUnavailable;
+  }
   return shards_[s].index->Insert(key, value);
 }
 
@@ -150,6 +411,9 @@ Status ShardedStore::Search(uint64_t key, uint64_t* value) {
   std::shared_lock<std::shared_mutex> gate(gates_[s].mu);
   if (!accepting_.load(std::memory_order_acquire)) {
     return Status::kInvalidArgument;
+  }
+  if (quarantined_[s].load(std::memory_order_acquire)) {
+    return Status::kUnavailable;
   }
   return shards_[s].index->Search(key, value);
 }
@@ -161,6 +425,9 @@ Status ShardedStore::Update(uint64_t key, uint64_t value) {
   if (!accepting_.load(std::memory_order_acquire)) {
     return Status::kInvalidArgument;
   }
+  if (quarantined_[s].load(std::memory_order_acquire)) {
+    return Status::kUnavailable;
+  }
   return shards_[s].index->Update(key, value);
 }
 
@@ -170,6 +437,9 @@ Status ShardedStore::Delete(uint64_t key) {
   std::shared_lock<std::shared_mutex> gate(gates_[s].mu);
   if (!accepting_.load(std::memory_order_acquire)) {
     return Status::kInvalidArgument;
+  }
+  if (quarantined_[s].load(std::memory_order_acquire)) {
+    return Status::kUnavailable;
   }
   return shards_[s].index->Delete(key);
 }
@@ -210,6 +480,12 @@ BatchFuture ShardedStore::SubmitScattered(
     // arrays; the future is born ready.
     std::shared_lock<std::shared_mutex> gate(gates_[0].mu);
     if (!accepting_.load(std::memory_order_acquire)) return reject();
+    if (quarantined_[0].load(std::memory_order_acquire)) {
+      for (size_t i = 0; i < count; ++i) {
+        state->statuses[i] = Status::kUnavailable;
+      }
+      return BatchFuture(std::move(state));
+    }
     run_direct(shards_[0].index.get());
     return BatchFuture(std::move(state));
   }
@@ -243,35 +519,94 @@ BatchFuture ShardedStore::SubmitScattered(
   if (!accepting_.load(std::memory_order_acquire)) return reject();
 
   // Only after the gated accept: a rejected batch must stay at pending
-  // == 0 so its future is born ready.
+  // == 0 so its future is born ready. Slots routed to a quarantined
+  // shard complete right here with kUnavailable (the future has not been
+  // handed out yet) and the shard is excluded from the pending count.
+  // `cursor` is dead after PlanScatter; reuse it as the skip marker so
+  // the decision is stable across the enqueue loop even if the shard is
+  // re-admitted concurrently.
   uint32_t touched = 0;
   for (size_t s = 0; s < num_shards; ++s) {
-    if (state->start[s + 1] > state->start[s]) ++touched;
+    cursor[s] = 0;
+    if (state->start[s + 1] == state->start[s]) continue;
+    if (quarantined_[s].load(std::memory_order_acquire)) {
+      for (size_t j = state->start[s]; j < state->start[s + 1]; ++j) {
+        state->statuses[state->origin[j]] = Status::kUnavailable;
+      }
+      cursor[s] = 1;
+      continue;
+    }
+    ++touched;
   }
   state->pending.store(touched, std::memory_order_relaxed);
 
   BatchFuture future(state);
+  const size_t retries = options_.async.submit_retries;
   for (size_t s = 0; s < num_shards; ++s) {
     if (state->start[s + 1] == state->start[s]) continue;
+    if (cursor[s] != 0) continue;  // quarantined, completed above
     if (executor_ != nullptr) {
-      ShardExecutor::WorkItem item;
-      item.kind = ShardExecutor::WorkItem::Kind::kBatch;
-      item.shard = static_cast<uint32_t>(s);
-      item.batch = state;
-      if (executor_->Submit(std::move(item))) continue;
-      // The executor only refuses after Stop(), which the gates rule out
-      // here; complete inline defensively all the same.
+      if (retries == 0) {
+        ShardExecutor::WorkItem item;
+        item.kind = ShardExecutor::WorkItem::Kind::kBatch;
+        item.shard = static_cast<uint32_t>(s);
+        item.batch = state;
+        if (executor_->Submit(std::move(item))) continue;
+        // The executor only refuses after Stop(), which the gates rule
+        // out here; complete inline defensively all the same.
+      } else {
+        // Bounded backoff-and-retry instead of blocking on a full queue:
+        // the submitter sleeps (exponential, capped) between attempts
+        // and, once the retries are exhausted, fails the shard's slots
+        // with kUnavailable so an overloaded shard sheds load instead of
+        // stalling every client. Sleeping holds the touched gates shared
+        // — CloseClean waits at most the bounded backoff total.
+        auto result = ShardExecutor::SubmitResult::kFull;
+        uint64_t delay_us = options_.async.backoff_initial_us;
+        for (size_t attempt = 0; attempt <= retries; ++attempt) {
+          ShardExecutor::WorkItem item;  // rebuilt: moved-from on failure
+          item.kind = ShardExecutor::WorkItem::Kind::kBatch;
+          item.shard = static_cast<uint32_t>(s);
+          item.batch = state;
+          result = executor_->TrySubmit(std::move(item));
+          if (result != ShardExecutor::SubmitResult::kFull) break;
+          if (attempt == retries) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+          delay_us = std::min<uint64_t>(delay_us * 2,
+                                        options_.async.backoff_cap_us);
+        }
+        if (result == ShardExecutor::SubmitResult::kQueued) continue;
+        if (result == ShardExecutor::SubmitResult::kFull) {
+          state->FailShard(s, Status::kUnavailable);
+          continue;
+        }
+        // kStopped: defensive inline fallback below.
+      }
     }
     state->RunShard(s, shards_[s].index.get());
   }
   return future;
 }
 
+namespace {
+// Stamps the optional per-submit deadline before the batch reaches any
+// queue; workers check it at dequeue time (see executor.cc).
+void StampDeadline(internal::BatchState* state,
+                   const SubmitOptions& submit) {
+  if (submit.deadline.count() > 0) {
+    state->has_deadline = true;
+    state->deadline = std::chrono::steady_clock::now() + submit.deadline;
+  }
+}
+}  // namespace
+
 BatchFuture ShardedStore::SubmitExecute(Op* ops, size_t count,
-                                        Status* statuses) {
+                                        Status* statuses,
+                                        const SubmitOptions& submit) {
   auto state = std::make_shared<internal::BatchState>();
   state->statuses = statuses;
   state->caller_ops = ops;
+  StampDeadline(state.get(), submit);
   return SubmitScattered(
       std::move(state), count, [ops](size_t i) { return ops[i].key; },
       [ops](size_t i) { return ops[i]; },
@@ -279,10 +614,12 @@ BatchFuture ShardedStore::SubmitExecute(Op* ops, size_t count,
 }
 
 BatchFuture ShardedStore::SubmitSearch(const uint64_t* keys, size_t count,
-                                       uint64_t* values, Status* statuses) {
+                                       uint64_t* values, Status* statuses,
+                                       const SubmitOptions& submit) {
   auto state = std::make_shared<internal::BatchState>();
   state->statuses = statuses;
   state->values_out = values;
+  StampDeadline(state.get(), submit);
   return SubmitScattered(
       std::move(state), count, [keys](size_t i) { return keys[i]; },
       [keys](size_t i) { return Op::Search(keys[i]); },
@@ -293,9 +630,11 @@ BatchFuture ShardedStore::SubmitSearch(const uint64_t* keys, size_t count,
 
 BatchFuture ShardedStore::SubmitInsert(const uint64_t* keys,
                                        const uint64_t* values, size_t count,
-                                       Status* statuses) {
+                                       Status* statuses,
+                                       const SubmitOptions& submit) {
   auto state = std::make_shared<internal::BatchState>();
   state->statuses = statuses;
+  StampDeadline(state.get(), submit);
   return SubmitScattered(
       std::move(state), count, [keys](size_t i) { return keys[i]; },
       [keys, values](size_t i) { return Op::Insert(keys[i], values[i]); },
@@ -306,9 +645,11 @@ BatchFuture ShardedStore::SubmitInsert(const uint64_t* keys,
 
 BatchFuture ShardedStore::SubmitUpdate(const uint64_t* keys,
                                        const uint64_t* values, size_t count,
-                                       Status* statuses) {
+                                       Status* statuses,
+                                       const SubmitOptions& submit) {
   auto state = std::make_shared<internal::BatchState>();
   state->statuses = statuses;
+  StampDeadline(state.get(), submit);
   return SubmitScattered(
       std::move(state), count, [keys](size_t i) { return keys[i]; },
       [keys, values](size_t i) { return Op::Update(keys[i], values[i]); },
@@ -318,9 +659,11 @@ BatchFuture ShardedStore::SubmitUpdate(const uint64_t* keys,
 }
 
 BatchFuture ShardedStore::SubmitDelete(const uint64_t* keys, size_t count,
-                                       Status* statuses) {
+                                       Status* statuses,
+                                       const SubmitOptions& submit) {
   auto state = std::make_shared<internal::BatchState>();
   state->statuses = statuses;
+  StampDeadline(state.get(), submit);
   return SubmitScattered(
       std::move(state), count, [keys](size_t i) { return keys[i]; },
       [keys](size_t i) { return Op::Delete(keys[i]); },
@@ -379,6 +722,12 @@ void ShardedStore::MultiExecute(Op* ops, size_t count, Status* statuses) {
   if (num_shards == 1) {
     std::shared_lock<std::shared_mutex> gate(gates_[0].mu);
     if (RejectClosed(statuses, count)) return;
+    if (quarantined_[0].load(std::memory_order_acquire)) {
+      for (size_t i = 0; i < count; ++i) {
+        statuses[i] = Status::kUnavailable;
+      }
+      return;
+    }
     shards_[0].index->MultiExecute(ops, count, statuses);
     return;
   }
@@ -414,6 +763,12 @@ void ShardedStore::MultiUniform(BatchKind kind, const uint64_t* keys,
   if (num_shards == 1) {
     std::shared_lock<std::shared_mutex> gate(gates_[0].mu);
     if (RejectClosed(statuses, count)) return;
+    if (quarantined_[0].load(std::memory_order_acquire)) {
+      for (size_t i = 0; i < count; ++i) {
+        statuses[i] = Status::kUnavailable;
+      }
+      return;
+    }
     KvIndex* first = shards_[0].index.get();
     switch (kind) {
       case BatchKind::kSearch:
@@ -483,12 +838,14 @@ void ShardedStore::MultiUniform(BatchKind kind, const uint64_t* keys,
   gates.LockTouched(gates_.get(), start, num_shards);
   if (RejectClosed(statuses, count)) return;
 
-  // Cross-shard prefetch priming (see ExecuteScattered).
+  // Cross-shard prefetch priming (see ExecuteScattered). Quarantined
+  // shards have no index to prime — their ranges fail below.
   if (count <= kStackBatch) {
     const bool for_write = kind != BatchKind::kSearch;
     for (size_t s = 0; s < num_shards; ++s) {
       const size_t len = start[s + 1] - start[s];
       if (len == 0) continue;
+      if (quarantined_[s].load(std::memory_order_acquire)) continue;
       shards_[s].index->PrefetchBatch(sub_keys + start[s], len, for_write);
     }
   }
@@ -497,6 +854,12 @@ void ShardedStore::MultiUniform(BatchKind kind, const uint64_t* keys,
   for (size_t s = 0; s < num_shards; ++s) {
     const size_t len = start[s + 1] - start[s];
     if (len == 0) continue;
+    if (quarantined_[s].load(std::memory_order_acquire)) {
+      for (size_t j = start[s]; j < start[s + 1]; ++j) {
+        sub_status[j] = Status::kUnavailable;
+      }
+      continue;
+    }
     KvIndex* index = shards_[s].index.get();
     switch (kind) {
       case BatchKind::kSearch:
@@ -559,6 +922,7 @@ void ShardedStore::ExecuteScattered(Op* ops, size_t count, Status* statuses,
     for (size_t s = 0; s < num_shards; ++s) {
       const size_t len = start[s + 1] - start[s];
       if (len == 0) continue;
+      if (quarantined_[s].load(std::memory_order_acquire)) continue;
       bool for_write = false;
       for (size_t j = start[s]; j < start[s + 1] && !for_write; ++j) {
         for_write = sub[j].type != OpType::kSearch;
@@ -567,10 +931,17 @@ void ShardedStore::ExecuteScattered(Op* ops, size_t count, Status* statuses,
     }
   }
 
-  // Run every shard's sub-batch through its native pipeline.
+  // Run every shard's sub-batch through its native pipeline; quarantined
+  // shards fail their range with kUnavailable.
   for (size_t s = 0; s < num_shards; ++s) {
     const size_t len = start[s + 1] - start[s];
     if (len == 0) continue;
+    if (quarantined_[s].load(std::memory_order_acquire)) {
+      for (size_t j = start[s]; j < start[s + 1]; ++j) {
+        sub_status[j] = Status::kUnavailable;
+      }
+      continue;
+    }
     shards_[s].index->MultiExecute(sub + start[s], len,
                                    sub_status + start[s]);
   }
@@ -619,21 +990,43 @@ ShardedStats ShardedStore::Aggregate(const IndexStats* per_shard,
 }
 
 ShardedStats ShardedStore::Stats() {
+  const size_t num_shards = shards_.size();
+  // Degradation snapshot first: totals cover the healthy shards only, so
+  // the quarantined list is taken alongside the same pass.
+  std::vector<size_t> quarantined;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (quarantined_[s].load(std::memory_order_acquire)) {
+      quarantined.push_back(s);
+    }
+  }
+  const auto is_quarantined = [&](size_t s) {
+    return std::find(quarantined.begin(), quarantined.end(), s) !=
+           quarantined.end();
+  };
+  const auto finish = [&](const std::vector<IndexStats>& healthy) {
+    ShardedStats out = Aggregate(healthy.data(), healthy.size());
+    out.shard_count = num_shards;
+    out.quarantined_count = quarantined.size();
+    out.quarantined_shards = quarantined;
+    return out;
+  };
   if (executor_ != nullptr) {
     // Route the snapshot through the shard queues: each shard's numbers
     // are taken by its worker at the snapshot's queue position — after
     // every batch enqueued before this call, never mid-batch.
     auto state = std::make_shared<internal::StatsState>();
-    state->per_shard.resize(shards_.size());
+    state->per_shard.resize(num_shards);
     {
       GateSpan gates;
-      gates.LockAll(gates_.get(), shards_.size());
+      gates.LockAll(gates_.get(), num_shards);
       if (!accepting_.load(std::memory_order_acquire)) {
         return ShardedStats{};
       }
-      state->pending.store(static_cast<uint32_t>(shards_.size()),
-                           std::memory_order_relaxed);
-      for (size_t s = 0; s < shards_.size(); ++s) {
+      state->pending.store(
+          static_cast<uint32_t>(num_shards - quarantined.size()),
+          std::memory_order_relaxed);
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (is_quarantined(s)) continue;
         ShardExecutor::WorkItem item;
         item.kind = ShardExecutor::WorkItem::Kind::kStats;
         item.shard = static_cast<uint32_t>(s);
@@ -645,16 +1038,22 @@ ShardedStats ShardedStore::Stats() {
       }
     }
     state->Wait();
-    return Aggregate(state->per_shard.data(), state->per_shard.size());
+    std::vector<IndexStats> healthy;
+    healthy.reserve(num_shards - quarantined.size());
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (!is_quarantined(s)) healthy.push_back(state->per_shard[s]);
+    }
+    return finish(healthy);
   }
   GateSpan gates;
-  gates.LockAll(gates_.get(), shards_.size());
+  gates.LockAll(gates_.get(), num_shards);
   if (!accepting_.load(std::memory_order_acquire)) return ShardedStats{};
-  std::vector<IndexStats> per_shard(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    per_shard[i] = shards_[i].index->Stats();
+  std::vector<IndexStats> healthy;
+  healthy.reserve(num_shards - quarantined.size());
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!is_quarantined(s)) healthy.push_back(shards_[s].index->Stats());
   }
-  return Aggregate(per_shard.data(), per_shard.size());
+  return finish(healthy);
 }
 
 void ShardedStore::CloseClean() {
@@ -676,9 +1075,11 @@ void ShardedStore::CloseClean() {
   // Drain every queued batch and join the workers before touching the
   // shards: every future handed out before the close becomes ready.
   if (executor_ != nullptr) executor_->Stop();
+  // Quarantined shards hold no index/pool — nothing to close; their pool
+  // files keep their dirty marker for the next recovery attempt.
   for (auto& shard : shards_) {
-    shard.index->CloseClean();
-    shard.pool->CloseClean();
+    if (shard.index != nullptr) shard.index->CloseClean();
+    if (shard.pool != nullptr) shard.pool->CloseClean();
   }
 }
 

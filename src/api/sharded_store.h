@@ -33,12 +33,24 @@
 // (16 fixed base addresses, see pmem/pool.cc); keep `shards` well under
 // that. The shard count and table kind decide key routing, so they are
 // recorded in a `<path_prefix>.manifest` file at creation; Open refuses a
-// mismatched configuration instead of silently misrouting keys.
+// mismatched configuration instead of silently misrouting keys. The
+// manifest (v2) carries an epoch and a checksum and is replaced via
+// write-to-temp + rename, so a crash mid-write leaves either the old or
+// the new manifest — a torn one is detected and rejected.
+//
+// Fault isolation: shards are recovered in parallel at Open, each
+// followed by a structural verify when the pool was dirty. A shard whose
+// pool fails to open, whose identity tag mismatches (swapped files), or
+// whose verify fails is *quarantined* instead of failing the whole store:
+// ops routed to it return kUnavailable while every other shard keeps
+// serving. RecoverShard() re-attempts recovery and re-admits the shard
+// on success.
 
 #ifndef DASH_PM_API_SHARDED_STORE_H_
 #define DASH_PM_API_SHARDED_STORE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -72,6 +84,25 @@ struct AsyncOptions {
   // A 1-shard store skips the executor even when workers == true: there
   // is no cross-shard parallelism to win, only a thread hop to pay.
   bool inline_single_shard = true;
+  // Opt-in bounded backoff on a full shard queue (replacing the
+  // unconditional block): a submission that finds a queue at capacity
+  // retries up to `submit_retries` times with exponential backoff
+  // (backoff_initial_us, doubling, capped at backoff_cap_us); when the
+  // retries are exhausted the shard's slots complete with kUnavailable
+  // instead of stalling the submitter forever. 0 keeps the blocking
+  // behaviour.
+  size_t submit_retries = 0;
+  uint32_t backoff_initial_us = 1;
+  uint32_t backoff_cap_us = 1024;
+};
+
+// Per-submission knobs (defaulted trailing parameter of every Submit*).
+struct SubmitOptions {
+  // Relative deadline for the whole batch; zero = none. A shard worker
+  // that dequeues a sub-batch after the deadline has passed completes its
+  // slots with kTimeout instead of executing them, so a stuck shard
+  // cannot hold the future hostage; WaitFor() then observes completion.
+  std::chrono::nanoseconds deadline{0};
 };
 
 struct ShardedStoreOptions {
@@ -82,17 +113,42 @@ struct ShardedStoreOptions {
   size_t shard_pool_size = 1ull << 30;  // per shard
   DashOptions table;
   AsyncOptions async;
+  // Threads used to open/recover the shards in parallel; 0 = one per
+  // shard, capped at the hardware concurrency. 1 recovers serially.
+  size_t recovery_threads = 0;
+  // Quarantine a pre-existing shard that fails open, tag check, or verify
+  // instead of failing the whole store. A shard that fails *creation*
+  // always fails the open (there is no data to degrade around). When
+  // false, any shard failure fails the open (pre-PR behaviour).
+  bool quarantine_failed_shards = true;
+  // Run the index's structural verify on every shard whose pool was not
+  // cleanly shut down (crash recovery).
+  bool verify_on_open = true;
 };
 
 struct ShardedStats {
-  // records / capacity_slots / bytes_used summed over shards;
+  // records / capacity_slots / bytes_used summed over *healthy* shards;
   // load_factor recomputed from the sums.
   IndexStats totals;
   size_t shard_count = 0;
-  // Load-factor spread across shards: a wide gap means the routing hash
-  // is skewed for this workload.
+  // Load-factor spread across healthy shards: a wide gap means the
+  // routing hash is skewed for this workload.
   double min_shard_load_factor = 0.0;
   double max_shard_load_factor = 0.0;
+  // Degradation: shards currently quarantined (excluded from totals; ops
+  // routed to them return kUnavailable).
+  size_t quarantined_count = 0;
+  std::vector<size_t> quarantined_shards;
+};
+
+// How the last Open recovered the shards (timing + quarantine outcome);
+// bench_tab1_recovery's --shards mode reports these numbers.
+struct RecoveryReport {
+  size_t threads = 0;           // recovery thread count actually used
+  double total_ms = 0.0;        // wall time of the parallel open phase
+  std::vector<double> shard_ms;        // per-shard open+verify time
+  std::vector<bool> shard_recovered;   // pool was dirty -> recovery ran
+  std::vector<size_t> quarantined;     // shards quarantined at open
 };
 
 class ShardedStore {
@@ -109,11 +165,42 @@ class ShardedStore {
   ~ShardedStore();
 
   // Single operations route to the owning shard on the caller's thread.
-  // Thread-safe; not ordered against queued batches.
+  // Thread-safe; not ordered against queued batches. Ops routed to a
+  // quarantined shard return kUnavailable.
   Status Insert(uint64_t key, uint64_t value);
   Status Search(uint64_t key, uint64_t* value);
   Status Update(uint64_t key, uint64_t value);
   Status Delete(uint64_t key);
+
+  // ---- degraded-mode management ----
+
+  // Whether shard i is quarantined (failed open/verify; ops to it return
+  // kUnavailable while the rest of the store serves).
+  bool IsQuarantined(size_t i) const {
+    return i < shards_.size() &&
+           quarantined_[i].load(std::memory_order_acquire);
+  }
+  size_t QuarantinedCount() const {
+    size_t n = 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (IsQuarantined(i)) ++n;
+    }
+    return n;
+  }
+
+  // Re-attempts recovery of a quarantined shard (reopen pool + index +
+  // verify) and re-admits it on success. kOk: the shard is healthy (also
+  // when it never was quarantined). kUnavailable: recovery failed, the
+  // shard stays quarantined (e.g. the pool file is still corrupt — the
+  // operator may delete it and call again to start the shard empty).
+  // kInvalidArgument: bad index or closed store. Serialized against
+  // CloseClean and concurrent RecoverShard calls; ops on other shards
+  // keep running.
+  Status RecoverShard(size_t i);
+
+  // Timing and quarantine outcome of the parallel open (stable after
+  // Open returns).
+  const RecoveryReport& recovery_report() const { return recovery_; }
 
   // ---- asynchronous submission ----
   //
@@ -128,18 +215,25 @@ class ShardedStore {
   // shard partitioning on top. Search results land in ops[i].value. Ops
   // of different types on the same key may be reordered within the batch
   // (same-type ops keep their relative order); split batches at
-  // cross-type same-key dependencies.
-  BatchFuture SubmitExecute(Op* ops, size_t count, Status* statuses);
+  // cross-type same-key dependencies. Slots routed to a quarantined
+  // shard complete immediately with kUnavailable; slots whose shard
+  // dequeues them after `submit.deadline` complete with kTimeout.
+  BatchFuture SubmitExecute(Op* ops, size_t count, Status* statuses,
+                            const SubmitOptions& submit = {});
 
   // Homogeneous variants (contract of the KvIndex counterparts).
   BatchFuture SubmitSearch(const uint64_t* keys, size_t count,
-                           uint64_t* values, Status* statuses);
+                           uint64_t* values, Status* statuses,
+                           const SubmitOptions& submit = {});
   BatchFuture SubmitInsert(const uint64_t* keys, const uint64_t* values,
-                           size_t count, Status* statuses);
+                           size_t count, Status* statuses,
+                           const SubmitOptions& submit = {});
   BatchFuture SubmitUpdate(const uint64_t* keys, const uint64_t* values,
-                           size_t count, Status* statuses);
+                           size_t count, Status* statuses,
+                           const SubmitOptions& submit = {});
   BatchFuture SubmitDelete(const uint64_t* keys, size_t count,
-                           Status* statuses);
+                           Status* statuses,
+                           const SubmitOptions& submit = {});
 
   // ---- synchronous wrappers (submit + wait) ----
 
@@ -244,6 +338,16 @@ class ShardedStore {
   static ShardedStats Aggregate(const IndexStats* per_shard, size_t count);
 
   std::vector<Shard> shards_;
+
+  // quarantined_[i]: shard i failed open/tag-check/verify and is excluded
+  // from serving until RecoverShard re-admits it. Read with acquire on
+  // every routing decision; flipped with release only by Open (before the
+  // store is visible) and RecoverShard (under close_mu_ + the shard's
+  // exclusive gate).
+  std::unique_ptr<std::atomic<bool>[]> quarantined_;
+  RecoveryReport recovery_;
+  // Retained for RecoverShard (pool path, sizes, table config).
+  ShardedStoreOptions options_;
 
   // Per-shard close gates (replacing the PR-3 store-wide shared_mutex):
   // each shard owns one cacheline-padded gate; a single op holds only its

@@ -26,6 +26,8 @@ enum class Status : uint8_t {
   kInvalidArgument,  // reserved key (0 / empty var-key) or malformed op
   kOutOfSpace,       // the pool (or table growth) cannot make room
   kInternal,         // a table leaked a private state (bug if ever seen)
+  kUnavailable,      // shard quarantined (failed recovery) or queue full
+  kTimeout,          // per-submit deadline expired before the op ran
 };
 
 constexpr bool IsOk(Status s) { return s == Status::kOk; }
@@ -38,6 +40,8 @@ constexpr const char* StatusName(Status s) {
     case Status::kInvalidArgument: return "INVALID_ARGUMENT";
     case Status::kOutOfSpace: return "OUT_OF_SPACE";
     case Status::kInternal: return "INTERNAL";
+    case Status::kUnavailable: return "UNAVAILABLE";
+    case Status::kTimeout: return "TIMEOUT";
   }
   return "UNKNOWN";
 }

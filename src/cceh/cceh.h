@@ -686,6 +686,40 @@ class CCEH {
   uint64_t Size() const { return Stats().records; }
   double LoadFactor() const { return Stats().load_factor; }
 
+  // Structural invariant check, for use at a quiescent point (after open
+  // recovery): the directory and every segment live inside the pool, the
+  // directory covers each segment with a correctly aligned run of
+  // duplicate entries, local depths never exceed the global depth, the
+  // stored pattern matches the directory position, and no segment is left
+  // mid-split. Read-only.
+  bool VerifyStructure() const {
+    CcehDirectory* dir = Dir();
+    if (dir == nullptr || !pool_->Contains(dir)) return false;
+    const uint64_t gd = dir->global_depth;
+    if (gd > 48) return false;
+    const uint64_t n = 1ull << gd;
+    uint64_t i = 0;
+    while (i < n) {
+      CcehSegment* seg = dir->entry(i);
+      if (seg == nullptr || !pool_->Contains(seg)) return false;
+      const uint32_t ld = seg->local_depth();
+      if (ld > gd) return false;
+      if (seg->num_buckets == 0 ||
+          (seg->num_buckets & (seg->num_buckets - 1)) != 0) {
+        return false;
+      }
+      if (seg->state() != CcehSegment::kClean) return false;
+      const uint64_t run = 1ull << (gd - ld);
+      if ((i & (run - 1)) != 0) return false;        // run misaligned
+      if (ld > 0 && seg->pattern != (i >> (gd - ld))) return false;
+      for (uint64_t j = i + 1; j < i + run; ++j) {
+        if (dir->entry(j) != seg) return false;      // torn coverage run
+      }
+      i += run;
+    }
+    return true;
+  }
+
  private:
   void CreateNew() {
     if (root_->directory == 0) {
@@ -917,6 +951,7 @@ class CCEH {
     pmem::Persist(&dir->entries()[base + chunk / 2],
                   (chunk / 2) * sizeof(uint64_t));
     dir_lock_.UnlockShared();
+    CRASH_POINT("cceh_split_after_dir_update");
     pmem::MiniTx tx(pool_);
     tx.Stage(child->depth_state_word(),
              (static_cast<uint64_t>(old_depth + 1) << 32) |
@@ -944,6 +979,7 @@ class CCEH {
       new_dir->SetEntry(2 * i + 1, seg);
     }
     pmem::Persist(new_dir, CcehDirectory::AllocSize(gd + 1));
+    CRASH_POINT("cceh_double_after_alloc");
     pmem::MiniTx tx(pool_);
     tx.Stage(&root_->directory, reinterpret_cast<uint64_t>(new_dir));
     const size_t retire_slot = pool_->StageRetire(&tx, old_dir);
@@ -951,6 +987,7 @@ class CCEH {
                  alloc_->ReservationSlotBlockOffset(r)),
              0);
     tx.Commit();
+    CRASH_POINT("cceh_double_after_commit");
     dir_lock_.Unlock();
     pmem::PmPool* pool = pool_;
     epochs_->Retire([pool, retire_slot] { pool->CompleteRetire(retire_slot); });

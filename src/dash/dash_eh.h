@@ -283,6 +283,60 @@ class DashEH {
   uint64_t Size() const { return Stats().records; }
   double LoadFactor() const { return Stats().load_factor; }
 
+  // Structural invariant check, for use at a quiescent point (after
+  // open). Recovery is lazy (§4.8), so a crash can leave directory runs
+  // that legally disagree with the stale local depth of a mid-split
+  // segment; verification wants the rolled-forward image, not the
+  // crash-time one. Pass 1 therefore sanity-checks every entry (a wild
+  // pointer fails before anything dereferences deeper) and drives lazy
+  // recovery eagerly over the whole directory. Pass 2 then enforces the
+  // strict invariants: every segment covered by a correctly aligned run
+  // of duplicate entries of length 2^(gd-ld), local depths never above
+  // the global depth, segment metadata sane.
+  bool VerifyStructure() {
+    EhDirectory* dir = CurrentDir();
+    if (dir == nullptr || !pool_->Contains(dir)) return false;
+    const uint64_t gd = dir->global_depth;
+    if (gd > 48) return false;
+    const uint64_t n = 1ull << gd;
+    for (uint64_t i = 0; i < n; ++i) {
+      Segment* seg = dir->entry(i);
+      if (seg == nullptr || !pool_->Contains(seg)) return false;
+      if (seg->local_depth() > gd) return false;
+      if (seg->state() > Segment::kMerging) return false;
+      if (seg->num_buckets() == 0 ||
+          (seg->num_buckets() & (seg->num_buckets() - 1)) != 0) {
+        return false;
+      }
+      // Roll-forward may repoint this entry at a recovered child; bound
+      // the retries so a cyclic/corrupt image fails instead of hanging.
+      int rounds = 0;
+      while (dir->entry(i)->version() != root_->global_version) {
+        if (++rounds > 4) return false;
+        LazyRecover(dir->entry(i));
+      }
+    }
+    uint64_t i = 0;
+    while (i < n) {
+      Segment* seg = dir->entry(i);
+      if (seg == nullptr || !pool_->Contains(seg)) return false;
+      const uint32_t ld = seg->local_depth();
+      if (ld > gd) return false;
+      if (seg->state() != Segment::kClean) return false;
+      if (seg->num_buckets() == 0 ||
+          (seg->num_buckets() & (seg->num_buckets() - 1)) != 0) {
+        return false;
+      }
+      const uint64_t run = 1ull << (gd - ld);
+      if ((i & (run - 1)) != 0) return false;        // run misaligned
+      for (uint64_t j = i + 1; j < i + run; ++j) {
+        if (dir->entry(j) != seg) return false;      // torn coverage run
+      }
+      i += run;
+    }
+    return true;
+  }
+
   // Test hook: forces a split of the segment holding `h`'s range.
   bool SplitForTest(uint64_t h) { return Split(LookupLive(h), h); }
 

@@ -265,6 +265,39 @@ class DashLH {
   uint64_t Size() const { return Stats().records; }
   double LoadFactor() const { return Stats().load_factor; }
 
+  // Structural invariant check, for use at a quiescent point (after
+  // open): meta covers an address range the directory can hold, every
+  // published segment-pointer array and segment lives inside the pool,
+  // and segment metadata is sane. Lazy recovery makes in-flight states
+  // legal; wild pointers are not. Read-only.
+  bool VerifyStructure() const {
+    if (root_->base_segments == 0 || root_->stride == 0) return false;
+    const uint64_t meta = root_->meta.load(std::memory_order_acquire);
+    const uint32_t n = DashLhRoot::MetaN(meta);
+    const uint32_t next = DashLhRoot::MetaNext(meta);
+    if (n >= 32) return false;
+    const uint64_t cap = static_cast<uint64_t>(root_->base_segments) << n;
+    if (next >= cap || cap + next > total_capacity_) return false;
+    for (size_t e = 0; e < DashLhRoot::kMaxDirEntries; ++e) {
+      auto* array = ArrayAt(e);
+      if (array == nullptr) continue;  // arrays past N may be unallocated
+      if (!pool_->Contains(array)) return false;
+      const uint64_t size = ArraySize(e);
+      for (uint64_t i = 0; i < size; ++i) {
+        auto* seg = reinterpret_cast<Segment*>(
+            array[i].load(std::memory_order_acquire));
+        if (seg == nullptr) continue;
+        if (!pool_->Contains(seg)) return false;
+        if (seg->state() > Segment::kMerging) return false;
+        if (seg->num_buckets() == 0 ||
+            (seg->num_buckets() & (seg->num_buckets() - 1)) != 0) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
   // Test hook: performs one expansion step (advance Next + split).
   void ExpandForTest() { TriggerExpand(); }
 

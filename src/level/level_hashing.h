@@ -294,6 +294,35 @@ class LevelHashing {
   uint64_t Size() const { return Stats().records; }
   double LoadFactor() const { return Stats().load_factor; }
 
+  // Structural invariant check, for use at a quiescent point (after open
+  // recovery): both level arrays live inside the pool, the top size is a
+  // non-zero power of two, and no bucket bitmap has occupancy bits beyond
+  // the slot count (a torn 16-byte header write leaves exactly that).
+  // Read-only; O(capacity), which also gives parallel shard recovery
+  // measurable per-shard work.
+  bool VerifyStructure() const {
+    const uint64_t n = root_->top_buckets;
+    if (n == 0 || (n & (n - 1)) != 0) return false;
+    LevelBucket* top = Top();
+    LevelBucket* bottom = Bottom();
+    if (!pool_->Contains(top) ||
+        !pool_->Contains(top + n - 1)) {
+      return false;
+    }
+    if (n >= 2 &&
+        (!pool_->Contains(bottom) || !pool_->Contains(bottom + n / 2 - 1))) {
+      return false;
+    }
+    constexpr uint32_t kValidBits = (1u << kSlotsPerBucket) - 1;
+    for (uint64_t i = 0; i < n; ++i) {
+      if ((top[i].Occupied() & ~kValidBits) != 0) return false;
+    }
+    for (uint64_t i = 0; i < n / 2; ++i) {
+      if ((bottom[i].Occupied() & ~kValidBits) != 0) return false;
+    }
+    return true;
+  }
+
  private:
   static constexpr uint32_t kStripes = 4096;
 
@@ -762,6 +791,7 @@ class LevelHashing {
       return false;
     }
     auto* new_top = static_cast<LevelBucket*>(r.ptr);
+    CRASH_POINT("level_resize_after_alloc");
 
     // Rehash every bottom record into the *new top only* (two choices plus
     // one movement attempt). The old structure is never mutated before the
@@ -770,6 +800,7 @@ class LevelHashing {
     // fails.
     bool ok = true;
     for (uint64_t i = 0; i < old_n / 2 && ok; ++i) {
+      CRASH_POINT("level_resize_during_rehash");
       LevelBucket* b = &old_bottom[i];
       const uint32_t occupied = b->Occupied();
       for (uint32_t slot = 0; slot < kSlotsPerBucket && ok; ++slot) {

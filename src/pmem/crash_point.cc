@@ -1,5 +1,6 @@
 #include "pmem/crash_point.h"
 
+#include <cstdio>
 #include <mutex>
 
 namespace dash::pmem {
@@ -13,12 +14,21 @@ std::mutex g_mutex;
 std::string g_armed_point;
 uint64_t g_skip = 0;
 std::atomic<uint64_t> g_hits{0};
+bool g_tracing = false;
+std::vector<std::string> g_trace;  // distinct names, first-hit order
 }  // namespace
 
 namespace internal {
 
 void MaybeCrash(const char* name) {
   std::unique_lock<std::mutex> lock(g_mutex);
+  if (g_tracing) {
+    for (const std::string& seen : g_trace) {
+      if (seen == name) return;
+    }
+    g_trace.emplace_back(name);
+    return;
+  }
   if (g_armed_point != name) return;
   const uint64_t hit = g_hits.fetch_add(1, std::memory_order_relaxed);
   if (hit < g_skip) return;
@@ -32,20 +42,49 @@ void MaybeCrash(const char* name) {
 
 }  // namespace internal
 
-void CrashPointArm(const std::string& name, uint64_t skip) {
+bool CrashPointArm(const std::string& name, uint64_t skip) {
   std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_armed_point.empty() || g_tracing) {
+    // Silently replacing an armed point made overlapping tests "pass" by
+    // never crashing on the first point; refuse instead.
+    std::fprintf(stderr,
+                 "CrashPointArm(%s): %s is still armed; disarm first\n",
+                 name.c_str(),
+                 g_tracing ? "trace mode" : g_armed_point.c_str());
+    return false;
+  }
   g_armed_point = name;
   g_skip = skip;
   g_hits.store(0, std::memory_order_relaxed);
   internal::g_crash_injection_enabled.store(true, std::memory_order_relaxed);
+  return true;
 }
 
 void CrashPointDisarm() {
   std::lock_guard<std::mutex> lock(g_mutex);
   g_armed_point.clear();
+  g_tracing = false;
+  g_trace.clear();
   internal::g_crash_injection_enabled.store(false, std::memory_order_relaxed);
 }
 
 uint64_t CrashPointHits() { return g_hits.load(std::memory_order_relaxed); }
+
+void CrashPointTraceStart() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed_point.clear();
+  g_tracing = true;
+  g_trace.clear();
+  internal::g_crash_injection_enabled.store(true, std::memory_order_relaxed);
+}
+
+std::vector<std::string> CrashPointTraceStop() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<std::string> out = std::move(g_trace);
+  g_trace.clear();
+  g_tracing = false;
+  internal::g_crash_injection_enabled.store(false, std::memory_order_relaxed);
+  return out;
+}
 
 }  // namespace dash::pmem

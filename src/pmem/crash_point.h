@@ -4,10 +4,15 @@
 // persistence boundary of a structural modification (allocation activated,
 // rehash finished, directory entry published, ...). Tests arm a point via
 // CrashPointArm(); when execution reaches it, a CrashInjected exception is
-// thrown. The test harness catches it, drops all volatile state, and
-// re-opens the pool image — simulating a power failure at exactly that
-// program point. When no point is armed the check is a single relaxed
-// atomic load.
+// thrown. The test harness catches it, drops all volatile state (and,
+// with torn-write simulation armed, reverts unflushed cachelines — see
+// flush_tracker.h), and re-opens the pool image — simulating a power
+// failure at exactly that program point. When no point is armed the check
+// is a single relaxed atomic load.
+//
+// Trace mode (CrashPointTraceStart/Stop) records the distinct names of
+// every marker a workload reaches without crashing, so a sweep harness
+// can discover the full set of crash points a given table exercises.
 
 #ifndef DASH_PM_PMEM_CRASH_POINT_H_
 #define DASH_PM_PMEM_CRASH_POINT_H_
@@ -15,6 +20,7 @@
 #include <atomic>
 #include <exception>
 #include <string>
+#include <vector>
 
 namespace dash::pmem {
 
@@ -31,15 +37,25 @@ void MaybeCrash(const char* name);
 }  // namespace internal
 
 // Arms crash point `name`; the `skip`-th hit (0-based) throws. Only one
-// point may be armed at a time.
-void CrashPointArm(const std::string& name, uint64_t skip = 0);
+// point may be armed at a time: arming while another point is still armed
+// (no crash fired, no CrashPointDisarm) is an error — the call returns
+// false and leaves the existing point armed. Returns true on success.
+[[nodiscard]] bool CrashPointArm(const std::string& name, uint64_t skip = 0);
 
 // Disarms any armed crash point.
 void CrashPointDisarm();
 
 // Returns how many times the armed point was hit (including the throwing
-// hit), or 0 if never armed.
+// hit), or 0 if never armed. Safe to call from any thread; hits are
+// counted under the arm mutex so concurrent executor workers cannot race
+// the skip bookkeeping.
 uint64_t CrashPointHits();
+
+// Trace mode: between Start and Stop every CRASH_POINT reached records
+// its name (no crash is injected). Stop returns the distinct names in
+// first-hit order. Mutually exclusive with an armed point.
+void CrashPointTraceStart();
+std::vector<std::string> CrashPointTraceStop();
 
 // Instrumentation macro. Near-zero cost when injection is disabled.
 #define CRASH_POINT(name)                                                \

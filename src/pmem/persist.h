@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "pmem/flush_tracker.h"
 #include "pmem/stats.h"
 
 namespace dash::pmem {
@@ -31,6 +32,9 @@ inline void Clwb(const void* addr) {
   // is not needed because CLWB on non-PM memory is still correct.
   asm volatile("" ::: "memory");
 #endif
+  if (internal::g_torn_write_tracking.load(std::memory_order_relaxed)) {
+    internal::TornTrackClwb(addr);
+  }
   auto& stats = GetThreadPmStats();
   stats.clwb.fetch_add(1, std::memory_order_relaxed);
   const uint32_t lat =
@@ -38,9 +42,14 @@ inline void Clwb(const void* addr) {
   if (lat != 0) SpinNanos(lat);
 }
 
-// Store fence (SFENCE analogue): orders preceding flushes/stores.
+// Store fence (SFENCE analogue): orders preceding flushes/stores. Under
+// torn-write simulation this is the durability point: only lines whose
+// Clwb preceded a Fence survive a simulated power failure.
 inline void Fence() {
   std::atomic_thread_fence(std::memory_order_release);
+  if (internal::g_torn_write_tracking.load(std::memory_order_relaxed)) {
+    internal::TornTrackFence();
+  }
   GetThreadPmStats().fence.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -75,7 +84,10 @@ inline void ReadProbe(const void* addr, size_t lines = 1) {
 // Records a PM write that does not need an explicit flush (e.g., CAS on a
 // PM-resident lock word). On DCPMM such stores still consume write
 // bandwidth — this is what makes pessimistic (reader-writer) locking
-// non-scalable for search operations (paper Fig. 13).
+// non-scalable for search operations (paper Fig. 13). Under torn-write
+// simulation these stores are deliberately NOT tracked: they revert at a
+// simulated crash, so recovery must never depend on them (lock words are
+// reset on open by every table).
 inline void WriteHint(const void* addr) {
   (void)addr;
   GetThreadPmStats().nt_stores.fetch_add(1, std::memory_order_relaxed);

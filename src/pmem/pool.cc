@@ -11,6 +11,8 @@
 #include <cstring>
 
 #include "pmem/allocator.h"
+#include "pmem/crash_point.h"
+#include "pmem/flush_tracker.h"
 #include "pmem/mini_tx.h"
 #include "pmem/persist.h"
 
@@ -190,36 +192,53 @@ std::unique_ptr<PmPool> PmPool::Create(const std::string& path,
     ::unlink(path.c_str());
     return nullptr;
   }
+  TornWriteRegisterPool(base, size);
 
-  // Lay out the pool.
+  // Lay out the pool. A simulated power failure here must not leak the
+  // fixed-address mapping (it would shadow every later reopen attempt in
+  // this process), so unwind it before letting CrashInjected propagate.
+  // The file itself stays on disk — that is the crash semantics.
   auto* header = static_cast<PoolHeader*>(base);
-  uint64_t off = RoundPage(sizeof(PoolHeader));
-  header->tx_log_offset = off;
-  off += RoundPage(sizeof(TxLog) * kMaxThreads);
-  header->allocator_offset = off;
-  off += RoundPage(sizeof(AllocatorMeta));
-  header->retire_offset = off;
-  off += RoundPage(sizeof(RetireBuffer));
-  header->root_offset = off;
-  header->root_size = RoundPage(options.root_size);
-  off += header->root_size;
-  header->heap_offset = off;
+  AllocatorMeta* meta = nullptr;
+  try {
+    uint64_t off = RoundPage(sizeof(PoolHeader));
+    header->tx_log_offset = off;
+    off += RoundPage(sizeof(TxLog) * kMaxThreads);
+    header->allocator_offset = off;
+    off += RoundPage(sizeof(AllocatorMeta));
+    header->retire_offset = off;
+    off += RoundPage(sizeof(RetireBuffer));
+    header->root_offset = off;
+    header->root_size = RoundPage(options.root_size);
+    off += header->root_size;
+    header->heap_offset = off;
+    header->app_tag = options.app_tag;
 
-  header->layout_version = kLayoutVersion;
-  header->pool_size = size;
-  header->base_address = base_addr;
-  header->clean_shutdown = 0;
+    header->layout_version = kLayoutVersion;
+    header->pool_size = size;
+    header->base_address = base_addr;
+    header->clean_shutdown = 0;
 
-  auto* meta = reinterpret_cast<AllocatorMeta*>(static_cast<char*>(base) +
-                                                header->allocator_offset);
-  meta->bump = header->heap_offset;
-  meta->heap_end = size;
-  Persist(meta, sizeof(*meta));
+    meta = reinterpret_cast<AllocatorMeta*>(static_cast<char*>(base) +
+                                            header->allocator_offset);
+    meta->bump = header->heap_offset;
+    meta->heap_end = size;
+    Persist(meta, sizeof(*meta));
 
-  // Publish the header last; magic validates the whole layout.
-  Persist(header, sizeof(*header));
-  header->magic = kPoolMagic;
-  Persist(&header->magic, sizeof(header->magic));
+    // Publish the header last; magic validates the whole layout. A crash
+    // before the magic flush leaves a file Open() rejects (bad header) —
+    // never a half-initialized pool it would accept.
+    Persist(header, sizeof(*header));
+    CRASH_POINT("pool_create_after_layout");
+    header->magic = kPoolMagic;
+    Persist(&header->magic, sizeof(header->magic));
+    CRASH_POINT("pool_create_after_publish");
+  } catch (...) {
+    TornWriteUnregisterPool(base);
+    ::munmap(base, size);
+    ::close(fd);
+    throw;
+  }
 
   auto pool = std::unique_ptr<PmPool>(new PmPool());
   pool->base_ = base;
@@ -258,6 +277,7 @@ std::unique_ptr<PmPool> PmPool::Open(const std::string& path,
     return nullptr;
   }
 
+  TornWriteRegisterPool(base, header_copy.pool_size);
   auto pool = std::unique_ptr<PmPool>(new PmPool());
   pool->base_ = base;
   pool->fd_ = fd;
@@ -310,6 +330,7 @@ void PmPool::CloseClean() {
 
 void PmPool::CloseDirty() {
   if (closed_) return;
+  TornWriteUnregisterPool(base_);
   ::munmap(base_, header() != nullptr ? header()->pool_size : 0);
   ::close(fd_);
   closed_ = true;

@@ -30,7 +30,7 @@ class PmAllocator;
 class MiniTx;
 
 inline constexpr uint64_t kPoolMagic = 0xDA5B'0001'CAFE'F00DULL;
-inline constexpr uint64_t kLayoutVersion = 3;
+inline constexpr uint64_t kLayoutVersion = 4;
 inline constexpr size_t kMaxThreads = 256;
 
 // On-media pool header (first 4 KB of the pool).
@@ -46,6 +46,11 @@ struct PoolHeader {
   uint64_t root_offset;
   uint64_t root_size;
   uint64_t heap_offset;
+  // Application-chosen identity tag, fixed at Create(). Lets a container
+  // (e.g., a sharded store) detect that a pool file was swapped, renamed,
+  // or restored from the wrong backup: the tag encodes what the file is
+  // *supposed* to be, independent of its filename.
+  uint64_t app_tag;
 };
 
 // How the pool's virtual mapping is backed. Software prefetches (the batch
@@ -82,6 +87,8 @@ class PmPool {
     // falling back to 4 KB pages. Never a hard failure: environments
     // without huge-page support (CI containers) silently get k4K.
     bool try_huge_pages = true;
+    // Stored in PoolHeader::app_tag at creation; 0 = untagged.
+    uint64_t app_tag = 0;
   };
 
   PmPool(const PmPool&) = delete;
@@ -113,6 +120,9 @@ class PmPool {
 
   // True iff the previous session did not CloseClean() (recovery needed).
   bool recovered_from_crash() const { return recovered_from_crash_; }
+
+  // The application tag recorded at Create() (see Options::app_tag).
+  uint64_t app_tag() const { return header()->app_tag; }
 
   // Application root object area (root_size bytes, zero on creation).
   void* root() const {

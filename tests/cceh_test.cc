@@ -120,7 +120,7 @@ TEST_F(CcehTest, CrashDuringSplitRecovers) {
   // Fill to the brink of a split, crash mid-split, verify recovery.
   uint64_t k = 1;
   for (; k <= 50000; ++k) {
-    pmem::CrashPointArm("cceh_split_after_rehash");
+    ASSERT_TRUE(pmem::CrashPointArm("cceh_split_after_rehash"));
     bool crashed = false;
     try {
       table_->Insert(k, k);

@@ -42,7 +42,7 @@ TEST_P(EhCrashFuzz, RecoveryContractHolds) {
   opts.stash_buckets = 2;
   auto table = std::make_unique<DashEH<>>(pool.get(), &epochs, opts);
 
-  pmem::CrashPointArm(c.point, c.skip);
+  ASSERT_TRUE(pmem::CrashPointArm(c.point, c.skip));
   uint64_t crashed_key = 0;
   for (uint64_t k = 1; k <= 60000 && crashed_key == 0; ++k) {
     try {
@@ -114,7 +114,7 @@ TEST_P(LhCrashFuzz, RecoveryContractHolds) {
   opts.lh_stride = 2;
   auto table = std::make_unique<DashLH<>>(pool.get(), &epochs, opts);
 
-  pmem::CrashPointArm(c.point, c.skip);
+  ASSERT_TRUE(pmem::CrashPointArm(c.point, c.skip));
   uint64_t crashed_key = 0;
   for (uint64_t k = 1; k <= 80000 && crashed_key == 0; ++k) {
     try {

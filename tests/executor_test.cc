@@ -459,5 +459,139 @@ TEST(ExecutorTest, ConcurrentSubmittersAndStats) {
   store->CloseClean();
 }
 
+// ---- deadlines, WaitFor, queue-full backoff ----
+
+// A batch whose deadline has passed by the time its shard worker dequeues
+// it completes with kTimeout instead of executing; a generous deadline
+// executes normally. WaitFor reports not-ready while the worker is busy
+// and ready afterwards.
+TEST(ExecutorTest, DeadlineExpiresWhileQueued) {
+  TempShardPaths paths("exec_deadline", 1);
+  ShardedStoreOptions options = SmallStoreOptions(paths.prefix(), 1);
+  options.async.inline_single_shard = false;  // force the worker + queue
+  auto store = ShardedStore::Open(options);
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->async_enabled());
+
+  // Occupy the single worker with a large batch so the timed batch below
+  // is still queued when its deadline passes.
+  constexpr size_t kBig = 300000;
+  std::vector<uint64_t> keys(kBig), values(kBig);
+  std::vector<Status> big_status(kBig);
+  for (size_t i = 0; i < kBig; ++i) {
+    keys[i] = i + 1;
+    values[i] = i;
+  }
+  BatchFuture big = store->SubmitInsert(keys.data(), values.data(), kBig,
+                                        big_status.data());
+  ASSERT_EQ(big.submit_status(), Status::kOk);
+
+  constexpr size_t kSmall = 32;
+  uint64_t small_keys[kSmall];
+  Status small_status[kSmall];
+  for (size_t i = 0; i < kSmall; ++i) small_keys[i] = 1000000 + i;
+  SubmitOptions timed;
+  timed.deadline = std::chrono::milliseconds(1);
+  BatchFuture expired =
+      store->SubmitDelete(small_keys, kSmall, small_status, timed);
+  ASSERT_EQ(expired.submit_status(), Status::kOk);
+
+  // 300k inserts take far longer than this poll.
+  EXPECT_FALSE(big.WaitFor(std::chrono::nanoseconds(1)));
+
+  expired.Wait();
+  for (size_t i = 0; i < kSmall; ++i) {
+    ASSERT_EQ(small_status[i], Status::kTimeout) << "slot " << i;
+  }
+  big.Wait();
+  EXPECT_TRUE(big.WaitFor(std::chrono::nanoseconds(0)));  // ready now
+  for (size_t i = 0; i < kBig; ++i) {
+    ASSERT_EQ(big_status[i], Status::kOk) << "slot " << i;
+  }
+
+  // A deadline with plenty of slack executes: these keys were never
+  // inserted (the expired batch did not run), so the delete reports
+  // kNotFound rather than kTimeout.
+  SubmitOptions slack;
+  slack.deadline = std::chrono::seconds(30);
+  BatchFuture ok = store->SubmitDelete(small_keys, kSmall, small_status,
+                                       slack);
+  ok.Wait();
+  for (size_t i = 0; i < kSmall; ++i) {
+    ASSERT_EQ(small_status[i], Status::kNotFound) << "slot " << i;
+  }
+  store->CloseClean();
+}
+
+// With submit_retries configured, a submission that finds the shard queue
+// full backs off, retries, and — once the retries are exhausted — fails
+// its slots with kUnavailable instead of blocking the submitter forever.
+TEST(ExecutorTest, QueueFullBackoffFailsFast) {
+  TempShardPaths paths("exec_backoff", 1);
+  ShardedStoreOptions options = SmallStoreOptions(paths.prefix(), 1);
+  options.async.inline_single_shard = false;
+  options.async.queue_depth = 1;
+  options.async.submit_retries = 3;
+  options.async.backoff_initial_us = 1;
+  options.async.backoff_cap_us = 8;
+  auto store = ShardedStore::Open(options);
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->async_enabled());
+
+  // A occupies the worker for tens of milliseconds; B takes the single
+  // queue slot; C then finds the queue full for far longer than the
+  // retry budget (3 retries * <= 8us).
+  constexpr size_t kBig = 300000;
+  std::vector<uint64_t> a_keys(kBig), a_values(kBig);
+  std::vector<Status> a_status(kBig);
+  for (size_t i = 0; i < kBig; ++i) {
+    a_keys[i] = i + 1;
+    a_values[i] = i;
+  }
+  BatchFuture a = store->SubmitInsert(a_keys.data(), a_values.data(), kBig,
+                                      a_status.data());
+  ASSERT_EQ(a.submit_status(), Status::kOk);
+
+  constexpr size_t kSmall = 16;
+  uint64_t b_keys[kSmall], b_values[kSmall], c_keys[kSmall], c_values[kSmall];
+  Status b_status[kSmall], c_status[kSmall];
+  for (size_t i = 0; i < kSmall; ++i) {
+    b_keys[i] = 2000000 + i;
+    b_values[i] = i;
+    c_keys[i] = 3000000 + i;
+    c_values[i] = i;
+  }
+  BatchFuture b =
+      store->SubmitInsert(b_keys, b_values, kSmall, b_status);
+  ASSERT_EQ(b.submit_status(), Status::kOk);
+  BatchFuture c =
+      store->SubmitInsert(c_keys, c_values, kSmall, c_status);
+  c.Wait();
+  for (size_t i = 0; i < kSmall; ++i) {
+    ASSERT_EQ(c_status[i], Status::kUnavailable) << "slot " << i;
+  }
+
+  a.Wait();
+  b.Wait();
+  for (size_t i = 0; i < kBig; ++i) ASSERT_EQ(a_status[i], Status::kOk);
+  for (size_t i = 0; i < kSmall; ++i) ASSERT_EQ(b_status[i], Status::kOk);
+  // The rejected batch really never executed.
+  EXPECT_EQ(store->Stats().totals.records, kBig + kSmall);
+  store->CloseClean();
+}
+
+// WaitFor contract on trivial futures: invalid and empty tokens report
+// ready immediately.
+TEST(ExecutorTest, WaitForTrivialFutures) {
+  BatchFuture invalid;
+  EXPECT_TRUE(invalid.WaitFor(std::chrono::nanoseconds(0)));
+  TempShardPaths paths("exec_waitfor", 2);
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+  ASSERT_NE(store, nullptr);
+  BatchFuture empty = store->SubmitExecute(nullptr, 0, nullptr);
+  EXPECT_TRUE(empty.WaitFor(std::chrono::nanoseconds(0)));
+  store->CloseClean();
+}
+
 }  // namespace
 }  // namespace dash::api

@@ -116,7 +116,7 @@ TEST_F(LevelTest, CrashBeforeResizeCommitKeepsOldTable) {
   // structure must be fully intact.
   uint64_t k = 1;
   bool crashed = false;
-  pmem::CrashPointArm("level_resize_before_commit");
+  ASSERT_TRUE(pmem::CrashPointArm("level_resize_before_commit"));
   try {
     for (; k <= 100000 && !crashed; ++k) {
       table_->Insert(k, k);
@@ -144,7 +144,7 @@ TEST_F(LevelTest, CrashBeforeResizeCommitKeepsOldTable) {
 TEST_F(LevelTest, CrashAfterResizeCommitUsesNewTable) {
   uint64_t k = 1;
   bool crashed = false;
-  pmem::CrashPointArm("level_resize_after_commit");
+  ASSERT_TRUE(pmem::CrashPointArm("level_resize_after_commit"));
   try {
     for (; k <= 100000 && !crashed; ++k) {
       table_->Insert(k, k);

@@ -163,7 +163,7 @@ TEST_P(MergeCrashTest, MergeCrashIsRecoverable) {
       ASSERT_EQ(table_->Delete(k), OpStatus::kOk);
     }
   }
-  pmem::CrashPointArm(GetParam());
+  ASSERT_TRUE(pmem::CrashPointArm(GetParam()));
   bool crashed = false;
   for (int i = 0; i < 400 && !crashed; ++i) {
     try {

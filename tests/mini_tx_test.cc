@@ -75,7 +75,7 @@ TEST(MiniTxCrashTest, CrashBeforeCommitMarkDiscards) {
     auto pool = test::CreatePool(file);
     ASSERT_NE(pool, nullptr);
     auto* words = static_cast<uint64_t*>(pool->root());
-    CrashPointArm("minitx_before_commit_mark");
+    ASSERT_TRUE(CrashPointArm("minitx_before_commit_mark"));
     bool crashed = false;
     try {
       MiniTx tx(pool.get());
@@ -101,7 +101,7 @@ TEST(MiniTxCrashTest, CrashAfterCommitMarkRedoes) {
     auto pool = test::CreatePool(file);
     ASSERT_NE(pool, nullptr);
     auto* words = static_cast<uint64_t*>(pool->root());
-    CrashPointArm("minitx_after_commit_mark");
+    ASSERT_TRUE(CrashPointArm("minitx_after_commit_mark"));
     bool crashed = false;
     try {
       MiniTx tx(pool.get());
@@ -129,7 +129,7 @@ TEST(MiniTxCrashTest, CrashDuringApplyRedoes) {
     auto pool = test::CreatePool(file);
     ASSERT_NE(pool, nullptr);
     auto* words = static_cast<uint64_t*>(pool->root());
-    CrashPointArm("minitx_after_apply");
+    ASSERT_TRUE(CrashPointArm("minitx_after_apply"));
     bool crashed = false;
     try {
       MiniTx tx(pool.get());

@@ -125,7 +125,7 @@ TEST_P(AllocatorCrashTest, NoLeakAtAnyCrashPoint) {
     pool->allocator().Free(primer);
     heap_used_before = pool->allocator().bytes_in_use();
 
-    CrashPointArm(c.point);
+    ASSERT_TRUE(CrashPointArm(c.point));
     bool crashed = false;
     try {
       auto r = pool->allocator().Reserve(2048);
@@ -168,7 +168,7 @@ TEST(AllocatorCrashTest2, BumpPathCrashDoesNotCorrupt) {
   {
     auto pool = test::CreatePool(file);
     ASSERT_NE(pool, nullptr);
-    CrashPointArm("alloc_after_slot_record_bump");
+    ASSERT_TRUE(CrashPointArm("alloc_after_slot_record_bump"));
     bool crashed = false;
     try {
       pool->allocator().Reserve(999);

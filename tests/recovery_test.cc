@@ -41,7 +41,7 @@ class EhRecoveryTest : public ::testing::Test {
   // Inserts keys [1, n]; returns the first key whose insert crashed (and
   // did not complete), or n+1 if no crash fired.
   uint64_t InsertUntilCrash(uint64_t n, const std::string& point) {
-    pmem::CrashPointArm(point);
+    EXPECT_TRUE(pmem::CrashPointArm(point));
     for (uint64_t k = 1; k <= n; ++k) {
       try {
         table_->Insert(k, k);
@@ -147,7 +147,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST_F(EhRecoveryTest, CrashDuringDisplacementRemovesDuplicate) {
   // Arm the displacement crash point; drive inserts until it fires.
-  pmem::CrashPointArm("displace_after_insert");
+  ASSERT_TRUE(pmem::CrashPointArm("displace_after_insert"));
   uint64_t crashed_key = 0;
   for (uint64_t k = 1; k <= 60000 && crashed_key == 0; ++k) {
     try {
@@ -185,7 +185,7 @@ TEST_F(EhRecoveryTest, RepeatedCrashesConverge) {
   table_ = std::make_unique<DashEH<>>(pool_.get(), &epochs_, opts_);
 
   // Trigger lazy recovery and crash inside its roll-forward.
-  pmem::CrashPointArm("eh_split_after_dir_update");
+  ASSERT_TRUE(pmem::CrashPointArm("eh_split_after_dir_update"));
   uint64_t value;
   bool crashed_again = false;
   for (uint64_t k = 1; k < crashed_key && !crashed_again; ++k) {
@@ -269,7 +269,7 @@ class LhSplitCrashTest : public LhRecoveryTest,
                          public ::testing::WithParamInterface<const char*> {};
 
 TEST_P(LhSplitCrashTest, ExpansionCrashIsRecoverable) {
-  pmem::CrashPointArm(GetParam());
+  ASSERT_TRUE(pmem::CrashPointArm(GetParam()));
   uint64_t crashed_key = 0;
   for (uint64_t k = 1; k <= 80000 && crashed_key == 0; ++k) {
     try {

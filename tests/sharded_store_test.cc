@@ -14,7 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "api/sharded_store.h"
+#include "pmem/crash_point.h"
 #include "test_util.h"
 #include "util/rand.h"
 
@@ -388,6 +391,277 @@ TEST(ShardedStoreTest, RejectsMismatchedReopen) {
   uint64_t value = 0;
   EXPECT_EQ(store->Search(1, &value), Status::kOk);
   store->CloseClean();
+}
+
+// ---- fault isolation: quarantine, RecoverShard, manifest v2 ----
+
+void CorruptPoolHeader(const std::string& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  const char garbage[8] = {'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X'};
+  f.write(garbage, sizeof garbage);  // clobbers the pool magic
+}
+
+// One shard with a wrecked pool header must not fail the store: it is
+// quarantined (kUnavailable on every op routed to it) while the other
+// shard keeps serving, Stats reports the degradation, and RecoverShard
+// re-admits the shard once the operator clears the wreck.
+TEST(ShardedStoreTest, CorruptShardIsQuarantinedNotFatal) {
+  TempShardPaths paths("store_quar", 2);
+  constexpr uint64_t kKeys = 4000;
+  {
+    auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+    ASSERT_NE(store, nullptr);
+    for (uint64_t k = 1; k <= kKeys; ++k) {
+      ASSERT_EQ(store->Insert(k, k * 3), Status::kOk);
+    }
+    store->CloseClean();
+  }
+  CorruptPoolHeader(paths.prefix() + ".shard1");
+  if (::testing::Test::HasFatalFailure()) return;
+
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+  ASSERT_NE(store, nullptr) << "one bad shard must not fail the store";
+  EXPECT_FALSE(store->IsQuarantined(0));
+  EXPECT_TRUE(store->IsQuarantined(1));
+  EXPECT_EQ(store->QuarantinedCount(), 1u);
+  const RecoveryReport& report = store->recovery_report();
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], 1u);
+  EXPECT_EQ(report.shard_ms.size(), 2u);
+
+  // Single ops: healthy shard serves its keys, quarantined one refuses.
+  uint64_t value = 0;
+  size_t served = 0, refused = 0;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    const Status st = store->Search(k, &value);
+    if (store->ShardOf(k) == 1) {
+      ASSERT_EQ(st, Status::kUnavailable) << "key " << k;
+      ++refused;
+    } else {
+      ASSERT_EQ(st, Status::kOk) << "key " << k;
+      ASSERT_EQ(value, k * 3);
+      ++served;
+    }
+  }
+  EXPECT_GT(served, 0u);
+  EXPECT_GT(refused, 0u);
+
+  // Batches spanning both shards: quarantined slots complete with
+  // kUnavailable, their neighbors still execute.
+  constexpr size_t kN = 256;
+  uint64_t keys[kN], got[kN];
+  Status statuses[kN];
+  for (size_t i = 0; i < kN; ++i) keys[i] = i + 1;
+  store->MultiSearch(keys, kN, got, statuses);
+  for (size_t i = 0; i < kN; ++i) {
+    if (store->ShardOf(keys[i]) == 1) {
+      ASSERT_EQ(statuses[i], Status::kUnavailable);
+    } else {
+      ASSERT_EQ(statuses[i], Status::kOk);
+      ASSERT_EQ(got[i], keys[i] * 3);
+    }
+  }
+
+  const ShardedStats stats = store->Stats();
+  EXPECT_EQ(stats.shard_count, 2u);
+  EXPECT_EQ(stats.quarantined_count, 1u);
+  ASSERT_EQ(stats.quarantined_shards.size(), 1u);
+  EXPECT_EQ(stats.quarantined_shards[0], 1u);
+  EXPECT_LT(stats.totals.records, kKeys);  // only the healthy shard counts
+
+  // Recovery with the file still corrupt keeps the shard quarantined;
+  // deleting the wreck and retrying re-admits it empty.
+  EXPECT_EQ(store->RecoverShard(1), Status::kUnavailable);
+  EXPECT_TRUE(store->IsQuarantined(1));
+  ASSERT_EQ(std::remove((paths.prefix() + ".shard1").c_str()), 0);
+  EXPECT_EQ(store->RecoverShard(1), Status::kOk);
+  EXPECT_FALSE(store->IsQuarantined(1));
+  EXPECT_EQ(store->RecoverShard(1), Status::kOk);  // no-op on healthy
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    const Status st = store->Search(k, &value);
+    if (store->ShardOf(k) == 1) {
+      ASSERT_EQ(st, Status::kNotFound);  // data went with the file
+    } else {
+      ASSERT_EQ(st, Status::kOk);
+    }
+  }
+  for (uint64_t k = kKeys + 1; k <= kKeys + 500; ++k) {
+    ASSERT_EQ(store->Insert(k, k), Status::kOk);
+  }
+  EXPECT_EQ(store->Stats().quarantined_count, 0u);
+  EXPECT_EQ(store->RecoverShard(99), Status::kInvalidArgument);
+  store->CloseClean();
+}
+
+// Swapped .shard files carry the wrong identity tag: both shards are
+// quarantined instead of silently serving misrouted keys. Swapping back
+// and re-admitting recovers all data.
+TEST(ShardedStoreTest, SwappedShardFilesAreQuarantined) {
+  TempShardPaths paths("store_swap", 2);
+  constexpr uint64_t kKeys = 3000;
+  {
+    auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+    ASSERT_NE(store, nullptr);
+    for (uint64_t k = 1; k <= kKeys; ++k) {
+      ASSERT_EQ(store->Insert(k, k + 9), Status::kOk);
+    }
+    store->CloseClean();
+  }
+  const std::string s0 = paths.prefix() + ".shard0";
+  const std::string s1 = paths.prefix() + ".shard1";
+  const std::string tmp = paths.prefix() + ".swaptmp";
+  auto swap_files = [&] {
+    ASSERT_EQ(std::rename(s0.c_str(), tmp.c_str()), 0);
+    ASSERT_EQ(std::rename(s1.c_str(), s0.c_str()), 0);
+    ASSERT_EQ(std::rename(tmp.c_str(), s1.c_str()), 0);
+  };
+  swap_files();
+  if (::testing::Test::HasFatalFailure()) return;
+
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->QuarantinedCount(), 2u);
+  uint64_t value = 0;
+  EXPECT_EQ(store->Search(1, &value), Status::kUnavailable);
+
+  swap_files();
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(store->RecoverShard(0), Status::kOk);
+  EXPECT_EQ(store->RecoverShard(1), Status::kOk);
+  EXPECT_EQ(store->QuarantinedCount(), 0u);
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_EQ(store->Search(k, &value), Status::kOk) << "key " << k;
+    ASSERT_EQ(value, k + 9);
+  }
+  store->CloseClean();
+}
+
+// With quarantine disabled, any shard failure fails the whole open.
+TEST(ShardedStoreTest, QuarantineDisabledFailsOpen) {
+  TempShardPaths paths("store_noquar", 2);
+  {
+    auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+    ASSERT_NE(store, nullptr);
+    ASSERT_EQ(store->Insert(1, 1), Status::kOk);
+    store->CloseClean();
+  }
+  CorruptPoolHeader(paths.prefix() + ".shard1");
+  if (::testing::Test::HasFatalFailure()) return;
+  ShardedStoreOptions strict = SmallStoreOptions(paths.prefix(), 2);
+  strict.quarantine_failed_shards = false;
+  EXPECT_EQ(ShardedStore::Open(strict), nullptr);
+  // The default policy still opens the same on-disk state, degraded.
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->QuarantinedCount(), 1u);
+  store->CloseClean();
+}
+
+// A torn v2 manifest (checksum mismatch) refuses to guess the layout; a
+// legacy v1 manifest is accepted and upgraded in place; a stray
+// .manifest.tmp from a crashed rewrite is discarded.
+TEST(ShardedStoreTest, TornManifestRejectsV1Upgrades) {
+  TempShardPaths paths("store_mani2", 2);
+  {
+    auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+    ASSERT_NE(store, nullptr);
+    ASSERT_EQ(store->Insert(1, 11), Status::kOk);
+    store->CloseClean();
+  }
+  const std::string manifest = paths.prefix() + ".manifest";
+  {
+    std::ofstream out(manifest, std::ios::trunc);
+    out << "v2 2 dash-eh 1 deadbeef\n";  // plausible fields, bad checksum
+  }
+  EXPECT_EQ(ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2)),
+            nullptr);
+  {
+    std::ofstream out(manifest, std::ios::trunc);
+    out << "2 dash-eh\n";  // legacy v1
+    std::ofstream stray(manifest + ".tmp", std::ios::trunc);
+    stray << "half-written rewrite\n";
+  }
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+  ASSERT_NE(store, nullptr);
+  uint64_t value = 0;
+  EXPECT_EQ(store->Search(1, &value), Status::kOk);
+  EXPECT_EQ(value, 11u);
+  store->CloseClean();
+  std::string tag;
+  std::ifstream in(manifest);
+  in >> tag;
+  EXPECT_EQ(tag, "v2") << "v1 manifest was not upgraded";
+  EXPECT_FALSE(std::ifstream(manifest + ".tmp").good());
+  // The upgraded manifest round-trips.
+  store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->Search(1, &value), Status::kOk);
+  store->CloseClean();
+}
+
+// Crashes around the manifest rename leave either no manifest (retry
+// recreates the store) or a complete one (retry opens it) — never a torn
+// configuration.
+TEST(ShardedStoreTest, ManifestWriteCrashLeavesRecoverableState) {
+  {
+    TempShardPaths paths("store_mcrash_pre", 2);
+    ShardedStoreOptions options = SmallStoreOptions(paths.prefix(), 2);
+    ASSERT_TRUE(pmem::CrashPointArm("manifest_before_rename"));
+    EXPECT_THROW(ShardedStore::Open(options), pmem::CrashInjected);
+    pmem::CrashPointDisarm();
+    auto store = ShardedStore::Open(options);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->Insert(1, 5), Status::kOk);
+    store->CloseClean();
+  }
+  {
+    TempShardPaths paths("store_mcrash_post", 2);
+    ShardedStoreOptions options = SmallStoreOptions(paths.prefix(), 2);
+    ASSERT_TRUE(pmem::CrashPointArm("manifest_after_rename"));
+    EXPECT_THROW(ShardedStore::Open(options), pmem::CrashInjected);
+    pmem::CrashPointDisarm();
+    auto store = ShardedStore::Open(options);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->Insert(1, 6), Status::kOk);
+    store->CloseClean();
+  }
+}
+
+// The recovery report covers every shard for both serial and parallel
+// opens, and the shard data survives either path identically.
+TEST(ShardedStoreTest, RecoveryReportCoversAllShards) {
+  TempShardPaths paths("store_rrep", 4);
+  constexpr uint64_t kKeys = 2000;
+  {
+    auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 4));
+    ASSERT_NE(store, nullptr);
+    for (uint64_t k = 1; k <= kKeys; ++k) {
+      ASSERT_EQ(store->Insert(k, k), Status::kOk);
+    }
+    store->CloseClean();
+  }
+  for (const size_t threads : {1ul, 4ul}) {
+    ShardedStoreOptions options = SmallStoreOptions(paths.prefix(), 4);
+    options.recovery_threads = threads;
+    auto store = ShardedStore::Open(options);
+    ASSERT_NE(store, nullptr);
+    const RecoveryReport& report = store->recovery_report();
+    EXPECT_EQ(report.threads, threads);
+    ASSERT_EQ(report.shard_ms.size(), 4u);
+    ASSERT_EQ(report.shard_recovered.size(), 4u);
+    EXPECT_TRUE(report.quarantined.empty());
+    for (size_t s = 0; s < 4; ++s) {
+      EXPECT_GE(report.shard_ms[s], 0.0);
+      EXPECT_FALSE(report.shard_recovered[s]) << "clean close, shard " << s;
+    }
+    uint64_t value = 0;
+    for (uint64_t k = 1; k <= kKeys; ++k) {
+      ASSERT_EQ(store->Search(k, &value), Status::kOk);
+      ASSERT_EQ(value, k);
+    }
+    store->CloseClean();
+  }
 }
 
 }  // namespace

@@ -61,6 +61,7 @@ class TempShardPaths {
       std::remove((prefix_ + ".shard" + std::to_string(i)).c_str());
     }
     std::remove((prefix_ + ".manifest").c_str());
+    std::remove((prefix_ + ".manifest.tmp").c_str());
   }
 
   static inline int counter_ = 0;
