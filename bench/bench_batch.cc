@@ -21,8 +21,9 @@
 // --check-speedup=X exits non-zero if any table's batch search speedup
 // over single-op falls below X on the selected pipeline (CI gate).
 //
-// --workload={a,b,c} switches to the YCSB-style mixed mode instead:
-// 50/50, 95/5 or 100/0 search/update over a zipfian key choice
+// --workload={a,b,c,d,f} switches to the YCSB-style mixed mode instead:
+// 50/50 (a), 95/5 (b), 100/0 (c) search/update, 95/5 read-latest/insert
+// (d), or 50/50 read/RMW (f) over a zipfian key choice
 // (theta 0.99) against the preloaded table, run at each --threads value,
 // single-op loop vs MultiExecute descriptor batches per pipeline. This
 // measures the optimistic read path under write contention rather than
@@ -40,6 +41,7 @@
 // --json-out (default BENCH_async.json) — the perf-trajectory artifact.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -92,24 +94,31 @@ struct LockCounters {
   uint64_t opt_retries = 0;
   uint64_t version_conflicts = 0;
   uint64_t write_locks = 0;
+  uint64_t bucket_acqs = 0;
+  uint64_t bucket_spins = 0;
 };
 
 LockCounters SnapshotLockCounters(api::KvIndex* table) {
   const api::IndexStats s = table->Stats();
-  return {s.opt_retries, s.version_conflicts, s.write_locks};
+  return {s.opt_retries, s.version_conflicts, s.write_locks,
+          s.bucket_lock_acquisitions, s.bucket_lock_contended_spins};
 }
 
 std::string LockJson(const LockCounters& before, const LockCounters& after) {
-  char buf[192];
+  char buf[256];
   std::snprintf(
       buf, sizeof(buf),
       ",\"lock\":{\"opt_retries\":%llu,\"version_conflicts\":%llu,"
-      "\"write_locks\":%llu}",
+      "\"write_locks\":%llu,\"bucket_acqs\":%llu,\"bucket_spins\":%llu}",
       static_cast<unsigned long long>(after.opt_retries - before.opt_retries),
       static_cast<unsigned long long>(after.version_conflicts -
                                       before.version_conflicts),
       static_cast<unsigned long long>(after.write_locks -
-                                      before.write_locks));
+                                      before.write_locks),
+      static_cast<unsigned long long>(after.bucket_acqs -
+                                      before.bucket_acqs),
+      static_cast<unsigned long long>(after.bucket_spins -
+                                      before.bucket_spins));
   return buf;
 }
 
@@ -153,27 +162,64 @@ PhaseResult BatchInsertPhase(api::KvIndex* table, uint64_t base, uint64_t n,
       });
 }
 
-// ---- YCSB-style mixed workload mode (--workload={a,b,c}) ----
+// ---- YCSB-style mixed workload mode (--workload={a,b,c,d,f}) ----
 //
 // 50/50 (a), 95/5 (b) or 100/0 (c) search/update over a zipfian key
 // choice (theta 0.99, YCSB's default skew) against the preloaded key
-// space. Both phases replay identical per-thread op streams (fixed
-// generator seeds), so single vs batch compares only the execution path.
+// space. Workload d is read-latest: 95% reads of the zipf rank counted
+// back from the highest inserted key, 5% inserts extending the key
+// space. Workload f is read-modify-write: 50% plain reads, 50% RMW
+// pairs (a Search and an Update of the same key in one request —
+// MultiExecute runs the search group before the update group within a
+// batch, so each pair reads then writes). Both phases replay identical
+// per-thread op streams (fixed generator seeds), so single vs batch
+// compares only the execution path.
+
+struct WorkloadSpec {
+  int read_pct = 50;
+  bool read_latest = false;  // d: reads target newest keys, writes insert
+  bool rmw = false;          // f: each write is a search+update pair
+};
+
+// Read-latest key choice: zipf rank 0 (the most likely) maps to the
+// newest inserted key, rank r to the r-th newest. `hi` is the shared
+// high-water mark of inserted keys.
+inline uint64_t LatestKey(uint64_t rank, uint64_t hi) {
+  return hi > rank ? hi - rank : 1;
+}
 
 PhaseResult WorkloadSinglePhase(api::KvIndex* table, uint64_t ops,
-                                int threads, int read_pct,
-                                const util::ZipfGenerator& zipf_proto) {
+                                int threads, const WorkloadSpec& spec,
+                                const util::ZipfGenerator& zipf_proto,
+                                std::atomic<uint64_t>* max_key) {
   return RunParallel(
       threads, ops,
-      [table, read_pct, &zipf_proto](int t, uint64_t begin, uint64_t end) {
+      [table, &spec, &zipf_proto, max_key](int t, uint64_t begin,
+                                           uint64_t end) {
         util::ZipfGenerator zipf(zipf_proto, 42 + t);
         util::Xoshiro256 op_rng(1000 + t);
         uint64_t value = 0;
         for (uint64_t i = begin; i < end; ++i) {
+          const bool is_read =
+              op_rng.NextBounded(100) < static_cast<uint64_t>(spec.read_pct);
+          if (spec.read_latest) {
+            if (is_read) {
+              const uint64_t hi =
+                  max_key->load(std::memory_order_relaxed);
+              table->Search(LatestKey(zipf.Next(), hi), &value);
+            } else {
+              const uint64_t key =
+                  max_key->fetch_add(1, std::memory_order_relaxed) + 1;
+              table->Insert(key, i);
+            }
+            continue;
+          }
           const uint64_t key = zipf.Next() + 1;
-          if (op_rng.NextBounded(100) <
-              static_cast<uint64_t>(read_pct)) {
+          if (is_read) {
             table->Search(key, &value);
+          } else if (spec.rmw) {
+            table->Search(key, &value);
+            table->Update(key, value + 1);
           } else {
             table->Update(key, i);
           }
@@ -182,28 +228,58 @@ PhaseResult WorkloadSinglePhase(api::KvIndex* table, uint64_t ops,
 }
 
 PhaseResult WorkloadBatchPhase(api::KvIndex* table, uint64_t ops,
-                               int threads, int read_pct, size_t batch,
-                               const util::ZipfGenerator& zipf_proto) {
+                               int threads, const WorkloadSpec& spec,
+                               size_t batch,
+                               const util::ZipfGenerator& zipf_proto,
+                               std::atomic<uint64_t>* max_key) {
   return RunParallel(
       threads, ops,
-      [table, read_pct, batch, &zipf_proto](int t, uint64_t begin,
-                                            uint64_t end) {
+      [table, &spec, batch, &zipf_proto, max_key](int t, uint64_t begin,
+                                                  uint64_t end) {
         util::ZipfGenerator zipf(zipf_proto, 42 + t);
         util::Xoshiro256 op_rng(1000 + t);
         api::Op descriptors[kMaxBatch];
         api::Status statuses[kMaxBatch];
         uint64_t i = begin;
         while (i < end) {
-          const size_t n = std::min<uint64_t>(batch, end - i);
-          for (size_t j = 0; j < n; ++j) {
-            const uint64_t key = zipf.Next() + 1;
-            descriptors[j] =
-                op_rng.NextBounded(100) < static_cast<uint64_t>(read_pct)
-                    ? api::Op::Search(key)
-                    : api::Op::Update(key, i + j);
+          // One stream step can emit two descriptors (an RMW pair), so
+          // fill until the next step would not fit.
+          const uint64_t steps = std::min<uint64_t>(batch, end - i);
+          size_t n = 0;
+          uint64_t taken = 0;
+          while (taken < steps && n + 2 <= kMaxBatch &&
+                 n < batch) {
+            const bool is_read =
+                op_rng.NextBounded(100) <
+                static_cast<uint64_t>(spec.read_pct);
+            if (spec.read_latest) {
+              if (is_read) {
+                const uint64_t hi =
+                    max_key->load(std::memory_order_relaxed);
+                descriptors[n++] =
+                    api::Op::Search(LatestKey(zipf.Next(), hi));
+              } else {
+                const uint64_t key =
+                    max_key->fetch_add(1, std::memory_order_relaxed) + 1;
+                descriptors[n++] = api::Op::Insert(key, i + taken);
+              }
+            } else {
+              const uint64_t key = zipf.Next() + 1;
+              if (is_read) {
+                descriptors[n++] = api::Op::Search(key);
+              } else if (spec.rmw) {
+                // Search lands in the batch's read group (runs first),
+                // the update in the write group: read-then-write.
+                descriptors[n++] = api::Op::Search(key);
+                descriptors[n++] = api::Op::Update(key, i + taken);
+              } else {
+                descriptors[n++] = api::Op::Update(key, i + taken);
+              }
+            }
+            ++taken;
           }
           table->MultiExecute(descriptors, n, statuses);
-          i += n;
+          i += taken;
         }
       });
 }
@@ -226,25 +302,39 @@ void PrintJson(const std::string& table, const std::string& op,
   std::fflush(stdout);
 }
 
-// The --workload={a,b,c} mode: for every table, at every --threads
-// value, run the zipfian read/update mix once through the single-op loop
-// and once through MultiExecute descriptor batches per pipeline. JSON
-// lines carry the lock-telemetry deltas, so the contention behaviour of
-// the optimistic read path (retries/conflicts vs exclusive acquisitions)
-// is recorded alongside throughput.
+// Maps a YCSB workload letter onto its mix. False on an unknown letter.
+bool ResolveWorkload(const std::string& workload, WorkloadSpec* spec) {
+  if (workload == "a") {
+    spec->read_pct = 50;
+  } else if (workload == "b") {
+    spec->read_pct = 95;
+  } else if (workload == "c") {
+    spec->read_pct = 100;
+  } else if (workload == "d") {
+    spec->read_pct = 95;
+    spec->read_latest = true;
+  } else if (workload == "f") {
+    spec->read_pct = 50;
+    spec->rmw = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// The --workload={a,b,c,d,f} mode: for every table, at every --threads
+// value, run the zipfian mix once through the single-op loop and once
+// through MultiExecute descriptor batches per pipeline. JSON lines carry
+// the lock-telemetry deltas, so the contention behaviour of the
+// optimistic read path (retries/conflicts vs exclusive acquisitions) is
+// recorded alongside throughput.
 int RunWorkloadMode(const std::string& workload,
                     const std::vector<BatchPipeline>& pipelines,
                     const std::string& only_table, uint64_t preload,
                     uint64_t ops, size_t batch, const BenchConfig& config) {
-  int read_pct;
-  if (workload == "a") {
-    read_pct = 50;
-  } else if (workload == "b") {
-    read_pct = 95;
-  } else if (workload == "c") {
-    read_pct = 100;
-  } else {
-    std::fprintf(stderr, "unknown --workload=%s (a|b|c)\n",
+  WorkloadSpec spec;
+  if (!ResolveWorkload(workload, &spec)) {
+    std::fprintf(stderr, "unknown --workload=%s (a|b|c|d|f)\n",
                  workload.c_str());
     return 1;
   }
@@ -261,10 +351,12 @@ int RunWorkloadMode(const std::string& workload,
     // One zeta computation (O(preload) pow calls) outside every timed
     // region; the per-thread generators derive from it.
     const util::ZipfGenerator zipf_proto(preload, 0.99, 0);
+    // Read-latest high-water mark; inserts (workload d) push it forward.
+    std::atomic<uint64_t> max_key{preload};
     for (int threads : config.thread_counts) {
       LockCounters lc0 = SnapshotLockCounters(table);
-      const PhaseResult single =
-          WorkloadSinglePhase(table, ops, threads, read_pct, zipf_proto);
+      const PhaseResult single = WorkloadSinglePhase(
+          table, ops, threads, spec, zipf_proto, &max_key);
       LockCounters lc1 = SnapshotLockCounters(table);
       PrintRow("bench_batch", name, opname + "-single", threads, single);
       PrintJson(name, opname, "single", 1, single, 0, "", LockJson(lc0, lc1),
@@ -275,7 +367,7 @@ int RunWorkloadMode(const std::string& workload,
         util::AmacTelemetry::DrainAll();
         lc0 = SnapshotLockCounters(table);
         const PhaseResult batched = WorkloadBatchPhase(
-            table, ops, threads, read_pct, batch, zipf_proto);
+            table, ops, threads, spec, batch, zipf_proto, &max_key);
         lc1 = SnapshotLockCounters(table);
         const auto tele = util::AmacTelemetry::DrainAll();
         PrintRow("bench_batch", name,
@@ -287,7 +379,7 @@ int RunWorkloadMode(const std::string& workload,
             "\"%s\",\"pipeline\":\"%s\",\"threads\":%d,\"batch\":%zu,"
             "\"read_pct\":%d,\"mixed_speedup_vs_single\":%.3f}\n",
             name.c_str(), workload.c_str(), pname, threads, batch,
-            read_pct, batched.mops / single.mops);
+            spec.read_pct, batched.mops / single.mops);
         std::fflush(stdout);
       }
     }

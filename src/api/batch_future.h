@@ -18,8 +18,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "api/kv_index.h"
@@ -30,7 +32,8 @@ namespace dash::api {
 namespace internal {
 
 // Shared shard-completion counting. `pending` is the number of shard work
-// items still outstanding; the last CompleteOne wakes every waiter.
+// items still outstanding; the last CompleteOne wakes every waiter and
+// fires the completion callback, if one was registered.
 struct CompletionState {
   std::atomic<uint32_t> pending{0};
 
@@ -56,16 +59,46 @@ struct CompletionState {
 
   void CompleteOne() {
     if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // The lock orders the notify against a waiter that observed
-      // pending != 0 but has not started waiting yet.
-      std::lock_guard<std::mutex> lock(mu);
-      cv.notify_all();
+      std::function<void()> cb;
+      {
+        // The lock orders the notify against a waiter that observed
+        // pending != 0 but has not started waiting yet, and arbitrates
+        // the callback handoff against a racing OnReady.
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+        cb = std::move(callback);
+        callback = nullptr;
+      }
+      if (cb) cb();  // outside the lock: the callback may Wait()/resubmit
     }
+  }
+
+  // Registers the completion callback. If the batch is already complete,
+  // `fn` runs synchronously on the calling thread before OnReady returns;
+  // otherwise it runs exactly once on the thread that completes the last
+  // shard. At most one callback is held: a second registration before
+  // completion replaces the first (which is then never invoked).
+  //
+  // The callback-vs-completion race resolves under `mu`: either the
+  // registration lands before the final CompleteOne takes the lock (the
+  // completer finds and fires it), or it observes Ready() under the lock
+  // and fires on the registering thread — never both, never neither.
+  void OnReady(std::function<void()> fn) {
+    if (!fn) return;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      if (!Ready()) {
+        callback = std::move(fn);
+        return;
+      }
+    }
+    fn();
   }
 
  protected:
   std::mutex mu;
   std::condition_variable cv;
+  std::function<void()> callback;
 };
 
 // One submitted batch. Owns the regrouped copy of the operations (shard s
@@ -192,6 +225,24 @@ class BatchFuture {
   // a later Wait()/WaitFor() returns true. Invalid futures return true.
   bool WaitFor(std::chrono::nanoseconds timeout) {
     return state_ == nullptr || state_->WaitFor(timeout);
+  }
+
+  // Registers a completion callback, the serving path's alternative to
+  // parking a thread in Wait(): the last shard's gather fires `fn` exactly
+  // once on the completing thread (a shard worker — keep the callback
+  // short and never block it on another future of the same store). If the
+  // batch is already complete — including invalid and born-ready futures —
+  // `fn` runs synchronously before OnReady returns. After the callback
+  // begins, the caller's status/value arrays are fully written (the same
+  // release/acquire edge Wait() relies on). At most one callback per
+  // future: registering again before completion replaces the previous fn.
+  // Wait()/WaitFor() semantics are unchanged and compose with OnReady.
+  void OnReady(std::function<void()> fn) {
+    if (state_ == nullptr) {
+      if (fn) fn();
+      return;
+    }
+    state_->OnReady(std::move(fn));
   }
 
   // Number of shard sub-batches still outstanding (0 once ready).

@@ -184,6 +184,11 @@ class IndexAdapter : public Base {
       out.version_conflicts = s.version_conflicts;
       out.write_locks = s.write_locks;
     }
+    // Bucket-lock write-path telemetry (Dash tables only).
+    if constexpr (requires { s.bucket_lock_acquisitions; }) {
+      out.bucket_lock_acquisitions = s.bucket_lock_acquisitions;
+      out.bucket_lock_contended_spins = s.bucket_lock_contended_spins;
+    }
     return out;
   }
   IndexKind kind() const override { return Kind; }

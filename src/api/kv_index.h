@@ -63,6 +63,12 @@ struct IndexStats {
   uint64_t opt_retries = 0;
   uint64_t version_conflicts = 0;
   uint64_t write_locks = 0;
+  // Write-path bucket-lock telemetry (cumulative since table open) for
+  // the Dash tables: exclusive BucketLock acquisitions and backoff pauses
+  // spent contended behind a holder. CCEH/Level have no per-bucket locks
+  // and report zeros (their write-path locking shows up in write_locks).
+  uint64_t bucket_lock_acquisitions = 0;
+  uint64_t bucket_lock_contended_spins = 0;
 };
 
 // Fixed-length (8-byte) key index. All operations are thread-safe.

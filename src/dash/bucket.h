@@ -46,7 +46,12 @@ class BucketLock {
  public:
   static constexpr uint32_t kExclusiveBit = 1u << 31;
 
-  void LockExclusive(ConcurrencyMode mode) {
+  // `stats` (optional, DRAM — the owning table's counters reached through
+  // DashOptions::lock_stats) records successful acquisitions and the
+  // backoff pauses spent waiting behind a holder; the lock word itself
+  // stays a bare 4-byte PM-resident atomic.
+  void LockExclusive(ConcurrencyMode mode,
+                     util::BucketLockStats* stats = nullptr) {
     util::SpinBackoff backoff;
     if (mode == ConcurrencyMode::kOptimistic) {
       for (;;) {
@@ -54,8 +59,10 @@ class BucketLock {
         if ((v & kExclusiveBit) == 0 &&
             word_.compare_exchange_weak(v, v | kExclusiveBit,
                                         std::memory_order_acquire)) {
+          if (stats != nullptr) stats->CountAcquisition();
           return;
         }
+        if (stats != nullptr) stats->CountSpin();
         backoff.Pause();
       }
     } else {
@@ -65,24 +72,30 @@ class BucketLock {
         if (v == 0 && word_.compare_exchange_weak(v, kExclusiveBit,
                                                   std::memory_order_acquire)) {
           pmem::WriteHint(&word_);
+          if (stats != nullptr) stats->CountAcquisition();
           return;
         }
+        if (stats != nullptr) stats->CountSpin();
         backoff.Pause();
       }
     }
   }
 
-  bool TryLockExclusive(ConcurrencyMode mode) {
+  bool TryLockExclusive(ConcurrencyMode mode,
+                        util::BucketLockStats* stats = nullptr) {
+    bool ok;
     if (mode == ConcurrencyMode::kOptimistic) {
       uint32_t v = word_.load(std::memory_order_relaxed);
-      return (v & kExclusiveBit) == 0 &&
-             word_.compare_exchange_strong(v, v | kExclusiveBit,
-                                           std::memory_order_acquire);
+      ok = (v & kExclusiveBit) == 0 &&
+           word_.compare_exchange_strong(v, v | kExclusiveBit,
+                                         std::memory_order_acquire);
+    } else {
+      uint32_t v = 0;
+      ok = word_.compare_exchange_strong(v, kExclusiveBit,
+                                         std::memory_order_acquire);
+      if (ok) pmem::WriteHint(&word_);
     }
-    uint32_t v = 0;
-    const bool ok = word_.compare_exchange_strong(v, kExclusiveBit,
-                                                  std::memory_order_acquire);
-    if (ok) pmem::WriteHint(&word_);
+    if (ok && stats != nullptr) stats->CountAcquisition();
     return ok;
   }
 
@@ -98,7 +111,7 @@ class BucketLock {
   }
 
   // rw mode only.
-  void LockShared() {
+  void LockShared(util::BucketLockStats* stats = nullptr) {
     util::SpinBackoff backoff;
     for (;;) {
       uint32_t v = word_.load(std::memory_order_relaxed);
@@ -107,6 +120,7 @@ class BucketLock {
         pmem::WriteHint(&word_);
         return;
       }
+      if (stats != nullptr) stats->CountSpin();
       backoff.Pause();
     }
   }

@@ -12,6 +12,10 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace dash::util {
+struct BucketLockStats;
+}  // namespace dash::util
+
 namespace dash {
 
 // Concurrency-control flavour (paper §4.4 and Fig. 13).
@@ -64,6 +68,12 @@ struct DashOptions {
   // threshold"). 0 disables merging (the paper's evaluation does not
   // exercise merges; this is the optional space-reclamation feature).
   double merge_threshold = 0.0;
+
+  // --- telemetry (volatile) ---
+  // Bucket-lock telemetry sink (acquisitions / contended spins). The
+  // tables point this at their own DRAM counters at construction; every
+  // BucketLock acquisition call site passes it through. Never persisted.
+  util::BucketLockStats* lock_stats = nullptr;
 };
 
 }  // namespace dash

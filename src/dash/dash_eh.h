@@ -92,6 +92,7 @@ class DashEH {
         epochs_(epochs),
         opts_(options),
         root_(static_cast<DashEhRoot*>(pool->root())) {
+    opts_.lock_stats = &lock_stats_;  // table-local telemetry sink
     if (root_->directory == 0 || root_->initialized == 0) {
       CreateNew();
     } else {
@@ -277,6 +278,10 @@ class DashEH {
                             ? 0.0
                             : static_cast<double>(stats.records) /
                                   static_cast<double>(stats.capacity_slots);
+    stats.bucket_lock_acquisitions =
+        lock_stats_.acquisitions.load(std::memory_order_relaxed);
+    stats.bucket_lock_contended_spins =
+        lock_stats_.contended_spins.load(std::memory_order_relaxed);
     return stats;
   }
 
@@ -1162,6 +1167,7 @@ class DashEH {
   epoch::EpochManager* epochs_;
   DashOptions opts_;
   DashEhRoot* root_;
+  util::BucketLockStats lock_stats_;  // DRAM; opts_.lock_stats points here
   util::RwSpinLock dir_lock_;  // volatile: shared=entry updates, excl=double
   std::mutex recovery_mutexes_[kRecoveryMutexes];
 };

@@ -76,6 +76,7 @@ class DashLH {
         epochs_(epochs),
         opts_(options),
         root_(static_cast<DashLhRoot*>(pool->root())) {
+    opts_.lock_stats = &lock_stats_;  // table-local telemetry sink
     if (root_->initialized == 0) {
       CreateNew();
     } else {
@@ -259,6 +260,10 @@ class DashLH {
                             ? 0.0
                             : static_cast<double>(stats.records) /
                                   static_cast<double>(stats.capacity_slots);
+    stats.bucket_lock_acquisitions =
+        lock_stats_.acquisitions.load(std::memory_order_relaxed);
+    stats.bucket_lock_contended_spins =
+        lock_stats_.contended_spins.load(std::memory_order_relaxed);
     return stats;
   }
 
@@ -964,6 +969,7 @@ class DashLH {
   epoch::EpochManager* epochs_;
   DashOptions opts_;
   DashLhRoot* root_;
+  util::BucketLockStats lock_stats_;  // DRAM; opts_.lock_stats points here
   util::SpinLock dir_lock_;  // volatile; serializes slot/array creation
   std::mutex recovery_mutexes_[kRecoveryMutexes];
   uint64_t starts_[DashLhRoot::kMaxDirEntries];

@@ -34,6 +34,11 @@ struct DashTableStats {
   uint64_t capacity_slots = 0;
   uint64_t directory_entries = 0;
   double load_factor = 0.0;
+  // Bucket-lock telemetry (cumulative since table open): exclusive
+  // acquisitions performed by the write paths and backoff pauses spent
+  // contended behind a holder (see util::BucketLockStats).
+  uint64_t bucket_lock_acquisitions = 0;
+  uint64_t bucket_lock_contended_spins = 0;
 };
 
 // Overflow stash-chain node (Dash-LH, §5.1): an extra stash bucket linked
@@ -418,8 +423,8 @@ class Segment {
     }
 
     // Pessimistic mode: hold shared locks on the pair while probing.
-    b0->lock().LockShared();
-    if (b1 != nullptr) b1->lock().LockShared();
+    b0->lock().LockShared(opts.lock_stats);
+    if (b1 != nullptr) b1->lock().LockShared(opts.lock_stats);
     if (!verify()) {
       if (b1 != nullptr) b1->lock().UnlockShared();
       b0->lock().UnlockShared();
@@ -560,7 +565,7 @@ class Segment {
   // Locks every bucket (normal + stash) — SMOs lock the whole segment.
   void LockAllBuckets(const DashOptions& opts) {
     for (uint32_t i = 0; i < num_buckets_ + num_stash_; ++i) {
-      bucket(i)->lock().LockExclusive(opts.concurrency);
+      bucket(i)->lock().LockExclusive(opts.concurrency, opts.lock_stats);
     }
   }
   void UnlockAllBuckets(const DashOptions& opts) {
@@ -650,16 +655,16 @@ class Segment {
   void LockPair(Bucket* b0, Bucket* b1, uint32_t y0, uint32_t y1,
                 const DashOptions& opts) {
     if (b1 == nullptr || b0 == b1) {
-      b0->lock().LockExclusive(opts.concurrency);
+      b0->lock().LockExclusive(opts.concurrency, opts.lock_stats);
       return;
     }
     // Global ascending-index order prevents deadlock across wrapped pairs.
     if (y0 < y1) {
-      b0->lock().LockExclusive(opts.concurrency);
-      b1->lock().LockExclusive(opts.concurrency);
+      b0->lock().LockExclusive(opts.concurrency, opts.lock_stats);
+      b1->lock().LockExclusive(opts.concurrency, opts.lock_stats);
     } else {
-      b1->lock().LockExclusive(opts.concurrency);
-      b0->lock().LockExclusive(opts.concurrency);
+      b1->lock().LockExclusive(opts.concurrency, opts.lock_stats);
+      b0->lock().LockExclusive(opts.concurrency, opts.lock_stats);
     }
   }
   void UnlockPair(Bucket* b0, Bucket* b1, const DashOptions& opts) {
@@ -740,7 +745,7 @@ class Segment {
     for (uint32_t pos = 0; pos < num_stash_; ++pos) {
       if (((scan_mask >> pos) & 1) == 0) continue;
       Bucket* s = stash_bucket(pos);
-      s->lock().LockShared();
+      s->lock().LockShared(opts.lock_stats);
       const int slot = s->FindKey<KP>(fp, key, opts);
       if (slot >= 0) {
         *out = s->record(slot).value;
@@ -753,7 +758,7 @@ class Segment {
       for (StashChainNode* node = stash_chain(); node != nullptr;
            node = reinterpret_cast<StashChainNode*>(node->next)) {
         Bucket* s = &node->bucket;
-        s->lock().LockShared();
+        s->lock().LockShared(opts.lock_stats);
         const int slot = s->FindKey<KP>(fp, key, opts);
         if (slot >= 0) {
           *out = s->record(slot).value;
@@ -779,7 +784,7 @@ class Segment {
       const int victim = b1->FindVictim(/*member=*/false);
       if (victim >= 0) {
         Bucket* b2 = bucket(y2);
-        if (b2->lock().TryLockExclusive(opts.concurrency)) {
+        if (b2->lock().TryLockExclusive(opts.concurrency, opts.lock_stats)) {
           if (!b2->IsFull()) {
             const Record rec = b1->record(victim);
             const uint8_t vfp = b1->fingerprint(victim);
@@ -800,7 +805,7 @@ class Segment {
       const int victim = b0->FindVictim(/*member=*/true);
       if (victim >= 0) {
         Bucket* bm = bucket(ym);
-        if (bm->lock().TryLockExclusive(opts.concurrency)) {
+        if (bm->lock().TryLockExclusive(opts.concurrency, opts.lock_stats)) {
           if (!bm->IsFull()) {
             const Record rec = b0->record(victim);
             const uint8_t vfp = b0->fingerprint(victim);
@@ -824,7 +829,7 @@ class Segment {
                        pmem::PmAllocator* alloc, bool allow_stash_chain) {
     for (uint32_t i = 0; i < num_stash_; ++i) {
       Bucket* s = stash_bucket(i);
-      s->lock().LockExclusive(opts.concurrency);
+      s->lock().LockExclusive(opts.concurrency, opts.lock_stats);
       const bool inserted = s->Insert(stored, value, fp, /*member=*/false);
       s->lock().UnlockExclusive(opts.concurrency);
       if (inserted) {
@@ -870,7 +875,7 @@ class Segment {
       alloc->Activate(r, stash_chain_word());
       CRASH_POINT("lh_chain_after_publish");
     }
-    node->bucket.lock().LockExclusive(opts.concurrency);
+    node->bucket.lock().LockExclusive(opts.concurrency, opts.lock_stats);
     node->bucket.Insert(stored, value, fp, /*member=*/false);
     node->bucket.lock().UnlockExclusive(opts.concurrency);
     // Chain positions are not encodable in overflow fingerprints; force
@@ -885,7 +890,7 @@ class Segment {
                        Bucket* b0, Bucket* b1, const DashOptions& opts) {
     for (uint32_t i = 0; i < num_stash_; ++i) {
       Bucket* s = stash_bucket(i);
-      s->lock().LockExclusive(opts.concurrency);
+      s->lock().LockExclusive(opts.concurrency, opts.lock_stats);
       const int slot = s->FindKey<KP>(fp, key, opts);
       if (slot >= 0) {
         s->UpdateSlotValue(slot, value);
@@ -897,7 +902,7 @@ class Segment {
     for (StashChainNode* node = stash_chain(); node != nullptr;
          node = reinterpret_cast<StashChainNode*>(node->next)) {
       Bucket* s = &node->bucket;
-      s->lock().LockExclusive(opts.concurrency);
+      s->lock().LockExclusive(opts.concurrency, opts.lock_stats);
       const int slot = s->FindKey<KP>(fp, key, opts);
       if (slot >= 0) {
         s->UpdateSlotValue(slot, value);
@@ -918,7 +923,7 @@ class Segment {
                        pmem::PmAllocator* alloc) {
     for (uint32_t i = 0; i < num_stash_; ++i) {
       Bucket* s = stash_bucket(i);
-      s->lock().LockExclusive(opts.concurrency);
+      s->lock().LockExclusive(opts.concurrency, opts.lock_stats);
       const int slot = s->FindKey<KP>(fp, key, opts);
       if (slot >= 0) {
         KP::FreeStored(s->record(slot).key, alloc);
@@ -938,7 +943,7 @@ class Segment {
     for (StashChainNode* node = stash_chain(); node != nullptr;
          node = reinterpret_cast<StashChainNode*>(node->next)) {
       Bucket* s = &node->bucket;
-      s->lock().LockExclusive(opts.concurrency);
+      s->lock().LockExclusive(opts.concurrency, opts.lock_stats);
       const int slot = s->FindKey<KP>(fp, key, opts);
       if (slot >= 0) {
         KP::FreeStored(s->record(slot).key, alloc);

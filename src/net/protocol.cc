@@ -1,0 +1,249 @@
+#include "net/protocol.h"
+
+namespace dash::net {
+
+namespace {
+
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) lookup table,
+// built once at first use.
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+// Little-endian scalar writers/readers via memcpy (no alignment
+// assumptions on the buffer).
+template <typename T>
+void Put(std::vector<uint8_t>* out, T v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T Get(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+// Serializes `header` (crc field as given) into 24 bytes at `out`.
+void PutHeader(uint8_t* out, const FrameHeader& header) {
+  std::memcpy(out + 0, &header.magic, 4);
+  out[4] = header.version;
+  out[5] = header.type;
+  std::memcpy(out + 6, &header.flags, 2);
+  std::memcpy(out + 8, &header.request_id, 8);
+  std::memcpy(out + 16, &header.payload_len, 4);
+  std::memcpy(out + 20, &header.crc, 4);
+}
+
+// Appends a frame header for `payload_len` bytes and returns the offset
+// where the payload starts; FinishFrame computes and patches the CRC
+// once the payload is in place.
+size_t BeginFrame(std::vector<uint8_t>* out, MsgType type, uint16_t flags,
+                  uint64_t request_id, size_t payload_len) {
+  FrameHeader header;
+  header.type = static_cast<uint8_t>(type);
+  header.flags = flags;
+  header.request_id = request_id;
+  header.payload_len = static_cast<uint32_t>(payload_len);
+  header.crc = 0;
+  const size_t at = out->size();
+  out->resize(at + kHeaderSize);
+  PutHeader(out->data() + at, header);
+  return at;
+}
+
+void FinishFrame(std::vector<uint8_t>* out, size_t header_at) {
+  // CRC over the header with a zeroed crc field, then the payload.
+  const uint32_t crc =
+      Crc32c(out->data() + header_at, out->size() - header_at);
+  std::memcpy(out->data() + header_at + 20, &crc, 4);
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const Crc32cTable& table = Table();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ p[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+void AppendHello(std::vector<uint8_t>* out, uint64_t tenant_id,
+                 uint32_t weight) {
+  const size_t at = BeginFrame(out, MsgType::kHello, 0, 0, kHelloPayload);
+  Put<uint64_t>(out, tenant_id);
+  Put<uint32_t>(out, weight);
+  Put<uint32_t>(out, 0);  // reserved
+  FinishFrame(out, at);
+}
+
+void AppendHelloAck(std::vector<uint8_t>* out, uint32_t shard_count,
+                    uint32_t max_ops) {
+  const size_t at =
+      BeginFrame(out, MsgType::kHelloAck, 0, 0, kHelloAckPayload);
+  Put<uint32_t>(out, shard_count);
+  Put<uint32_t>(out, max_ops);
+  FinishFrame(out, at);
+}
+
+void AppendRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                   const api::Op* ops, size_t count, uint64_t deadline_us) {
+  const size_t payload = 16 + kRequestOpBytes * count;
+  const size_t at =
+      BeginFrame(out, MsgType::kRequest, 0, request_id, payload);
+  Put<uint64_t>(out, deadline_us);
+  Put<uint32_t>(out, static_cast<uint32_t>(count));
+  Put<uint32_t>(out, 0);  // reserved
+  for (size_t i = 0; i < count; ++i) {
+    Put<uint8_t>(out, static_cast<uint8_t>(ops[i].type));
+    Put<uint64_t>(out, ops[i].key);
+    Put<uint64_t>(out, ops[i].value);
+  }
+  FinishFrame(out, at);
+}
+
+void AppendResponse(std::vector<uint8_t>* out, uint64_t request_id,
+                    const api::Status* statuses, const uint64_t* values,
+                    size_t count, uint32_t retry_after_us) {
+  const size_t payload = 8 + kResponseOpBytes * count;
+  const uint16_t flags = retry_after_us != 0 ? kFlagRetryAfter : 0;
+  const size_t at =
+      BeginFrame(out, MsgType::kResponse, flags, request_id, payload);
+  Put<uint32_t>(out, retry_after_us);
+  Put<uint32_t>(out, static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    Put<uint8_t>(out, static_cast<uint8_t>(statuses[i]));
+    Put<uint64_t>(out, values != nullptr ? values[i] : 0);
+  }
+  FinishFrame(out, at);
+}
+
+DecodeResult DecodeFrame(const uint8_t* data, size_t len, Frame* out,
+                         size_t* consumed) {
+  if (len < kHeaderSize) return DecodeResult::kNeedMore;
+  FrameHeader header;
+  header.magic = Get<uint32_t>(data + 0);
+  header.version = data[4];
+  header.type = data[5];
+  header.flags = Get<uint16_t>(data + 6);
+  header.request_id = Get<uint64_t>(data + 8);
+  header.payload_len = Get<uint32_t>(data + 16);
+  header.crc = Get<uint32_t>(data + 20);
+
+  // Header sanity first: a bad magic/version/type/length means the
+  // stream is corrupt or hostile — no point waiting for more bytes.
+  if (header.magic != kMagic) return DecodeResult::kBad;
+  if (header.version != kProtocolVersion) return DecodeResult::kBad;
+  if (header.type < static_cast<uint8_t>(MsgType::kHello) ||
+      header.type > static_cast<uint8_t>(MsgType::kResponse)) {
+    return DecodeResult::kBad;
+  }
+  if (header.payload_len > kMaxPayload) return DecodeResult::kBad;
+
+  const size_t total = kHeaderSize + header.payload_len;
+  if (len < total) return DecodeResult::kNeedMore;
+
+  // CRC over (header with crc zeroed) + payload.
+  uint8_t zeroed[kHeaderSize];
+  std::memcpy(zeroed, data, kHeaderSize);
+  std::memset(zeroed + 20, 0, 4);
+  uint32_t crc = Crc32c(zeroed, kHeaderSize);
+  crc = Crc32c(data + kHeaderSize, header.payload_len, crc);
+  if (crc != header.crc) return DecodeResult::kBad;
+
+  out->header = header;
+  out->payload = data + kHeaderSize;
+  *consumed = total;
+  return DecodeResult::kFrame;
+}
+
+bool ParseHello(const Frame& frame, HelloView* out) {
+  if (frame.header.type != static_cast<uint8_t>(MsgType::kHello)) {
+    return false;
+  }
+  if (frame.header.payload_len != kHelloPayload) return false;
+  out->tenant_id = Get<uint64_t>(frame.payload + 0);
+  out->weight = Get<uint32_t>(frame.payload + 8);
+  if (out->weight == 0) out->weight = 1;
+  return true;
+}
+
+bool ParseHelloAck(const Frame& frame, HelloAckView* out) {
+  if (frame.header.type != static_cast<uint8_t>(MsgType::kHelloAck)) {
+    return false;
+  }
+  if (frame.header.payload_len != kHelloAckPayload) return false;
+  out->shard_count = Get<uint32_t>(frame.payload + 0);
+  out->max_ops = Get<uint32_t>(frame.payload + 4);
+  return true;
+}
+
+bool ParseRequest(const Frame& frame, RequestView* out) {
+  if (frame.header.type != static_cast<uint8_t>(MsgType::kRequest)) {
+    return false;
+  }
+  if (frame.header.payload_len < 16) return false;
+  out->deadline_us = Get<uint64_t>(frame.payload + 0);
+  out->count = Get<uint32_t>(frame.payload + 8);
+  if (out->count > kMaxOpsPerRequest) return false;
+  if (frame.header.payload_len != 16 + kRequestOpBytes * out->count) {
+    return false;
+  }
+  out->ops = frame.payload + 16;
+  return true;
+}
+
+bool DecodeRequestOp(const RequestView& request, size_t i, api::Op* out) {
+  const uint8_t* p = request.ops + i * kRequestOpBytes;
+  const uint8_t type = p[0];
+  if (type > static_cast<uint8_t>(api::OpType::kDelete)) return false;
+  out->type = static_cast<api::OpType>(type);
+  out->key = Get<uint64_t>(p + 1);
+  out->value = Get<uint64_t>(p + 9);
+  return true;
+}
+
+bool ParseResponse(const Frame& frame, ResponseView* out) {
+  if (frame.header.type != static_cast<uint8_t>(MsgType::kResponse)) {
+    return false;
+  }
+  if (frame.header.payload_len < 8) return false;
+  out->retry_after_us = Get<uint32_t>(frame.payload + 0);
+  out->count = Get<uint32_t>(frame.payload + 4);
+  if (out->count > kMaxOpsPerRequest) return false;
+  if (frame.header.payload_len != 8 + kResponseOpBytes * out->count) {
+    return false;
+  }
+  out->entries = frame.payload + 8;
+  return true;
+}
+
+bool DecodeResponseEntry(const ResponseView& response, size_t i,
+                         api::Status* status, uint64_t* value) {
+  const uint8_t* p = response.entries + i * kResponseOpBytes;
+  if (p[0] > static_cast<uint8_t>(api::Status::kTimeout)) return false;
+  *status = static_cast<api::Status>(p[0]);
+  *value = Get<uint64_t>(p + 1);
+  return true;
+}
+
+}  // namespace dash::net

@@ -217,6 +217,28 @@ struct OptimisticLockStats {
   }
 };
 
+// Write-path telemetry for Dash's per-bucket locks (BucketLock in
+// dash/bucket.h). The lock words themselves are PM-resident and must stay
+// 4 bytes, so the counters live in the owning table (DRAM) and reach the
+// lock methods through DashOptions::lock_stats. `acquisitions` counts
+// successful exclusive acquisitions (one per locked bucket, so a
+// displacing insert that locks two buckets counts twice); a plain counter
+// of how much bucket-level locking the write path performs.
+// `contended_spins` counts backoff pauses spent waiting for a holder —
+// zero under no contention, and the growth rate under load is the
+// observable form of bucket-lock contention. Increments are relaxed.
+struct BucketLockStats {
+  std::atomic<uint64_t> acquisitions{0};
+  std::atomic<uint64_t> contended_spins{0};
+
+  void CountAcquisition() {
+    acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountSpin() {
+    contended_spins.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
 // Reader-writer lock with an additional *optimistic* read side: a seqlock
 // version word layered on the RwSpinLock. Three access modes:
 //

@@ -593,5 +593,81 @@ TEST(ExecutorTest, WaitForTrivialFutures) {
   store->CloseClean();
 }
 
+// Spin until the completion callback has run (it fires on the last
+// shard's worker, possibly after Wait() already returned).
+void AwaitFlag(const std::atomic<int>& flag, int want) {
+  while (flag.load(std::memory_order_acquire) != want) {
+    std::this_thread::yield();
+  }
+}
+
+// OnReady fires exactly once per future: after completion for callbacks
+// registered in-flight, immediately for futures that are already ready
+// or trivially ready (invalid/empty).
+TEST(ExecutorTest, OnReadyFiresExactlyOnce) {
+  TempShardPaths paths("exec_onready", 2);
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+  ASSERT_NE(store, nullptr);
+
+  constexpr size_t kN = 64;
+  uint64_t keys[kN], values[kN];
+  Status statuses[kN];
+  for (size_t i = 0; i < kN; ++i) {
+    keys[i] = i + 1;
+    values[i] = i;
+  }
+  std::atomic<int> fired{0};
+  BatchFuture f = store->SubmitInsert(keys, values, kN, statuses);
+  f.OnReady([&fired] { fired.fetch_add(1, std::memory_order_acq_rel); });
+  f.Wait();
+  AwaitFlag(fired, 1);
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(statuses[i], Status::kOk);
+
+  // Registering after completion fires synchronously on this thread.
+  std::atomic<int> late{0};
+  f.OnReady([&late] { late.fetch_add(1, std::memory_order_acq_rel); });
+  EXPECT_EQ(late.load(), 1);
+
+  // Trivially-ready futures fire immediately too.
+  std::atomic<int> trivial{0};
+  BatchFuture invalid;
+  invalid.OnReady(
+      [&trivial] { trivial.fetch_add(1, std::memory_order_acq_rel); });
+  BatchFuture empty = store->SubmitExecute(nullptr, 0, nullptr);
+  empty.OnReady(
+      [&trivial] { trivial.fetch_add(1, std::memory_order_acq_rel); });
+  EXPECT_EQ(trivial.load(), 2);
+  store->CloseClean();
+}
+
+// Race the registration against the completing worker: whichever side
+// wins the arbitration under the completion lock, the callback fires
+// exactly once and Wait() still returns. Many iterations so both
+// interleavings (stored-then-fired-by-completer and
+// observed-ready-fired-by-registrar) actually occur.
+TEST(ExecutorTest, OnReadyVsWaitRace) {
+  TempShardPaths paths("exec_onready_race", 2);
+  auto store = ShardedStore::Open(SmallStoreOptions(paths.prefix(), 2));
+  ASSERT_NE(store, nullptr);
+  constexpr int kIters = 300;
+  constexpr size_t kN = 8;
+  uint64_t keys[kN], values[kN];
+  Status statuses[kN];
+  for (int iter = 0; iter < kIters; ++iter) {
+    for (size_t i = 0; i < kN; ++i) {
+      keys[i] = static_cast<uint64_t>(iter) * kN + i + 1;
+      values[i] = i;
+    }
+    std::atomic<int> fired{0};
+    BatchFuture f = store->SubmitInsert(keys, values, kN, statuses);
+    std::thread waiter([&f] { f.Wait(); });
+    f.OnReady([&fired] { fired.fetch_add(1, std::memory_order_acq_rel); });
+    waiter.join();
+    AwaitFlag(fired, 1);
+    ASSERT_EQ(fired.load(), 1) << "iter " << iter;
+  }
+  store->CloseClean();
+}
+
 }  // namespace
 }  // namespace dash::api
