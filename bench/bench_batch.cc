@@ -341,7 +341,8 @@ int RunWorkloadMode(const std::string& workload,
   const std::string opname = "ycsb-" + workload;
   for (api::IndexKind kind :
        {api::IndexKind::kDashEH, api::IndexKind::kDashLH,
-        api::IndexKind::kCCEH, api::IndexKind::kLevel}) {
+        api::IndexKind::kCCEH, api::IndexKind::kLevel,
+        api::IndexKind::kHybrid}) {
     const std::string name = api::IndexKindName(kind);
     if (!only_table.empty() && only_table != name) continue;
     DashOptions options;
@@ -623,6 +624,7 @@ int main(int argc, char** argv) {
   std::string pipeline_arg = "both";
   std::string workload_arg;
   double check_speedup = 0.0;
+  std::string check_vs_arg;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--preload=", 10) == 0) {
       preload = std::strtoull(argv[i] + 10, nullptr, 10);
@@ -642,12 +644,17 @@ int main(int argc, char** argv) {
       json_out = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--table=", 8) == 0) {
       only_table = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--kind=", 7) == 0) {
+      // Alias for --table=, matching bench_serving's spelling.
+      only_table = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--pipeline=", 11) == 0) {
       pipeline_arg = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--workload=", 11) == 0) {
       workload_arg = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--check-speedup=", 16) == 0) {
       check_speedup = std::strtod(argv[i] + 16, nullptr);
+    } else if (std::strncmp(argv[i], "--check-vs=", 11) == 0) {
+      check_vs_arg = argv[i] + 11;
     }
   }
   std::vector<BatchPipeline> pipelines;
@@ -664,10 +671,38 @@ int main(int argc, char** argv) {
   }
   // The gated pipeline: the explicitly selected one, amac under "both".
   const BatchPipeline gated = pipelines.back();
+  // --check-vs=BASE:RATIO — a cross-table gate: every other table's
+  // gated-pipeline batch search throughput must be >= RATIO x the BASE
+  // table's. BASE always runs, even under --table=/--kind=.
+  std::string check_vs_base;
+  double check_vs_ratio = 0.0;
+  if (!check_vs_arg.empty()) {
+    const size_t colon = check_vs_arg.find(':');
+    api::IndexKind base_kind;
+    if (colon == std::string::npos ||
+        !api::ParseIndexKind(check_vs_arg.substr(0, colon), &base_kind)) {
+      std::fprintf(stderr, "bad --check-vs=%s (want BASE:RATIO)\n",
+                   check_vs_arg.c_str());
+      return 1;
+    }
+    check_vs_base = check_vs_arg.substr(0, colon);
+    check_vs_ratio = std::strtod(check_vs_arg.c_str() + colon + 1, nullptr);
+    if (check_vs_ratio <= 0.0) {
+      std::fprintf(stderr, "bad --check-vs ratio in %s\n",
+                   check_vs_arg.c_str());
+      return 1;
+    }
+  }
   if (check_speedup > 0 && shards > 0) {
     std::fprintf(stderr,
                  "--check-speedup only applies to the per-table A/B mode; "
                  "drop --shards/--threads\n");
+    return 1;
+  }
+  if (!check_vs_arg.empty() && (shards > 0 || !workload_arg.empty())) {
+    std::fprintf(stderr,
+                 "--check-vs only applies to the per-table A/B mode; "
+                 "drop --shards/--threads/--workload\n");
     return 1;
   }
   const uint64_t insert_ops = std::min<uint64_t>(ops / 2, preload);
@@ -750,11 +785,17 @@ int main(int argc, char** argv) {
     return 0;
   }
   std::vector<std::string> gate_failures;
+  // Gated-pipeline batch-search Mops per table, for --check-vs.
+  std::vector<std::pair<std::string, double>> gated_search_mops;
   for (api::IndexKind kind :
        {api::IndexKind::kDashEH, api::IndexKind::kDashLH,
-        api::IndexKind::kCCEH, api::IndexKind::kLevel}) {
+        api::IndexKind::kCCEH, api::IndexKind::kLevel,
+        api::IndexKind::kHybrid}) {
     const std::string name = api::IndexKindName(kind);
-    if (!only_table.empty() && only_table != name) continue;
+    if (!only_table.empty() && only_table != name &&
+        name != check_vs_base) {
+      continue;
+    }
     DashOptions options;
 
     // Searches do not mutate the table, so the single-op baseline and
@@ -821,6 +862,9 @@ int main(int argc, char** argv) {
     }
 
     for (size_t m = 0; m < pipelines.size(); ++m) {
+      if (pipelines[m] == gated) {
+        gated_search_mops.emplace_back(name, batch_search[m].mops);
+      }
       const double search_speedup =
           batch_search[m].mops / single_search.mops;
       std::printf(
@@ -856,6 +900,39 @@ int main(int argc, char** argv) {
                r);
       PrintJson("dash-eh", "search-sweep", "batch", b, r, 0,
                 PipelineName(gated));
+    }
+  }
+
+  // Cross-table gate: every non-base table that ran must hit RATIO x the
+  // base table's gated batch-search throughput.
+  if (check_vs_ratio > 0) {
+    double base_mops = 0.0;
+    for (const auto& [tname, mops] : gated_search_mops) {
+      if (tname == check_vs_base) base_mops = mops;
+    }
+    if (base_mops <= 0.0) {
+      std::fprintf(stderr, "--check-vs base table %s did not run\n",
+                   check_vs_base.c_str());
+      return 1;
+    }
+    for (const auto& [tname, mops] : gated_search_mops) {
+      if (tname == check_vs_base) continue;
+      const double ratio = mops / base_mops;
+      std::printf(
+          "{\"bench\":\"bench_batch\",\"table\":\"%s\",\"pipeline\":\"%s\","
+          "\"batch\":%zu,\"search_mops_vs_%s\":%.3f}\n",
+          tname.c_str(), PipelineName(gated), batch, check_vs_base.c_str(),
+          ratio);
+      std::fflush(stdout);
+      if (ratio < check_vs_ratio) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s batch search %.3f Mops is %.3fx %s (%.3f Mops), "
+                      "need %.3fx",
+                      tname.c_str(), mops, ratio, check_vs_base.c_str(),
+                      base_mops, check_vs_ratio);
+        gate_failures.push_back(buf);
+      }
     }
   }
 

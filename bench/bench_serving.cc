@@ -19,7 +19,8 @@
 // that plus the JSON line.
 //
 // Flags: --clients=N --shards=N --workload=X --batch=B --window=W
-//        --duration=Ns --preload=N --transport={uds,tcp}
+//        --duration=Ns --preload=N --transport={uds,tcp} --kind=TABLE
+//        (in-process store's index kind, e.g. dash-eh or hybrid)
 //        --tenant-weights=a,b,... (round-robin across clients)
 //        --connect=<uds path | host:port> drives an external server
 //        (e.g. the kv_server example) instead of the in-process one;
@@ -57,6 +58,8 @@ struct ServingConfig {
   double duration_s = 5.0;
   uint64_t preload = 200'000;
   std::string transport = "uds";
+  // Index kind for the in-process store (ignored with --connect).
+  std::string kind = "dash-eh";
   // Nonempty: drive an external server instead of an in-process one.
   // "host:port" means TCP, anything else is a UDS path.
   std::string connect;
@@ -94,6 +97,8 @@ bool ParseServingFlags(int argc, char** argv, ServingConfig* config) {
       config->preload = static_cast<uint64_t>(std::atoll(v));
     } else if (const char* v = value("--transport=")) {
       config->transport = v;
+    } else if (const char* v = value("--kind=")) {
+      config->kind = v;
     } else if (const char* v = value("--connect=")) {
       config->connect = v;
     } else if (const char* v = value("--tenant-weights=")) {
@@ -301,8 +306,13 @@ int Run(int argc, char** argv) {
     async.workers = true;
     async.inline_single_shard = false;
     async.submit_retries = 8;
-    handle = MakeShardedStore(api::IndexKind::kDashEH, config.shards,
-                              bench_config, DashOptions{}, async);
+    api::IndexKind kind = api::IndexKind::kDashEH;
+    if (!api::ParseIndexKind(config.kind, &kind)) {
+      std::fprintf(stderr, "unknown --kind=%s\n", config.kind.c_str());
+      return 2;
+    }
+    handle = MakeShardedStore(kind, config.shards, bench_config,
+                              DashOptions{}, async);
     if (handle.store == nullptr) {
       std::fprintf(stderr, "store open failed\n");
       return 2;
@@ -408,7 +418,7 @@ int Run(int argc, char** argv) {
       config.connect.empty() ? config.transport
                              : (endpoint.tcp ? "tcp" : "uds");
   std::printf(
-      "{\"bench\":\"bench_serving\",\"workload\":\"%s\","
+      "{\"bench\":\"bench_serving\",\"workload\":\"%s\",\"kind\":\"%s\","
       "\"transport\":\"%s\",\"clients\":%d,\"shards\":%zu,\"batch\":%zu,"
       "\"window\":%d,\"duration_s\":%.2f,\"requests\":%llu,"
       "\"ops\":%llu,\"mops\":%.4f,\"p50_us\":%llu,\"p99_us\":%llu,"
@@ -416,7 +426,9 @@ int Run(int argc, char** argv) {
       "\"protocol_errors\":%llu,\"server\":{\"requests\":%llu,"
       "\"responses\":%llu,\"bad_frames\":%llu,\"pipeline_rejects\":%llu}"
       "}\n",
-      config.workload.c_str(), transport.c_str(), config.clients,
+      config.workload.c_str(),
+      config.connect.empty() ? config.kind.c_str() : "external",
+      transport.c_str(), config.clients,
       config.shards, config.batch, config.window, elapsed,
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(total_ops), mops,

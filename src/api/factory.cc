@@ -6,6 +6,7 @@
 #include "cceh/cceh.h"
 #include "dash/dash_eh.h"
 #include "dash/dash_lh.h"
+#include "hybrid/hybrid_table.h"
 #include "level/level_hashing.h"
 #include "pmem/allocator.h"
 
@@ -35,6 +36,18 @@ level::LevelOptions ToLevelOptions(const DashOptions& o) {
   l.initial_top_buckets = buckets;
   l.batch_pipeline = o.batch_pipeline;
   return l;
+}
+
+hybrid::HybridOptions ToHybridOptions(const DashOptions& o) {
+  hybrid::HybridOptions h;
+  // Match capacity with Dash-EH at the same option set: Dash's 64-bucket
+  // segment holds 64 x 14 + stash slots; the hybrid 8-slot DRAM buckets
+  // get the same bucket count plus a flat stash array.
+  h.buckets_per_segment = o.buckets_per_segment;
+  h.stash_slots = o.stash_buckets * 8;
+  h.initial_depth = o.initial_depth;
+  h.batch_pipeline = o.batch_pipeline;
+  return h;
 }
 
 // Batch processing window of the adapter layer: bounds the stack arrays
@@ -385,6 +398,10 @@ std::unique_ptr<Base> Make(IndexKind kind, pmem::PmPool* pool,
       return std::make_unique<
           IndexAdapter<level::LevelHashing<KP>, Key, IndexKind::kLevel,
                        Base>>(pool, epochs, ToLevelOptions(options));
+    case IndexKind::kHybrid:
+      return std::make_unique<
+          IndexAdapter<hybrid::HybridTable<KP>, Key, IndexKind::kHybrid,
+                       Base>>(pool, epochs, ToHybridOptions(options));
   }
   return nullptr;
 }
@@ -397,6 +414,7 @@ const char* IndexKindName(IndexKind kind) {
     case IndexKind::kDashLH: return "dash-lh";
     case IndexKind::kCCEH: return "cceh";
     case IndexKind::kLevel: return "level";
+    case IndexKind::kHybrid: return "hybrid";
   }
   return "unknown";
 }
@@ -410,6 +428,8 @@ bool ParseIndexKind(std::string_view name, IndexKind* kind) {
     *kind = IndexKind::kCCEH;
   } else if (name == "level") {
     *kind = IndexKind::kLevel;
+  } else if (name == "hybrid") {
+    *kind = IndexKind::kHybrid;
   } else {
     return false;
   }

@@ -32,6 +32,9 @@ enum class IndexKind {
   kDashLH,
   kCCEH,
   kLevel,
+  // Hybrid DRAM-PM tier (src/hybrid/): hash structure in DRAM, values in
+  // a per-thread PM log; recovery rebuilds the DRAM index from the log.
+  kHybrid,
 };
 
 // Returns a short stable name ("dash-eh", "cceh", ...).

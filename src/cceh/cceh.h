@@ -674,12 +674,9 @@ class CCEH {
                             ? 0.0
                             : static_cast<double>(stats.records) /
                                   static_cast<double>(stats.capacity_slots);
-    stats.opt_retries =
-        lock_stats_.opt_retries.load(std::memory_order_relaxed);
-    stats.version_conflicts =
-        lock_stats_.version_conflicts.load(std::memory_order_relaxed);
-    stats.write_locks =
-        lock_stats_.write_locks.load(std::memory_order_relaxed);
+    stats.opt_retries = lock_stats_.TotalRetries();
+    stats.version_conflicts = lock_stats_.TotalConflicts();
+    stats.write_locks = lock_stats_.TotalWriteLocks();
     return stats;
   }
 
@@ -1000,9 +997,9 @@ class CCEH {
   CcehOptions opts_;
   CcehRoot* root_;
   util::RwSpinLock dir_lock_;
-  // Read-path concurrency telemetry (own cacheline: the counters are
-  // written by every thread and must not share a line with hot state).
-  alignas(64) mutable util::OptimisticLockStats lock_stats_;
+  // Read-path concurrency telemetry, sharded per thread so concurrent
+  // writers do not bounce a shared counter cacheline; Stats() sums.
+  alignas(64) mutable util::ShardedOptimisticLockStats lock_stats_;
 };
 
 }  // namespace dash::cceh

@@ -51,7 +51,7 @@ class BucketLock {
   // backoff pauses spent waiting behind a holder; the lock word itself
   // stays a bare 4-byte PM-resident atomic.
   void LockExclusive(ConcurrencyMode mode,
-                     util::BucketLockStats* stats = nullptr) {
+                     util::ShardedBucketLockStats* stats = nullptr) {
     util::SpinBackoff backoff;
     if (mode == ConcurrencyMode::kOptimistic) {
       for (;;) {
@@ -82,7 +82,7 @@ class BucketLock {
   }
 
   bool TryLockExclusive(ConcurrencyMode mode,
-                        util::BucketLockStats* stats = nullptr) {
+                        util::ShardedBucketLockStats* stats = nullptr) {
     bool ok;
     if (mode == ConcurrencyMode::kOptimistic) {
       uint32_t v = word_.load(std::memory_order_relaxed);
@@ -111,7 +111,7 @@ class BucketLock {
   }
 
   // rw mode only.
-  void LockShared(util::BucketLockStats* stats = nullptr) {
+  void LockShared(util::ShardedBucketLockStats* stats = nullptr) {
     util::SpinBackoff backoff;
     for (;;) {
       uint32_t v = word_.load(std::memory_order_relaxed);

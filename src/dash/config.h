@@ -13,7 +13,7 @@
 #include <cstdint>
 
 namespace dash::util {
-struct BucketLockStats;
+struct ShardedBucketLockStats;
 }  // namespace dash::util
 
 namespace dash {
@@ -73,7 +73,7 @@ struct DashOptions {
   // Bucket-lock telemetry sink (acquisitions / contended spins). The
   // tables point this at their own DRAM counters at construction; every
   // BucketLock acquisition call site passes it through. Never persisted.
-  util::BucketLockStats* lock_stats = nullptr;
+  util::ShardedBucketLockStats* lock_stats = nullptr;
 };
 
 }  // namespace dash

@@ -278,10 +278,8 @@ class DashEH {
                             ? 0.0
                             : static_cast<double>(stats.records) /
                                   static_cast<double>(stats.capacity_slots);
-    stats.bucket_lock_acquisitions =
-        lock_stats_.acquisitions.load(std::memory_order_relaxed);
-    stats.bucket_lock_contended_spins =
-        lock_stats_.contended_spins.load(std::memory_order_relaxed);
+    stats.bucket_lock_acquisitions = lock_stats_.TotalAcquisitions();
+    stats.bucket_lock_contended_spins = lock_stats_.TotalSpins();
     return stats;
   }
 
@@ -1167,7 +1165,7 @@ class DashEH {
   epoch::EpochManager* epochs_;
   DashOptions opts_;
   DashEhRoot* root_;
-  util::BucketLockStats lock_stats_;  // DRAM; opts_.lock_stats points here
+  util::ShardedBucketLockStats lock_stats_;  // DRAM, per-thread sharded
   util::RwSpinLock dir_lock_;  // volatile: shared=entry updates, excl=double
   std::mutex recovery_mutexes_[kRecoveryMutexes];
 };

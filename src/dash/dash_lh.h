@@ -260,10 +260,8 @@ class DashLH {
                             ? 0.0
                             : static_cast<double>(stats.records) /
                                   static_cast<double>(stats.capacity_slots);
-    stats.bucket_lock_acquisitions =
-        lock_stats_.acquisitions.load(std::memory_order_relaxed);
-    stats.bucket_lock_contended_spins =
-        lock_stats_.contended_spins.load(std::memory_order_relaxed);
+    stats.bucket_lock_acquisitions = lock_stats_.TotalAcquisitions();
+    stats.bucket_lock_contended_spins = lock_stats_.TotalSpins();
     return stats;
   }
 
@@ -969,7 +967,7 @@ class DashLH {
   epoch::EpochManager* epochs_;
   DashOptions opts_;
   DashLhRoot* root_;
-  util::BucketLockStats lock_stats_;  // DRAM; opts_.lock_stats points here
+  util::ShardedBucketLockStats lock_stats_;  // DRAM, per-thread sharded
   util::SpinLock dir_lock_;  // volatile; serializes slot/array creation
   std::mutex recovery_mutexes_[kRecoveryMutexes];
   uint64_t starts_[DashLhRoot::kMaxDirEntries];

@@ -36,7 +36,7 @@ struct DashTableStats {
   double load_factor = 0.0;
   // Bucket-lock telemetry (cumulative since table open): exclusive
   // acquisitions performed by the write paths and backoff pauses spent
-  // contended behind a holder (see util::BucketLockStats).
+  // contended behind a holder (see util::ShardedBucketLockStats).
   uint64_t bucket_lock_acquisitions = 0;
   uint64_t bucket_lock_contended_spins = 0;
 };

@@ -1,0 +1,10 @@
+// Explicit instantiations for the two key policies, mirroring cceh.cc.
+
+#include "hybrid/hybrid_table.h"
+
+namespace dash::hybrid {
+
+template class HybridTable<IntKeyPolicy>;
+template class HybridTable<VarKeyPolicy>;
+
+}  // namespace dash::hybrid

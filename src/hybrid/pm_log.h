@@ -1,0 +1,351 @@
+// Per-thread append-only PM value log for the hybrid DRAM-PM tier.
+//
+// The hybrid index (hybrid_table.h) keeps its entire hash structure —
+// directory, segments, fingerprint buckets, stash — in ordinary DRAM and
+// stores only the KV payload on PM, following the Halo/HESH hybrid idiom:
+// every DRAM slot holds an 8-byte PmOffset handle into this log instead of
+// the value itself. The log is therefore the *only* persistent state of
+// the index; recovery rebuilds the DRAM structure by scanning it.
+//
+// Layout. The log is a set of `lanes` (appenders pick a lane by dense
+// thread id, so concurrent writers rarely share a lane lock). Each lane is
+// a persistent chain of fixed-size chunks hanging off the table root
+// (lane_heads[]); a chunk is a 64-byte header plus an array of 32-byte
+// records:
+//
+//   LogRecord { key, value, meta, pad }     meta = (seq << 1) | tombstone
+//
+// `meta` is the atomic commit word: 0 means the slot is free (or an append
+// tore before publication), any non-zero value carries a global sequence
+// number that totally orders committed records for the same key across
+// lanes. An append writes key+value, persists them, then publishes meta
+// with a single 8-byte atomic persist — the same publication discipline as
+// CcehSlot. Updates and deletes append a new record (a tombstone for
+// deletes) with a higher seq; rebuild keeps the highest-seq record per key
+// and a winning tombstone makes the key absent.
+//
+// Reclamation. Superseded records are zeroed (meta -> 0, crash-atomic) and
+// their slots pushed onto a volatile per-lane free list for reuse — but
+// only after an epoch grace period, because an optimistic reader may still
+// dereference the old handle (the table retires {old, tombstone} pairs via
+// the shared EpochManager). Zeroing order matters for delete pairs: the
+// superseded record is zeroed strictly before its tombstone, so a crash
+// between the two never resurrects the key.
+//
+// Preallocation. Appends draw slots from the lane free list; the list is
+// refilled by linking a fresh chunk when it crosses a low-water mark, so
+// the allocator runs once per `records_per_chunk` appends and the common
+// append never touches it (the Halo "preallocated allocator" discipline,
+// amortized rather than threaded). Chunks are reserved zeroed and
+// activated directly into the lane chain (allocator reserve/activate
+// protocol), so they are crash-reachable from the moment they hold data
+// and never leak. Chunks are never returned to the allocator: slots
+// recycle forever, which also makes a stale handle always safe to
+// dereference (the verify step discards its value).
+
+#ifndef DASH_PM_HYBRID_PM_LOG_H_
+#define DASH_PM_HYBRID_PM_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "pmem/allocator.h"
+#include "pmem/crash_point.h"
+#include "pmem/persist.h"
+#include "pmem/pool.h"
+#include "util/lock.h"
+#include "util/thread_id.h"
+
+namespace dash::hybrid {
+
+// Upper bound on log lanes (root-area array size). The actual lane count
+// is a creation-time option (power of two <= kMaxLanes).
+inline constexpr uint32_t kMaxLanes = 32;
+
+// PmOffset handle format: [lane:6 | pool byte offset:58]. Lane bits let
+// the reclaim path route a freed slot back to its owning lane without a
+// reverse map; 58 offset bits cover any pool this emulation can map.
+inline constexpr uint32_t kLaneShift = 58;
+inline constexpr uint64_t kOffsetMask = (1ull << kLaneShift) - 1;
+
+inline uint64_t EncodeHandle(uint32_t lane, uint64_t pool_off) {
+  return (static_cast<uint64_t>(lane) << kLaneShift) | pool_off;
+}
+inline uint32_t HandleLane(uint64_t handle) {
+  return static_cast<uint32_t>(handle >> kLaneShift);
+}
+inline uint64_t HandleOffset(uint64_t handle) { return handle & kOffsetMask; }
+
+// One PM-resident value record. Fields that race optimistic readers are
+// accessed through 8-byte atomics (the snapshot/revalidate protocol
+// discards stale *logical* states; atomics keep the loads untorn and
+// TSan-clean).
+struct LogRecord {
+  uint64_t key;    // stored key word (inline key or VarKey*); record-owned
+  uint64_t value;
+  uint64_t meta;   // (seq << 1) | tombstone; 0 = free / unpublished
+  uint64_t pad;
+
+  uint64_t LoadKeyAcquire() const {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(&key)->load(
+        std::memory_order_acquire);
+  }
+  uint64_t LoadValueAcquire() const {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(&value)->load(
+        std::memory_order_acquire);
+  }
+  uint64_t LoadMetaAcquire() const {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(&meta)->load(
+        std::memory_order_acquire);
+  }
+  void StoreKeyRelaxed(uint64_t k) {
+    reinterpret_cast<std::atomic<uint64_t>*>(&key)->store(
+        k, std::memory_order_relaxed);
+  }
+  void StoreValueRelaxed(uint64_t v) {
+    reinterpret_cast<std::atomic<uint64_t>*>(&value)->store(
+        v, std::memory_order_relaxed);
+  }
+  uint64_t* meta_word() { return &meta; }
+
+  static bool IsTombstone(uint64_t meta_word) { return (meta_word & 1) != 0; }
+  static uint64_t Seq(uint64_t meta_word) { return meta_word >> 1; }
+};
+static_assert(sizeof(LogRecord) == 32);
+
+// Chunk header (one cacheline), followed by `num_records` LogRecords.
+struct LogChunk {
+  // Pointer to the next chunk in the lane (0 = tail), as published by
+  // PmAllocator::Activate. Raw pointers are stable across reopens: the
+  // pool remaps at the base address recorded in its header, the same
+  // idiom as the Dash tables' persisted segment pointers.
+  uint64_t next;
+  uint32_t num_records;
+  uint32_t pad32;
+  uint8_t pad[48];
+
+  LogRecord* record(uint32_t i) {
+    return reinterpret_cast<LogRecord*>(this + 1) + i;
+  }
+  const LogRecord* record(uint32_t i) const {
+    return reinterpret_cast<const LogRecord*>(this + 1) + i;
+  }
+  static size_t AllocSize(uint32_t n) {
+    return sizeof(LogChunk) + static_cast<size_t>(n) * sizeof(LogRecord);
+  }
+};
+static_assert(sizeof(LogChunk) == 64);
+
+struct LogStats {
+  uint64_t chunks = 0;
+  uint64_t free_slots = 0;
+  uint64_t chunk_bytes = 0;
+};
+
+// Volatile front-end over the persistent lane chains. One instance per
+// open hybrid table; `lane_heads` points into the table's root area.
+class HybridLog {
+ public:
+  HybridLog(pmem::PmPool* pool, uint64_t* lane_heads, uint32_t lanes,
+            uint32_t records_per_chunk)
+      : pool_(pool),
+        alloc_(&pool->allocator()),
+        lane_heads_(lane_heads),
+        lane_mask_(lanes - 1),
+        records_per_chunk_(records_per_chunk),
+        low_water_(records_per_chunk / 4 < 64 ? records_per_chunk / 4 : 64),
+        lanes_(lanes) {}
+
+  HybridLog(const HybridLog&) = delete;
+  HybridLog& operator=(const HybridLog&) = delete;
+
+  // Appends a committed record and returns its encoded handle, or 0 when
+  // the pool is out of memory. `stored_key` ownership transfers to the
+  // record (FreeStored happens when the record is zeroed).
+  uint64_t Append(uint64_t stored_key, uint64_t value, bool tombstone) {
+    const uint32_t li = util::ThreadId() & lane_mask_;
+    Lane& lane = lanes_state_[li];
+    uint64_t handle = 0;
+    {
+      util::SpinLockGuard g(lane.lock);
+      // Low-water refill: link the next chunk while slots remain, so the
+      // allocator never sits on the append critical path. Exactly-at-mark
+      // (not <=) keeps a failed reserve from being retried every append.
+      if (lane.free.size() == low_water_ || lane.free.empty()) {
+        Refill(li, lane);
+      }
+      if (lane.free.empty()) return 0;
+      handle = lane.free.back();
+      lane.free.pop_back();
+    }
+    LogRecord* rec = Record(handle);
+    rec->StoreKeyRelaxed(stored_key);
+    rec->StoreValueRelaxed(value);
+    pmem::Persist(rec, 2 * sizeof(uint64_t));
+    CRASH_POINT("hybrid_append_after_data");
+    const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    pmem::AtomicPersist64(rec->meta_word(),
+                          (seq << 1) | (tombstone ? 1ull : 0ull));
+    CRASH_POINT("hybrid_append_after_publish");
+    return handle;
+  }
+
+  LogRecord* Record(uint64_t handle) const {
+    return pool_->FromOffset<LogRecord>(HandleOffset(handle));
+  }
+
+  // Crash-atomically un-commits a record (rebuild then treats the slot as
+  // free). The caller owns ordering constraints (a delete's superseded
+  // record before its tombstone) and key-blob disposal.
+  void ZeroRecord(uint64_t handle) {
+    pmem::AtomicPersist64(Record(handle)->meta_word(), 0);
+  }
+
+  // Returns a zeroed slot to its lane free list. Only call after the
+  // epoch grace period (no reader can still hold the handle).
+  void ReleaseSlot(uint64_t handle) {
+    Lane& lane = lanes_state_[HandleLane(handle)];
+    util::SpinLockGuard g(lane.lock);
+    lane.free.push_back(handle);
+  }
+
+  // Recovery scan (single-threaded, at open): resets the volatile lane
+  // state, walks every chain, rebuilds the free lists from meta==0 slots,
+  // restores the sequence counter, and calls fn(record, handle, meta) for
+  // every committed record. PM read cost is accounted per record line.
+  template <typename Fn>
+  void Scan(Fn fn) {
+    uint64_t max_seq = 0;
+    for (uint32_t li = 0; li <= lane_mask_; ++li) {
+      Lane& lane = lanes_state_[li];
+      lane.free.clear();
+      lane.tail = nullptr;
+      for (auto* chunk = reinterpret_cast<LogChunk*>(LaneHead(li));
+           chunk != nullptr;
+           chunk = reinterpret_cast<LogChunk*>(chunk->next)) {
+        pmem::ReadProbe(chunk,
+                        LogChunk::AllocSize(chunk->num_records) / 64);
+        lane.tail = chunk;
+        const uint64_t base = pool_->ToOffset(chunk) + sizeof(LogChunk);
+        for (uint32_t i = 0; i < chunk->num_records; ++i) {
+          LogRecord* rec = chunk->record(i);
+          const uint64_t handle =
+              EncodeHandle(li, base + static_cast<uint64_t>(i) *
+                                          sizeof(LogRecord));
+          const uint64_t meta = rec->meta;
+          if (meta == 0) {
+            lane.free.push_back(handle);
+          } else {
+            if (LogRecord::Seq(meta) > max_seq) max_seq = LogRecord::Seq(meta);
+            fn(rec, handle, meta);
+          }
+        }
+      }
+    }
+    if (max_seq >= next_seq_.load(std::memory_order_relaxed)) {
+      next_seq_.store(max_seq + 1, std::memory_order_relaxed);
+    }
+  }
+
+  LogStats Stats() const {
+    LogStats s;
+    for (uint32_t li = 0; li <= lane_mask_; ++li) {
+      for (const auto* chunk = reinterpret_cast<const LogChunk*>(LaneHead(li));
+           chunk != nullptr;
+           chunk = reinterpret_cast<const LogChunk*>(chunk->next)) {
+        ++s.chunks;
+        s.chunk_bytes += LogChunk::AllocSize(chunk->num_records);
+      }
+      Lane& lane = lanes_state_[li];
+      util::SpinLockGuard g(lane.lock);
+      s.free_slots += lane.free.size();
+    }
+    return s;
+  }
+
+  // Structural sanity of the persistent chains: every chunk lies inside
+  // the pool and carries the configured record count. Read-only.
+  bool VerifyChains() const {
+    for (uint32_t li = 0; li <= lane_mask_; ++li) {
+      uint64_t chunks = 0;
+      for (const auto* chunk = reinterpret_cast<const LogChunk*>(LaneHead(li));
+           chunk != nullptr;
+           chunk = reinterpret_cast<const LogChunk*>(chunk->next)) {
+        if (!pool_->Contains(chunk) ||
+            !pool_->Contains(reinterpret_cast<const char*>(chunk) +
+                             LogChunk::AllocSize(chunk->num_records) - 1)) {
+          return false;
+        }
+        if (chunk->num_records != records_per_chunk_) return false;
+        if (++chunks > (1ull << 32)) return false;  // cycle guard
+      }
+    }
+    return true;
+  }
+
+  // True when `handle` decodes to a record inside a mapped chunk region.
+  bool ContainsHandle(uint64_t handle) const {
+    if (HandleLane(handle) > lane_mask_) return false;
+    const uint64_t off = HandleOffset(handle);
+    if (off == 0) return false;
+    const void* p = pool_->FromOffset<void>(off);
+    return pool_->Contains(p) &&
+           pool_->Contains(static_cast<const char*>(p) + sizeof(LogRecord) - 1);
+  }
+
+  uint32_t lanes() const { return lanes_; }
+  uint32_t records_per_chunk() const { return records_per_chunk_; }
+
+ private:
+  struct Lane {
+    util::SpinLock lock;
+    std::vector<uint64_t> free;  // encoded handles, LIFO
+    LogChunk* tail = nullptr;
+    char pad[40];
+  };
+
+  uint64_t LaneHead(uint32_t li) const {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(&lane_heads_[li])
+        ->load(std::memory_order_acquire);
+  }
+
+  // Links one fresh chunk at the lane tail and refills the free list.
+  // Called with lane.lock held; the reserve/activate protocol makes the
+  // chunk crash-reachable (or reclaimed by allocator open recovery) at
+  // every point.
+  bool Refill(uint32_t li, Lane& lane) {
+    auto r = alloc_->Reserve(LogChunk::AllocSize(records_per_chunk_));
+    if (!r.valid()) return false;
+    auto* chunk = static_cast<LogChunk*>(r.ptr);
+    chunk->next = 0;
+    chunk->num_records = records_per_chunk_;
+    pmem::Persist(chunk, sizeof(LogChunk));
+    CRASH_POINT("hybrid_chunk_after_reserve");
+    uint64_t* dest = lane.tail != nullptr ? &lane.tail->next : &lane_heads_[li];
+    alloc_->Activate(r, dest);
+    CRASH_POINT("hybrid_chunk_after_activate");
+    lane.tail = chunk;
+    const uint64_t base = pool_->ToOffset(chunk) + sizeof(LogChunk);
+    // Reverse push: the LIFO then hands out slots in ascending order.
+    for (uint32_t i = records_per_chunk_; i > 0; --i) {
+      lane.free.push_back(EncodeHandle(
+          li, base + static_cast<uint64_t>(i - 1) * sizeof(LogRecord)));
+    }
+    return true;
+  }
+
+  pmem::PmPool* pool_;
+  pmem::PmAllocator* alloc_;
+  uint64_t* lane_heads_;  // root-area array, kMaxLanes entries
+  const uint32_t lane_mask_;
+  const uint32_t records_per_chunk_;
+  const uint32_t low_water_;
+  const uint32_t lanes_;
+  std::atomic<uint64_t> next_seq_{1};
+  mutable Lane lanes_state_[kMaxLanes];  // mutable: Stats() takes lane locks
+};
+
+}  // namespace dash::hybrid
+
+#endif  // DASH_PM_HYBRID_PM_LOG_H_

@@ -282,12 +282,9 @@ class LevelHashing {
                             ? 0.0
                             : static_cast<double>(stats.records) /
                                   static_cast<double>(stats.capacity_slots);
-    stats.opt_retries =
-        lock_stats_.opt_retries.load(std::memory_order_relaxed);
-    stats.version_conflicts =
-        lock_stats_.version_conflicts.load(std::memory_order_relaxed);
-    stats.write_locks =
-        lock_stats_.write_locks.load(std::memory_order_relaxed);
+    stats.opt_retries = lock_stats_.TotalRetries();
+    stats.version_conflicts = lock_stats_.TotalConflicts();
+    stats.write_locks = lock_stats_.TotalWriteLocks();
     return stats;
   }
 
@@ -885,8 +882,8 @@ class LevelHashing {
   // snapshot/verify — a search writes no lock word at all.
   util::VersionLock locks_[kStripes];
   uint64_t resizes_ = 0;
-  // Read-path concurrency telemetry (own cacheline; see CCEH).
-  alignas(64) mutable util::OptimisticLockStats lock_stats_;
+  // Read-path concurrency telemetry, sharded per thread (see CCEH).
+  alignas(64) mutable util::ShardedOptimisticLockStats lock_stats_;
 };
 
 }  // namespace dash::level

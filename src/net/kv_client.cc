@@ -8,7 +8,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace dash::net {
 
@@ -184,11 +186,39 @@ bool KvClient::Receive(ClientResponse* out) {
 }
 
 bool KvClient::Execute(const api::Op* ops, size_t count,
-                       uint64_t deadline_us, ClientResponse* out) {
+                       uint64_t deadline_us, ClientResponse* out,
+                       uint32_t max_retries) {
   uint64_t id = 0;
   if (!Send(ops, count, deadline_us, &id)) return false;
   if (!Receive(out)) return false;
-  return out->request_id == id;
+  if (out->request_id != id) return false;
+
+  for (uint32_t round = 0; round < max_retries; ++round) {
+    if (out->retry_after_us == 0) break;
+    // Resend only the shed ops; anything else (kOk, kTimeout, ...) is a
+    // final answer for its slot.
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < count; ++i) {
+      if (out->statuses[i] == api::Status::kUnavailable) pending.push_back(i);
+    }
+    if (pending.empty()) break;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(out->retry_after_us));
+    std::vector<api::Op> retry_ops;
+    retry_ops.reserve(pending.size());
+    for (const size_t i : pending) retry_ops.push_back(ops[i]);
+    ClientResponse sub;
+    if (!Send(retry_ops.data(), retry_ops.size(), deadline_us, &id)) {
+      return false;
+    }
+    if (!Receive(&sub) || sub.request_id != id) return false;
+    for (size_t j = 0; j < pending.size(); ++j) {
+      out->statuses[pending[j]] = sub.statuses[j];
+      out->values[pending[j]] = sub.values[j];
+    }
+    out->retry_after_us = sub.retry_after_us;
+  }
+  return true;
 }
 
 }  // namespace dash::net

@@ -60,8 +60,17 @@ class KvClient {
 
   // Send + wait for that specific id; other ids arriving first fail
   // (depth-1 callers never see them).
+  //
+  // max_retries > 0 opts into honoring the server's backpressure hint:
+  // when the response carries retry_after_us and some ops came back
+  // kUnavailable, the client sleeps the advised interval and resends
+  // just those ops, up to max_retries rounds, merging the outcomes into
+  // their original slots. kTimeout ops are never resent (their deadline
+  // already expired server-side). After the rounds are exhausted any
+  // still-kUnavailable statuses are handed to the caller, so the default
+  // (0) is exactly the old immediate-kUnavailable behaviour.
   bool Execute(const api::Op* ops, size_t count, uint64_t deadline_us,
-               ClientResponse* out);
+               ClientResponse* out, uint32_t max_retries = 0);
 
  private:
   bool Handshake(uint64_t tenant_id, uint32_t weight, std::string* error);

@@ -15,7 +15,8 @@ namespace {
 
 TEST(IndexKindTest, NamesRoundTrip) {
   for (IndexKind kind : {IndexKind::kDashEH, IndexKind::kDashLH,
-                         IndexKind::kCCEH, IndexKind::kLevel}) {
+                         IndexKind::kCCEH, IndexKind::kLevel,
+                         IndexKind::kHybrid}) {
     IndexKind parsed;
     ASSERT_TRUE(ParseIndexKind(IndexKindName(kind), &parsed));
     EXPECT_EQ(parsed, kind);
@@ -187,7 +188,8 @@ TEST_P(ApiTest, AgreesWithStdMapOnRandomWorkload) {
 INSTANTIATE_TEST_SUITE_P(
     AllTables, ApiTest,
     ::testing::Values(IndexKind::kDashEH, IndexKind::kDashLH,
-                      IndexKind::kCCEH, IndexKind::kLevel),
+                      IndexKind::kCCEH, IndexKind::kLevel,
+                      IndexKind::kHybrid),
     [](const ::testing::TestParamInfo<IndexKind>& info) {
       std::string name = IndexKindName(info.param);
       for (char& c : name) {

@@ -282,7 +282,8 @@ TEST_P(BatchTest, ConcurrentMixedBatchAndSingleOps) {
 INSTANTIATE_TEST_SUITE_P(
     AllTables, BatchTest,
     ::testing::Values(IndexKind::kDashEH, IndexKind::kDashLH,
-                      IndexKind::kCCEH, IndexKind::kLevel),
+                      IndexKind::kCCEH, IndexKind::kLevel,
+                      IndexKind::kHybrid),
     [](const ::testing::TestParamInfo<IndexKind>& info) {
       std::string name = IndexKindName(info.param);
       for (char& c : name) {

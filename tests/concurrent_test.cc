@@ -184,7 +184,8 @@ TEST_P(ConcurrentTest, NegativeSearchDuringGrowth) {
 INSTANTIATE_TEST_SUITE_P(
     AllTables, ConcurrentTest,
     ::testing::Values(IndexKind::kDashEH, IndexKind::kDashLH,
-                      IndexKind::kCCEH, IndexKind::kLevel),
+                      IndexKind::kCCEH, IndexKind::kLevel,
+                      IndexKind::kHybrid),
     [](const ::testing::TestParamInfo<IndexKind>& info) {
       std::string name = api::IndexKindName(info.param);
       for (char& c : name) {

@@ -172,7 +172,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, CrashSweepTest,
                          ::testing::Values(IndexKind::kDashEH,
                                            IndexKind::kDashLH,
                                            IndexKind::kCCEH,
-                                           IndexKind::kLevel),
+                                           IndexKind::kLevel,
+                                           IndexKind::kHybrid),
                          KindName);
 
 // Double-arming is an error (the second Arm must not silently replace the

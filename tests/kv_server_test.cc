@@ -352,6 +352,59 @@ TEST(KvServerTest, SaturatedQueueYieldsRetryAfterNotDisconnect) {
   store->CloseClean();
 }
 
+// Opt-in client-side retry: Execute(max_retries) resends the shed subset
+// of a batch after the advised backoff instead of surfacing
+// kUnavailable. kUnavailable is a never-executed guarantee (shed at
+// submit or admission), so the resent inserts land exactly once: every
+// slot must end kOk and every key must be durable.
+TEST(KvServerTest, ExecuteRetriesShedOpsUntilTheyLand) {
+  TempShardPaths paths("srv_retry", 2);
+  auto store = OpenStore(paths, 2, /*queue_depth=*/1);
+  ASSERT_NE(store, nullptr);
+  ServerOptions options;
+  options.uds_path = TestUdsPath("retry");
+  KvServer server(store.get(), options);
+  ASSERT_TRUE(server.Start());
+
+  KvClient client;
+  ASSERT_TRUE(client.ConnectUds(options.uds_path));
+  // Each burst dwarfs the depth-1 shard queues, so the first response
+  // usually mixes kOk with shed kUnavailable slots; the retry rounds
+  // resend the shed remainder into the by-then idle queues.
+  constexpr size_t kOpsPer = 512;
+  constexpr int kBursts = 16;
+  std::vector<api::Op> ops(kOpsPer);
+  ClientResponse response;
+  for (int r = 0; r < kBursts; ++r) {
+    const uint64_t base = static_cast<uint64_t>(r) * kOpsPer + 1;
+    for (size_t i = 0; i < kOpsPer; ++i) {
+      ops[i] = api::Op::Insert(base + i, base + i + 9);
+    }
+    ASSERT_TRUE(client.Execute(ops.data(), kOpsPer, 0, &response,
+                               /*max_retries=*/16));
+    ASSERT_EQ(response.statuses.size(), kOpsPer);
+    for (size_t i = 0; i < kOpsPer; ++i) {
+      // kOk, never kExists: a retried op had provably not executed.
+      ASSERT_EQ(response.statuses[i], api::Status::kOk)
+          << "burst " << r << " slot " << i;
+    }
+  }
+  // Every insert is durable exactly once.
+  for (int r = 0; r < kBursts; ++r) {
+    const uint64_t base = static_cast<uint64_t>(r) * kOpsPer + 1;
+    for (size_t i = 0; i < kOpsPer; ++i) {
+      ops[i] = api::Op::Search(base + i);
+    }
+    ASSERT_TRUE(client.Execute(ops.data(), kOpsPer, 0, &response));
+    for (size_t i = 0; i < kOpsPer; ++i) {
+      ASSERT_EQ(response.statuses[i], api::Status::kOk);
+      ASSERT_EQ(response.values[i], base + i + 9);
+    }
+  }
+  server.Stop();
+  store->CloseClean();
+}
+
 // The per-connection pipeline cap bounces the overflow request with
 // kUnavailable + retry-after immediately (it never reaches the store),
 // and the connection keeps working.

@@ -274,7 +274,8 @@ TEST_P(MultiExecuteTest, MalformedOpTypeRejected) {
 INSTANTIATE_TEST_SUITE_P(
     AllTables, MultiExecuteTest,
     ::testing::Values(IndexKind::kDashEH, IndexKind::kDashLH,
-                      IndexKind::kCCEH, IndexKind::kLevel),
+                      IndexKind::kCCEH, IndexKind::kLevel,
+                      IndexKind::kHybrid),
     [](const ::testing::TestParamInfo<IndexKind>& info) {
       std::string name = IndexKindName(info.param);
       for (char& c : name) {

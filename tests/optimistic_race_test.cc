@@ -1,7 +1,9 @@
-// Stress tests for the optimistic (versioned) read paths of CCEH and
-// Level hashing: lock-free searches racing the structure-modifying
-// operations that invalidate them — CCEH directory doubling / segment
-// splits and Level full-table resizes — plus in-place updates. Readers
+// Stress tests for the optimistic (versioned) read paths of CCEH, Level
+// hashing, and the hybrid DRAM-PM tier: lock-free searches racing the
+// structure-modifying operations that invalidate them — CCEH/hybrid
+// directory doubling / segment splits and Level full-table resizes —
+// plus in-place updates (which for the hybrid tier are PM log appends
+// racing the searches that chase the old handle). Readers
 // must never observe torn records (a hit returns the exact value some
 // serial history wrote), and batch results must match the serial model.
 // The suite is part of the TSan CI job, where the snapshot/revalidate
@@ -215,7 +217,8 @@ TEST_P(OptimisticRaceTest, SearchOnlyPhasePerformsNoLockWordWrites) {
 
 INSTANTIATE_TEST_SUITE_P(
     OptimisticTables, OptimisticRaceTest,
-    ::testing::Values(IndexKind::kCCEH, IndexKind::kLevel),
+    ::testing::Values(IndexKind::kCCEH, IndexKind::kLevel,
+                      IndexKind::kHybrid),
     [](const ::testing::TestParamInfo<IndexKind>& info) {
       std::string name = api::IndexKindName(info.param);
       for (char& c : name) {

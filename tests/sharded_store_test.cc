@@ -149,6 +149,83 @@ TEST(ShardedStoreTest, MultiExecuteMatchesModel) {
   store->CloseClean();
 }
 
+// The hybrid DRAM-PM tier behind the sharded facade: mixed batches match
+// the model, and a reopen (which discards every shard's DRAM index and
+// rebuilds it from the per-thread PM logs) serves the same contents.
+TEST(ShardedStoreTest, HybridKindMatchesModelAcrossReopen) {
+  TempShardPaths paths("store_hybrid", 4);
+  ShardedStoreOptions options = SmallStoreOptions(paths.prefix(), 4);
+  options.kind = IndexKind::kHybrid;
+  std::map<uint64_t, uint64_t> model;
+  {
+    auto store = ShardedStore::Open(options);
+    ASSERT_NE(store, nullptr);
+    util::Xoshiro256 rng(23);
+    constexpr uint64_t kKeySpace = 8000;
+    for (int round = 0; round < 30; ++round) {
+      constexpr size_t kN = 200;
+      std::vector<Op> ops;
+      std::map<uint64_t, bool> used;
+      while (ops.size() < kN) {
+        const uint64_t key = rng.NextBounded(kKeySpace) + 1;
+        if (used.count(key)) continue;
+        used[key] = true;
+        switch (rng.NextBounded(4)) {
+          case 0: ops.push_back(Op::Search(key)); break;
+          case 1: ops.push_back(Op::Insert(key, rng.Next())); break;
+          case 2: ops.push_back(Op::Update(key, rng.Next())); break;
+          default: ops.push_back(Op::Delete(key)); break;
+        }
+      }
+      std::vector<Status> statuses(kN);
+      store->MultiExecute(ops.data(), kN, statuses.data());
+      for (size_t i = 0; i < kN; ++i) {
+        Status expected = Status::kInternal;
+        switch (ops[i].type) {
+          case OpType::kSearch: {
+            const auto it = model.find(ops[i].key);
+            expected = it == model.end() ? Status::kNotFound : Status::kOk;
+            if (it != model.end()) {
+              ASSERT_EQ(ops[i].value, it->second) << "key " << ops[i].key;
+            }
+            break;
+          }
+          case OpType::kInsert:
+            expected = model.emplace(ops[i].key, ops[i].value).second
+                           ? Status::kOk
+                           : Status::kExists;
+            break;
+          case OpType::kUpdate: {
+            const auto it = model.find(ops[i].key);
+            expected = it == model.end() ? Status::kNotFound : Status::kOk;
+            if (it != model.end()) it->second = ops[i].value;
+            break;
+          }
+          case OpType::kDelete:
+            expected = model.erase(ops[i].key) == 1 ? Status::kOk
+                                                    : Status::kNotFound;
+            break;
+        }
+        ASSERT_EQ(statuses[i], expected)
+            << "round " << round << " slot " << i << " key " << ops[i].key;
+      }
+    }
+    EXPECT_EQ(store->Stats().totals.records, model.size());
+    store->CloseClean();
+  }
+  {
+    auto store = ShardedStore::Open(options);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->Stats().totals.records, model.size());
+    uint64_t value = 0;
+    for (const auto& [key, expected] : model) {
+      ASSERT_EQ(store->Search(key, &value), Status::kOk) << "key " << key;
+      ASSERT_EQ(value, expected) << "key " << key;
+    }
+    store->CloseClean();
+  }
+}
+
 // Homogeneous Multi* facade entry points: scatter by key, per-shard
 // pipeline dispatch, gather in caller order. Batch sizes straddle the
 // stack/heap scratch boundary (256).

@@ -125,7 +125,8 @@ TEST_P(VarKeyTest, DeleteInterleaved) {
 INSTANTIATE_TEST_SUITE_P(
     AllTables, VarKeyTest,
     ::testing::Values(IndexKind::kDashEH, IndexKind::kDashLH,
-                      IndexKind::kCCEH, IndexKind::kLevel),
+                      IndexKind::kCCEH, IndexKind::kLevel,
+                      IndexKind::kHybrid),
     [](const ::testing::TestParamInfo<IndexKind>& info) {
       std::string name = IndexKindName(info.param);
       for (char& c : name) {
