@@ -126,6 +126,9 @@ void ShardExecutor::WorkerLoop(size_t s) {
   if (options_.pin_workers) PinToCore(s);
   Queue& queue = *queues_[s];
   epoch::EpochManager* epochs = shards_[s]->epochs;
+  const auto ckpt_interval =
+      std::chrono::milliseconds(options_.checkpoint_interval_ms);
+  auto last_ckpt = std::chrono::steady_clock::now();
   for (;;) {
     WorkItem item;
     {
@@ -135,9 +138,29 @@ void ShardExecutor::WorkerLoop(size_t s) {
         // blocks, so garbage does not sit pinned until the next Retire.
         lock.unlock();
         epochs->TryAdvanceAndReclaim();
+        // Periodic checkpoint refresh, from the idle path only: runs
+        // between queued batches (never mid-batch) and at most once per
+        // interval. Quarantined shards carry a null index — skip.
+        if (options_.checkpoint_interval_ms != 0 &&
+            std::chrono::steady_clock::now() - last_ckpt >= ckpt_interval) {
+          KvIndex* index =
+              shards_[s]->index.load(std::memory_order_acquire);
+          if (index != nullptr) index->WriteCheckpoint();
+          last_ckpt = std::chrono::steady_clock::now();
+        }
         lock.lock();
-        queue.not_empty.wait(
-            lock, [&] { return !queue.items.empty() || queue.stopped; });
+        if (options_.checkpoint_interval_ms == 0) {
+          queue.not_empty.wait(
+              lock, [&] { return !queue.items.empty() || queue.stopped; });
+        } else {
+          // Timed wait so a shard that stays idle still refreshes its
+          // checkpoint on schedule (the wake loops back to the idle
+          // block above, which decides whether the interval elapsed).
+          queue.not_empty.wait_until(
+              lock, last_ckpt + ckpt_interval,
+              [&] { return !queue.items.empty() || queue.stopped; });
+          if (queue.items.empty() && !queue.stopped) continue;
+        }
       }
       if (queue.items.empty()) break;  // stopped and fully drained
       item = std::move(queue.items.front());

@@ -44,6 +44,12 @@ struct ExecutorOptions {
   // pinning helps steady-state serving but hurts when clients and workers
   // oversubscribe a small machine.
   bool pin_workers = false;
+  // When non-zero, each shard's worker refreshes its index checkpoint
+  // from the idle path at most every this-many milliseconds (see
+  // KvIndex::WriteCheckpoint — a no-op for PM-native tables). The
+  // checkpoint runs on the worker thread between queued batches, never
+  // in the middle of one.
+  uint32_t checkpoint_interval_ms = 0;
 };
 
 class ShardExecutor {

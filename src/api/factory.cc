@@ -47,6 +47,8 @@ hybrid::HybridOptions ToHybridOptions(const DashOptions& o) {
   h.stash_slots = o.stash_buckets * 8;
   h.initial_depth = o.initial_depth;
   h.batch_pipeline = o.batch_pipeline;
+  h.checkpoint_path = o.checkpoint_path;
+  h.rebuild_threads = o.rebuild_threads;
   return h;
 }
 
@@ -181,6 +183,16 @@ class IndexAdapter : public Base {
     }
   }
 
+  bool WriteCheckpoint() override {
+    if constexpr (requires(Table& t) {
+                    { t.WriteCheckpoint() } -> std::same_as<bool>;
+                  }) {
+      return table_.WriteCheckpoint();
+    } else {
+      return false;  // PM-native index: restart is already a load
+    }
+  }
+
   void CloseClean() override { table_.CloseClean(); }
   IndexStats Stats() override {
     const auto s = table_.Stats();
@@ -201,6 +213,13 @@ class IndexAdapter : public Base {
     if constexpr (requires { s.bucket_lock_acquisitions; }) {
       out.bucket_lock_acquisitions = s.bucket_lock_acquisitions;
       out.bucket_lock_contended_spins = s.bucket_lock_contended_spins;
+    }
+    // Recovery provenance (hybrid; PM-native tables keep the kNative
+    // default — their structure never left PM).
+    if constexpr (requires { s.recovery_source; }) {
+      out.recovery_source = s.recovery_source;
+      out.recovery_replayed = s.recovery_replayed;
+      out.recovery_staleness = s.recovery_staleness;
     }
     return out;
   }

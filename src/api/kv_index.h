@@ -72,6 +72,16 @@ struct IndexStats {
   // and report zeros (their write-path locking shows up in write_locks).
   uint64_t bucket_lock_acquisitions = 0;
   uint64_t bucket_lock_contended_spins = 0;
+  // Recovery provenance of this open. PM-native tables report kNative
+  // (their structure never left PM — restart is already a load); the
+  // hybrid tier reports kFresh, kScan (full log-scan rebuild), or
+  // kCheckpoint (checkpoint load + tail replay). With kCheckpoint,
+  // `recovery_replayed` counts the tail records applied on top of the
+  // checkpoint and `recovery_staleness` the committed seqs past the
+  // checkpoint frontier (0 after a quiesced clean close).
+  RecoverySource recovery_source = RecoverySource::kNative;
+  uint64_t recovery_replayed = 0;
+  uint64_t recovery_staleness = 0;
 };
 
 // Fixed-length (8-byte) key index. All operations are thread-safe.
@@ -189,6 +199,16 @@ class KvIndex {
   // implementations without a native check).
   virtual bool Verify() { return true; }
 
+  // Writes a crash-consistent checkpoint of the index's DRAM-resident
+  // state (hybrid tier), so the next open is a load plus a bounded tail
+  // replay instead of a full scan. Safe under concurrent operations;
+  // returns false when the index has nothing to checkpoint (PM-native
+  // tables), checkpointing is disabled (no path configured), or the
+  // attempt was abandoned (racing splits / I/O error) — failure never
+  // affects correctness, only the speed of the next open. The shard
+  // workers' idle path and CloseClean call this.
+  virtual bool WriteCheckpoint() { return false; }
+
   // Marks a clean shutdown (before closing the pool).
   virtual void CloseClean() = 0;
   virtual IndexStats Stats() = 0;
@@ -271,6 +291,9 @@ class VarKvIndex {
 
   // Structural self-check; same contract as KvIndex::Verify.
   virtual bool Verify() { return true; }
+
+  // Checkpoint hook; same contract as KvIndex::WriteCheckpoint.
+  virtual bool WriteCheckpoint() { return false; }
 
   virtual void CloseClean() = 0;
   virtual IndexStats Stats() = 0;

@@ -168,6 +168,9 @@ std::unique_ptr<ShardedStore> ShardedStore::Open(
   RecoveryReport& report = store->recovery_;
   report.shard_ms.assign(options.shards, 0.0);
   report.shard_recovered.assign(options.shards, false);
+  report.shard_source.assign(options.shards, "quarantined");
+  report.shard_replayed.assign(options.shards, 0);
+  report.shard_staleness.assign(options.shards, 0);
 
   const size_t hw = std::max(1u, std::thread::hardware_concurrency());
   const size_t threads =
@@ -220,7 +223,8 @@ std::unique_ptr<ShardedStore> ShardedStore::Open(
     if (ok) {
       report.shard_recovered[i] = shard.pool->recovered_from_crash();
       shard.index = CreateKvIndex(options.kind, shard.pool.get(),
-                                  shard.epochs.get(), options.table);
+                                  shard.epochs.get(),
+                                  store->ShardTableOptions(i));
       if (shard.index == nullptr) {
         ok = false;
         reason = "index attach failed";
@@ -228,6 +232,13 @@ std::unique_ptr<ShardedStore> ShardedStore::Open(
                  !shard.index->Verify()) {
         ok = false;
         reason = "post-recovery structural verify failed";
+      } else {
+        // Recovery provenance: did this shard's index come back from a
+        // checkpoint, a full log scan, or was it already resident in PM?
+        const IndexStats stats = shard.index->Stats();
+        report.shard_source[i] = RecoverySourceName(stats.recovery_source);
+        report.shard_replayed[i] = stats.recovery_replayed;
+        report.shard_staleness[i] = stats.recovery_staleness;
       }
     }
     if (!ok) {
@@ -333,6 +344,7 @@ std::unique_ptr<ShardedStore> ShardedStore::Open(
     ExecutorOptions executor_options;
     executor_options.queue_depth = options.async.queue_depth;
     executor_options.pin_workers = options.async.pin_workers;
+    executor_options.checkpoint_interval_ms = options.checkpoint_interval_ms;
     store->executor_ =
         std::make_unique<ShardExecutor>(std::move(ctx), executor_options);
   }
@@ -376,11 +388,17 @@ Status ShardedStore::RecoverShard(size_t i) {
     return Status::kUnavailable;  // dtor closes dirty
   }
   auto index = CreateKvIndex(options_.kind, pool.get(), shard.epochs.get(),
-                             options_.table);
+                             ShardTableOptions(i));
   // Always verify on re-admission — this shard already failed once.
   if (index == nullptr || !index->Verify()) return Status::kUnavailable;
   shard.pool = std::move(pool);
   shard.index = std::move(index);
+  // Refresh this shard's provenance in the report (re-admission is a
+  // recovery of its own).
+  const IndexStats stats = shard.index->Stats();
+  recovery_.shard_source[i] = RecoverySourceName(stats.recovery_source);
+  recovery_.shard_replayed[i] = stats.recovery_replayed;
+  recovery_.shard_staleness[i] = stats.recovery_staleness;
   if (executor_ != nullptr) executor_->SetIndex(i, shard.index.get());
   quarantined_[i].store(false, std::memory_order_release);
   return Status::kOk;

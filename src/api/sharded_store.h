@@ -124,6 +124,16 @@ struct ShardedStoreOptions {
   // Run the index's structural verify on every shard whose pool was not
   // cleanly shut down (crash recovery).
   bool verify_on_open = true;
+  // Derive a per-shard checkpoint path (`<path_prefix>.shard<i>.ckpt`)
+  // for tables with a DRAM-resident index (hybrid), so a reopen loads the
+  // index instead of rebuilding it from a full log scan. PM-native tables
+  // ignore the path (their restart is already a load). When false, the
+  // table config's own checkpoint_path (normally empty) is used verbatim.
+  bool checkpoints = true;
+  // Ask each shard's worker to refresh its checkpoint from the idle path
+  // every this-many milliseconds (0 = only at CloseClean). Requires the
+  // async executor; inline stores checkpoint only at CloseClean.
+  uint32_t checkpoint_interval_ms = 0;
 };
 
 struct ShardedStats {
@@ -149,6 +159,14 @@ struct RecoveryReport {
   std::vector<double> shard_ms;        // per-shard open+verify time
   std::vector<bool> shard_recovered;   // pool was dirty -> recovery ran
   std::vector<size_t> quarantined;     // shards quarantined at open
+  // Recovery provenance per shard: "fresh" / "native" / "scan" /
+  // "checkpoint" (RecoverySourceName), "quarantined" when the shard
+  // failed open. Replayed = log records applied past the checkpoint's
+  // watermarks; staleness = log sequence numbers the checkpoint was
+  // behind the tail at open (both 0 unless source == "checkpoint").
+  std::vector<std::string> shard_source;
+  std::vector<uint64_t> shard_replayed;
+  std::vector<uint64_t> shard_staleness;
 };
 
 class ShardedStore {
@@ -336,6 +354,17 @@ class ShardedStore {
                     size_t count, Status* statuses);
 
   static ShardedStats Aggregate(const IndexStats* per_shard, size_t count);
+
+  // Per-shard table config: the store-wide DashOptions with the shard's
+  // derived checkpoint path (see ShardedStoreOptions::checkpoints).
+  DashOptions ShardTableOptions(size_t i) const {
+    DashOptions table = options_.table;
+    if (options_.checkpoints) {
+      table.checkpoint_path =
+          options_.path_prefix + ".shard" + std::to_string(i) + ".ckpt";
+    }
+    return table;
+  }
 
   std::vector<Shard> shards_;
 

@@ -11,12 +11,32 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace dash::util {
 struct ShardedBucketLockStats;
 }  // namespace dash::util
 
 namespace dash {
+
+// How a table's index came to exist at open (recovery provenance,
+// surfaced through IndexStats and the sharded RecoveryReport).
+enum class RecoverySource : uint32_t {
+  kFresh = 0,       // created new — nothing to recover
+  kNative = 1,      // PM-resident index: restart is already a load
+  kScan = 2,        // full log scan rebuild (hybrid fallback path)
+  kCheckpoint = 3,  // checkpoint load + bounded tail replay
+};
+
+inline const char* RecoverySourceName(RecoverySource s) {
+  switch (s) {
+    case RecoverySource::kFresh: return "fresh";
+    case RecoverySource::kNative: return "native";
+    case RecoverySource::kScan: return "scan";
+    case RecoverySource::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
 
 // Concurrency-control flavour (paper §4.4 and Fig. 13).
 enum class ConcurrencyMode : uint8_t {
@@ -51,6 +71,17 @@ struct DashOptions {
   uint32_t lh_base_segments = 64;
   // Dash-LH hybrid-expansion stride (§5.2; paper uses 8).
   uint32_t lh_stride = 8;
+
+  // --- recovery (volatile; per-open) ---
+  // Checkpoint file path for tables with a DRAM-resident index (hybrid).
+  // Empty disables checkpointing; the sharded store derives a per-shard
+  // path from its prefix. Written crash-consistently (temp + checksum +
+  // generation + rename); a bad file is rejected loudly at open and
+  // recovery falls back to the full log scan.
+  std::string checkpoint_path;
+  // Worker threads for the hybrid tier's log-scan rebuild (the fallback
+  // recovery path), parallelized by lane. 1 = serial.
+  uint32_t rebuild_threads = 1;
 
   // --- behavioural (volatile; ablation knobs) ---
   bool use_fingerprints = true;      // Fig. 9

@@ -38,9 +38,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -52,6 +54,7 @@
 #include "epoch/epoch_manager.h"
 #include "hybrid/pm_log.h"
 #include "pmem/crash_point.h"
+#include "pmem/index_persist.h"
 #include "pmem/persist.h"
 #include "pmem/pool.h"
 #include "util/amac.h"
@@ -247,6 +250,14 @@ struct HybridRoot {
   uint32_t log_lanes;
   uint32_t records_per_chunk;
   uint64_t lane_heads[kMaxLanes];
+  // Open-generation counter, bumped crash-atomically on every open of an
+  // existing pool. A checkpoint is stamped with the generation of the run
+  // that wrote it and is valid only while the root still carries that
+  // generation: any later run may have recycled log slots the checkpoint
+  // references, so its mere existence invalidates older checkpoints.
+  // (Pools from before this field read 0 here — no valid checkpoint can
+  // match, so they fall back to the scan, which is always correct.)
+  uint64_t open_gen;
 };
 
 struct HybridOptions {
@@ -256,6 +267,10 @@ struct HybridOptions {
   uint32_t log_lanes = 16;            // power of two <= kMaxLanes
   uint32_t records_per_chunk = 2048;  // 64 KB PM chunks
   BatchPipeline batch_pipeline = BatchPipeline::kAmac;
+  // Checkpoint file path; empty disables checkpoint write and load.
+  std::string checkpoint_path;
+  // Lane-parallel rebuild workers for the full-scan recovery path.
+  uint32_t rebuild_threads = 1;
 };
 
 struct HybridStats {
@@ -269,6 +284,13 @@ struct HybridStats {
   uint64_t log_chunks = 0;
   uint64_t log_free_slots = 0;
   uint64_t log_chunk_bytes = 0;
+  // Recovery provenance of this open (see RecoverySource).
+  RecoverySource recovery_source = RecoverySource::kFresh;
+  // Tail records replayed on top of the loaded checkpoint.
+  uint64_t recovery_replayed = 0;
+  // Committed seqs past the checkpoint frontier at open (0 when the
+  // checkpoint was written at a quiesced close).
+  uint64_t recovery_staleness = 0;
 };
 
 template <typename KP = IntKeyPolicy>
@@ -307,9 +329,37 @@ class HybridTable {
 
   void CloseClean() {
     epochs_->DrainAll();
+    // Quiesced checkpoint: the next open loads it and replays an empty
+    // tail. Failure is harmless — the open falls back to the scan.
+    WriteCheckpoint();
     root_->clean = 1;
     pmem::Persist(&root_->clean, 1);
   }
+
+  // Serializes the DRAM index (directory + raw segment images) plus the
+  // per-lane log watermarks into opts_.checkpoint_path, written
+  // crash-consistently (temp + checksum + generation + rename). Safe to
+  // call concurrently with readers and writers: watermarks are
+  // snapshotted before any copy, each segment is copied under its
+  // version lock, and a split racing the copy pass is detected via
+  // split_epoch_ and retried. Returns false when disabled, when splits
+  // kept invalidating the pass, or on I/O failure (the previous
+  // checkpoint file, if any, stays intact).
+  bool WriteCheckpoint() {
+    if (opts_.checkpoint_path.empty()) return false;
+    std::string payload;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (!SerializeIndex(&payload)) continue;  // split raced the copy
+      pmem::CheckpointMeta meta;
+      meta.kind_tag = CheckpointTag();
+      meta.generation = root_->open_gen;
+      return pmem::WriteCheckpointFile(opts_.checkpoint_path, meta,
+                                       payload.data(), payload.size());
+    }
+    return false;
+  }
+
+  RecoverySource recovery_source() const { return recovery_source_; }
 
   OpStatus Insert(KeyArg key, uint64_t value) {
     const uint64_t h = KP::Hash(key);
@@ -444,6 +494,9 @@ class HybridTable {
     stats.log_chunks = ls.chunks;
     stats.log_free_slots = ls.free_slots;
     stats.log_chunk_bytes = ls.chunk_bytes;
+    stats.recovery_source = recovery_source_;
+    stats.recovery_replayed = replayed_records_;
+    stats.recovery_staleness = recovery_staleness_;
     return stats;
   }
 
@@ -494,10 +547,12 @@ class HybridTable {
     root_->log_lanes = opts_.log_lanes;
     root_->records_per_chunk = opts_.records_per_chunk;
     root_->clean = 0;
+    root_->open_gen = 1;
     pmem::Persist(root_, sizeof(*root_));
     InitVolatile();
     root_->initialized = 1;
     pmem::PersistObject(&root_->initialized);
+    recovery_source_ = RecoverySource::kFresh;
   }
 
   void OpenExisting() {
@@ -505,10 +560,20 @@ class HybridTable {
     opts_.records_per_chunk = root_->records_per_chunk;
     root_->clean = 0;
     pmem::Persist(&root_->clean, 1);
+    // A checkpoint is valid only if the root still carries the
+    // generation it was stamped with. Bump the generation FIRST — before
+    // this run can append or recycle anything — so a crash at any later
+    // point leaves older checkpoints invalid, as they must be.
+    const uint64_t ckpt_gen = root_->open_gen;
+    pmem::AtomicPersist64(&root_->open_gen, ckpt_gen + 1);
     InitVolatile();
     // The DRAM index died with the previous process whether or not it
-    // closed clean; every open rebuilds from the log.
-    Rebuild();
+    // closed clean; the open either loads a checkpoint and replays the
+    // log tail past its watermarks, or rebuilds from a full scan.
+    if (!LoadCheckpoint(ckpt_gen)) {
+      recovery_source_ = RecoverySource::kScan;
+      Rebuild();
+    }
   }
 
   void InitVolatile() {
@@ -555,45 +620,388 @@ class HybridTable {
     return dir;
   }
 
+  // ---- checkpointing ----
+
+  // Checkpoint payload layout (raw host-layout images; the pool remaps
+  // at a fixed base, so handles and VarKey pointers in slot words are
+  // stable across restarts — the same idiom as the persisted lane
+  // chains):
+  //   PayloadHeader
+  //   num_segments x { SegmentPrefix, bucket array, stash array }
+  // in directory-coverage order (position + local depth reconstruct the
+  // directory exactly).
+  struct PayloadHeader {
+    uint64_t checkpoint_seq;            // next_seq at watermark snapshot
+    uint64_t watermarks[kMaxLanes];     // per-lane committed-seq frontier
+    uint64_t global_depth;
+    uint64_t num_segments;
+  };
+  struct SegmentPrefix {
+    uint32_t local_depth;
+    uint32_t num_buckets;
+    uint32_t stash_slots;
+    uint32_t pad;
+    uint64_t pattern;
+  };
+
+  size_t SegmentImageBytes() const {
+    return opts_.buckets_per_segment * sizeof(HybridBucket) +
+           opts_.stash_slots * sizeof(HybridSlot);
+  }
+
+  // Identifies this table flavour (key mode + geometry): a checkpoint
+  // from a different kind or geometry must not parse.
+  uint64_t CheckpointTag() const {
+    uint64_t t = util::Mix64(0x687962636b7074ull ^ (KP::kInline ? 1 : 2));
+    t = util::Mix64(t ^ opts_.buckets_per_segment);
+    t = util::Mix64(t ^ opts_.stash_slots);
+    t = util::Mix64(t ^ opts_.log_lanes);
+    t = util::Mix64(t ^ opts_.records_per_chunk);
+    return t;
+  }
+
+  // Copies the index into `payload`. Correctness of the bounded-
+  // staleness contract: the watermarks are snapshotted BEFORE any
+  // segment copy, seqs are allocated by a global monotone counter while
+  // the segment lock is held, and each segment is copied under that
+  // lock. So for every committed record: either its publishing op ran
+  // before its segment's copy (the slot is in the image), or its seq was
+  // allocated after the snapshot and exceeds every watermark (replay
+  // picks it up). Records in both sets replay idempotently. Returns
+  // false if a split or directory doubling raced the pass (split_epoch_
+  // changed) or a stale directory view turned inconsistent mid-walk.
+  bool SerializeIndex(std::string* payload) {
+    payload->clear();
+    const uint64_t e1 = split_epoch_.load(std::memory_order_acquire);
+    PayloadHeader ph{};
+    log_->SnapshotWatermarks(ph.watermarks);
+    ph.checkpoint_seq = log_->NextSeqRelaxed();
+    HybridDirectory* dir = Dir();
+    const uint64_t gd = dir->global_depth;
+    if (gd > 48) return false;
+    ph.global_depth = gd;
+    const size_t seg_bytes = SegmentImageBytes();
+    payload->resize(sizeof(PayloadHeader));
+    const uint64_t n = 1ull << gd;
+    uint64_t i = 0;
+    while (i < n) {
+      HybridSegment* seg = dir->entry(i);
+      seg->lock.Lock();
+      const uint32_t ld = seg->local_depth();
+      if (ld > gd || seg->num_buckets != opts_.buckets_per_segment ||
+          seg->stash_slots != opts_.stash_slots) {
+        seg->lock.Unlock();
+        return false;  // concurrent split outran this directory view
+      }
+      SegmentPrefix sp{ld, seg->num_buckets, seg->stash_slots, 0,
+                       seg->PatternAcquire()};
+      payload->append(reinterpret_cast<const char*>(&sp), sizeof(sp));
+      payload->append(reinterpret_cast<const char*>(seg + 1), seg_bytes);
+      seg->lock.Unlock();
+      ++ph.num_segments;
+      i += 1ull << (gd - ld);
+    }
+    std::memcpy(payload->data(), &ph, sizeof(ph));
+    return split_epoch_.load(std::memory_order_acquire) == e1;
+  }
+
+  // Loads opts_.checkpoint_path (stamped with generation `ckpt_gen`)
+  // and replays the log tail. Returns false — leaving a freshly
+  // re-initialized empty structure for Rebuild() — on any rejection:
+  // the file layer already logged torn/checksum/stale/kind failures,
+  // and a structurally invalid payload is reported here.
+  bool LoadCheckpoint(uint64_t ckpt_gen) {
+    if (opts_.checkpoint_path.empty()) return false;
+    pmem::CheckpointMeta expect;
+    expect.kind_tag = CheckpointTag();
+    expect.generation = ckpt_gen;
+    std::string payload;
+    if (pmem::ReadCheckpointFile(opts_.checkpoint_path, expect, &payload) !=
+        pmem::CheckpointLoad::kOk) {
+      return false;
+    }
+    if (!InstallCheckpoint(payload)) {
+      std::fprintf(stderr,
+                   "dash: checkpoint %s structurally invalid; falling back "
+                   "to full recovery scan\n",
+                   opts_.checkpoint_path.c_str());
+      InitVolatile();  // wipe the half-installed structure
+      return false;
+    }
+    recovery_source_ = RecoverySource::kCheckpoint;
+    return true;
+  }
+
+  bool InstallCheckpoint(const std::string& payload) {
+    PayloadHeader ph;
+    if (payload.size() < sizeof(ph)) return false;
+    std::memcpy(&ph, payload.data(), sizeof(ph));
+    if (ph.global_depth > 48) return false;
+    const uint64_t n = 1ull << ph.global_depth;
+    if (ph.num_segments == 0 || ph.num_segments > n) return false;
+    const size_t seg_bytes = SegmentImageBytes();
+    const size_t entry_bytes = sizeof(SegmentPrefix) + seg_bytes;
+    if (payload.size() !=
+        sizeof(ph) + ph.num_segments * entry_bytes) {
+      return false;
+    }
+    HybridDirectory* dir = NewDirectory(ph.global_depth);
+    size_t off = sizeof(ph);
+    uint64_t pos = 0;
+    for (uint64_t s = 0; s < ph.num_segments; ++s) {
+      SegmentPrefix sp;
+      std::memcpy(&sp, payload.data() + off, sizeof(sp));
+      if (sp.local_depth > ph.global_depth ||
+          sp.num_buckets != opts_.buckets_per_segment ||
+          sp.stash_slots != opts_.stash_slots) {
+        return false;
+      }
+      const uint64_t run = 1ull << (ph.global_depth - sp.local_depth);
+      if (pos >= n || (pos & (run - 1)) != 0) return false;
+      if (sp.local_depth > 0 &&
+          sp.pattern != (pos >> (ph.global_depth - sp.local_depth))) {
+        return false;
+      }
+      HybridSegment* seg = NewSegment(sp.local_depth, sp.pattern);
+      std::memcpy(seg + 1, payload.data() + off + sizeof(sp), seg_bytes);
+      for (uint64_t j = pos; j < pos + run; ++j) dir->SetEntry(j, seg);
+      pos += run;
+      off += entry_bytes;
+    }
+    if (pos != n) return false;
+    dir_.store(dir, std::memory_order_release);
+
+    // Scan the chains once (free lists + sequence counter — the scan is
+    // unavoidable; what the checkpoint saves is the per-record dedup and
+    // re-insert work), collecting the tail: committed records past the
+    // recorded watermark of their lane.
+    struct Tail {
+      uint64_t stored;
+      uint64_t handle;
+      uint64_t meta;
+    };
+    std::vector<Tail> tail;
+    // Trusted-handle bitmap, one bit per pool record slot (byte offset /
+    // sizeof(LogRecord)). A record that is committed, non-tombstone, and
+    // at or below its lane's watermark cannot have changed since before
+    // the segment copies: seqs are globally monotone, so recycling or
+    // tombstoning it would have stamped a seq above the watermark. A
+    // checkpointed slot referencing a trusted record is therefore still
+    // exactly what the copy saw — key match and placement included —
+    // and can be kept without touching the record again.
+    std::vector<uint64_t> trusted(
+        (pool_->size() / sizeof(LogRecord) + 63) / 64);
+    uint64_t max_seq = 0;
+    for (uint32_t li = 0; li < opts_.log_lanes; ++li) {
+      const uint64_t wm = ph.watermarks[li];
+      const uint64_t lane_max = log_->ScanLane(
+          li, [&](LogRecord* rec, uint64_t handle, uint64_t meta) {
+            if (LogRecord::Seq(meta) > wm) {
+              tail.push_back(Tail{rec->key, handle, meta});
+            } else if (!LogRecord::IsTombstone(meta)) {
+              const uint64_t slot = HandleOffset(handle) / sizeof(LogRecord);
+              trusted[slot >> 6] |= 1ull << (slot & 63);
+            }
+          });
+      if (lane_max > max_seq) max_seq = lane_max;
+    }
+    log_->NoteScannedSeq(max_seq);
+    // Clear every slot whose record is not trusted: zeroed, recycled,
+    // tombstoned, or superseded past the watermark. Reclamation only
+    // runs after a superseding append, so any still-live key among the
+    // dropped slots has its true state in the tail. This also keeps
+    // var-key replay probes off freed blobs.
+    DropDeadSlots(trusted);
+    CRASH_POINT("hybrid_ckpt_load_after_scan");
+    // Ascending seq order makes unconditional last-writer-wins apply
+    // exactly log-replay semantics; replay performs no PM writes, so a
+    // crash mid-replay trivially re-recovers. Records superseded within
+    // the tail (or spent tombstones) stay behind as committed garbage
+    // until the next full scan collects them.
+    std::sort(tail.begin(), tail.end(), [](const Tail& a, const Tail& b) {
+      return LogRecord::Seq(a.meta) < LogRecord::Seq(b.meta);
+    });
+    for (const Tail& t : tail) ApplyReplay(t.stored, t.handle, t.meta);
+    replayed_records_ = tail.size();
+    recovery_staleness_ =
+        max_seq + 1 > ph.checkpoint_seq ? max_seq + 1 - ph.checkpoint_seq : 0;
+    return true;
+  }
+
+  // Clears checkpointed slots that reference anything but a trusted
+  // record. Key-word equality against the record would not be a valid
+  // substitute: with var keys both the record slot and the key blob can
+  // be recycled for a *different* key, making the pointers match again
+  // while the new content hashes elsewhere. The trusted bitmap closes
+  // that hole structurally — a recycled record carries a post-watermark
+  // seq and is never trusted — and replaces a random PM probe per slot
+  // with an L2-resident bit test.
+  void DropDeadSlots(const std::vector<uint64_t>& trusted) {
+    auto dead = [&](const HybridSlot* slot) {
+      const uint64_t idx = HandleOffset(slot->off) / sizeof(LogRecord);
+      return (idx >> 6) >= trusted.size() ||
+             ((trusted[idx >> 6] >> (idx & 63)) & 1) == 0;
+    };
+    auto clear = [](HybridSlot* slot) {
+      slot->StoreKeyRelease(kEmptyKey);
+      slot->StoreOffRelease(0);
+    };
+    ForEachSegment([&](HybridSegment* seg) {
+      for (uint32_t b = 0; b < seg->num_buckets; ++b) {
+        HybridBucket* bucket = seg->bucket(b);
+        for (uint64_t s = 0; s < kSlotsPerBucket; ++s) {
+          HybridSlot* slot = &bucket->slots[s];
+          if (slot->key != kEmptyKey && dead(slot)) clear(slot);
+        }
+      }
+      for (uint32_t s = 0; s < seg->stash_slots; ++s) {
+        HybridSlot* slot = seg->stash(s);
+        if (slot->key != kEmptyKey && dead(slot)) clear(slot);
+      }
+    });
+  }
+
+  KeyArg KeyFromStored(uint64_t stored) const {
+    if constexpr (KP::kInline) {
+      return stored;
+    } else {
+      return reinterpret_cast<const VarKey*>(stored)->view();
+    }
+  }
+
+  // Applies one tail record against the loaded index (single-threaded,
+  // at open). Idempotent: re-applying a record the checkpoint already
+  // reflects swings the slot to the handle it already holds.
+  void ApplyReplay(uint64_t stored, uint64_t handle, uint64_t meta) {
+    const uint64_t h = KP::HashStored(stored);
+    const KeyArg key = KeyFromStored(stored);
+    for (;;) {
+      HybridSegment* seg = Lookup(h);
+      LockSegment(seg);
+      if (!Valid(seg, h)) {
+        seg->lock.Unlock();
+        continue;
+      }
+      HybridBucket* bucket =
+          seg->bucket(HybridSegment::BucketIndex(h, seg->num_buckets));
+      bool in_stash = false;
+      HybridSlot* slot = ProbeSegment(seg, bucket, h, key, &in_stash);
+      if (LogRecord::IsTombstone(meta)) {
+        if (slot != nullptr) {
+          slot->StoreKeyRelease(kEmptyKey);
+          slot->StoreOffRelease(0);
+        }
+        seg->lock.Unlock();
+        return;
+      }
+      if (slot != nullptr) {
+        slot->StoreOffRelease(handle);
+        slot->StoreKeyRelease(stored);
+        seg->lock.Unlock();
+        return;
+      }
+      slot = FindEmpty(seg, bucket, &in_stash);
+      if (slot == nullptr) {
+        seg->lock.Unlock();
+        const bool ok = Split(seg, h);
+        assert(ok && "hybrid replay split failed");
+        (void)ok;
+        continue;
+      }
+      PublishSlot(bucket, slot, in_stash, stored, handle, h);
+      seg->lock.Unlock();
+      return;
+    }
+  }
+
   // ---- recovery ----
 
   // Scans the lane chains, keeps the highest-seq record per key,
   // garbage-collects everything else, and re-inserts the winners.
-  // Single-threaded (runs in the ctor). Zeroing order: superseded
-  // records strictly before the tombstones that beat them, so a crash
-  // mid-GC can only leave states that re-rebuild to the same table.
+  // Runs in the ctor. With rebuild_threads > 1 the scan is parallelized
+  // by lane (lanes are disjoint: private winner/loser sets per worker, a
+  // serial merge keeps the highest seq per key) and the winner
+  // re-insertion is parallelized too (InsertRebuilt takes segment
+  // locks). GC stays serial: zeroing order — superseded records strictly
+  // before the tombstones that beat them — is what makes a crash mid-GC
+  // re-rebuild to the same table.
   void Rebuild() {
     struct Winner {
       uint64_t handle;
       uint64_t meta;
     };
-    std::unordered_map<MapKey, Winner> winners;
-    std::vector<uint64_t> losers;
-    log_->Scan([&](LogRecord* rec, uint64_t handle, uint64_t meta) {
-      MapKey k;
+    using WinnerMap = std::unordered_map<MapKey, Winner>;
+    auto record_key = [](LogRecord* rec) -> MapKey {
       if constexpr (KP::kInline) {
-        k = rec->key;
+        return rec->key;
       } else {
         const auto* blob = reinterpret_cast<const VarKey*>(rec->key);
         pmem::ReadProbe(blob);
-        k.assign(blob->data, blob->length);
+        return MapKey(blob->data, blob->length);
       }
-      auto [it, fresh] = winners.try_emplace(std::move(k), Winner{handle, meta});
+    };
+    auto classify = [](WinnerMap& w, std::vector<uint64_t>& l, MapKey&& k,
+                       uint64_t handle, uint64_t meta) {
+      auto [it, fresh] = w.try_emplace(std::move(k), Winner{handle, meta});
       if (!fresh) {
         if (LogRecord::Seq(meta) > LogRecord::Seq(it->second.meta)) {
-          losers.push_back(it->second.handle);
+          l.push_back(it->second.handle);
           it->second = Winner{handle, meta};
         } else {
-          losers.push_back(handle);
+          l.push_back(handle);
         }
       }
-    });
+    };
+
+    const uint32_t threads = RebuildThreads();
+    WinnerMap winners;
+    std::vector<uint64_t> losers;
+    if (threads <= 1) {
+      log_->Scan([&](LogRecord* rec, uint64_t handle, uint64_t meta) {
+        classify(winners, losers, record_key(rec), handle, meta);
+      });
+    } else {
+      std::vector<WinnerMap> wmaps(threads);
+      std::vector<std::vector<uint64_t>> lsets(threads);
+      std::vector<uint64_t> lane_max(threads, 0);
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([this, t, threads, &wmaps, &lsets, &lane_max,
+                              &record_key, &classify] {
+          for (uint32_t li = t; li < opts_.log_lanes; li += threads) {
+            const uint64_t m = log_->ScanLane(
+                li, [&](LogRecord* rec, uint64_t handle, uint64_t meta) {
+                  classify(wmaps[t], lsets[t], record_key(rec), handle, meta);
+                });
+            if (m > lane_max[t]) lane_max[t] = m;
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      uint64_t max_seq = 0;
+      for (uint32_t t = 0; t < threads; ++t) {
+        if (lane_max[t] > max_seq) max_seq = lane_max[t];
+      }
+      log_->NoteScannedSeq(max_seq);
+      winners = std::move(wmaps[0]);
+      losers = std::move(lsets[0]);
+      for (uint32_t t = 1; t < threads; ++t) {
+        for (auto& kv : wmaps[t]) {
+          classify(winners, losers, MapKey(kv.first), kv.second.handle,
+                   kv.second.meta);
+        }
+        losers.insert(losers.end(), lsets[t].begin(), lsets[t].end());
+      }
+    }
     CRASH_POINT("hybrid_rebuild_after_scan");
     for (uint64_t h : losers) {
       ReclaimOne(h);
       log_->ReleaseSlot(h);
     }
     CRASH_POINT("hybrid_rebuild_after_gc");
+    std::vector<std::pair<uint64_t, uint64_t>> live;  // {stored, handle}
+    live.reserve(winners.size());
     for (auto& [k, w] : winners) {
       if (LogRecord::IsTombstone(w.meta)) {
         // Spent tombstone: everything it superseded was zeroed above.
@@ -601,8 +1009,32 @@ class HybridTable {
         log_->ReleaseSlot(w.handle);
         continue;
       }
-      InsertRebuilt(log_->Record(w.handle)->key, w.handle);
+      live.emplace_back(log_->Record(w.handle)->key, w.handle);
     }
+    if (threads <= 1 || live.size() < 4096) {
+      for (const auto& [stored, handle] : live) InsertRebuilt(stored, handle);
+    } else {
+      const size_t chunk = (live.size() + threads - 1) / threads;
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (uint32_t t = 0; t < threads; ++t) {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(live.size(), begin + chunk);
+        if (begin >= end) break;
+        workers.emplace_back([this, &live, begin, end] {
+          for (size_t i = begin; i < end; ++i) {
+            InsertRebuilt(live[i].first, live[i].second);
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+  }
+
+  uint32_t RebuildThreads() const {
+    uint32_t t = opts_.rebuild_threads == 0 ? 1 : opts_.rebuild_threads;
+    if (t > opts_.log_lanes) t = opts_.log_lanes;
+    return t;
   }
 
   // Places a surviving record into the DRAM index. The record keeps its
@@ -961,6 +1393,9 @@ class HybridTable {
       dir->SetEntry(i, child);
     }
     dir_lock_.UnlockShared();
+    // Invalidates any checkpoint copy pass in flight: the checkpointer
+    // rereads this counter after its walk and retries on a change.
+    split_epoch_.fetch_add(1, std::memory_order_acq_rel);
     seg->lock.Unlock();
     return true;
   }
@@ -1288,6 +1723,12 @@ class HybridTable {
   std::atomic<HybridDirectory*> dir_{nullptr};
   std::vector<std::unique_ptr<char[]>> retained_dirs_;
   util::RwSpinLock dir_lock_;
+  // Bumped by every split; the checkpoint copy pass validates against it.
+  std::atomic<uint64_t> split_epoch_{0};
+  // Recovery provenance of this open (surfaced via Stats()).
+  RecoverySource recovery_source_ = RecoverySource::kFresh;
+  uint64_t replayed_records_ = 0;
+  uint64_t recovery_staleness_ = 0;
   // Per-thread sharded telemetry: no shared cacheline on the hot paths.
   mutable util::ShardedOptimisticLockStats lock_stats_;
 };

@@ -187,6 +187,14 @@ class HybridLog {
     const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     pmem::AtomicPersist64(rec->meta_word(),
                           (seq << 1) | (tombstone ? 1ull : 0ull));
+    // Volatile per-lane high-water mark of committed seqs (CAS max:
+    // threads hashing to the same lane publish outside the lane lock).
+    // Checkpoints snapshot these as the bounded-staleness frontier.
+    uint64_t wm = lane_watermarks_[li].load(std::memory_order_relaxed);
+    while (wm < seq && !lane_watermarks_[li].compare_exchange_weak(
+                           wm, seq, std::memory_order_release,
+                           std::memory_order_relaxed)) {
+    }
     CRASH_POINT("hybrid_append_after_publish");
     return handle;
   }
@@ -210,42 +218,78 @@ class HybridLog {
     lane.free.push_back(handle);
   }
 
-  // Recovery scan (single-threaded, at open): resets the volatile lane
-  // state, walks every chain, rebuilds the free lists from meta==0 slots,
-  // restores the sequence counter, and calls fn(record, handle, meta) for
-  // every committed record. PM read cost is accounted per record line.
+  // Recovery scan of one lane (at open; lanes are disjoint, so distinct
+  // lanes may be scanned by concurrent worker threads): resets the lane's
+  // volatile state, walks its chain, rebuilds the free list from meta==0
+  // slots, restores the lane watermark, and calls fn(record, handle,
+  // meta) for every committed record. Returns the lane's max committed
+  // seq; the caller merges and hands the global max to NoteScannedSeq.
+  // PM read cost is accounted per record line.
+  template <typename Fn>
+  uint64_t ScanLane(uint32_t li, Fn fn) {
+    Lane& lane = lanes_state_[li];
+    lane.free.clear();
+    lane.tail = nullptr;
+    uint64_t max_seq = 0;
+    for (auto* chunk = reinterpret_cast<LogChunk*>(LaneHead(li));
+         chunk != nullptr;
+         chunk = reinterpret_cast<LogChunk*>(chunk->next)) {
+      pmem::ReadProbe(chunk,
+                      LogChunk::AllocSize(chunk->num_records) / 64);
+      lane.tail = chunk;
+      const uint64_t base = pool_->ToOffset(chunk) + sizeof(LogChunk);
+      for (uint32_t i = 0; i < chunk->num_records; ++i) {
+        LogRecord* rec = chunk->record(i);
+        const uint64_t handle =
+            EncodeHandle(li, base + static_cast<uint64_t>(i) *
+                                        sizeof(LogRecord));
+        const uint64_t meta = rec->meta;
+        if (meta == 0) {
+          lane.free.push_back(handle);
+        } else {
+          if (LogRecord::Seq(meta) > max_seq) max_seq = LogRecord::Seq(meta);
+          fn(rec, handle, meta);
+        }
+      }
+    }
+    lane_watermarks_[li].store(max_seq, std::memory_order_release);
+    return max_seq;
+  }
+
+  // Single-threaded whole-log scan (the serial recovery path).
   template <typename Fn>
   void Scan(Fn fn) {
     uint64_t max_seq = 0;
     for (uint32_t li = 0; li <= lane_mask_; ++li) {
-      Lane& lane = lanes_state_[li];
-      lane.free.clear();
-      lane.tail = nullptr;
-      for (auto* chunk = reinterpret_cast<LogChunk*>(LaneHead(li));
-           chunk != nullptr;
-           chunk = reinterpret_cast<LogChunk*>(chunk->next)) {
-        pmem::ReadProbe(chunk,
-                        LogChunk::AllocSize(chunk->num_records) / 64);
-        lane.tail = chunk;
-        const uint64_t base = pool_->ToOffset(chunk) + sizeof(LogChunk);
-        for (uint32_t i = 0; i < chunk->num_records; ++i) {
-          LogRecord* rec = chunk->record(i);
-          const uint64_t handle =
-              EncodeHandle(li, base + static_cast<uint64_t>(i) *
-                                          sizeof(LogRecord));
-          const uint64_t meta = rec->meta;
-          if (meta == 0) {
-            lane.free.push_back(handle);
-          } else {
-            if (LogRecord::Seq(meta) > max_seq) max_seq = LogRecord::Seq(meta);
-            fn(rec, handle, meta);
-          }
-        }
-      }
+      const uint64_t lane_max = ScanLane(li, fn);
+      if (lane_max > max_seq) max_seq = lane_max;
     }
+    NoteScannedSeq(max_seq);
+  }
+
+  // Restores the sequence counter after a scan (parallel scans call this
+  // once with the merged per-lane max).
+  void NoteScannedSeq(uint64_t max_seq) {
     if (max_seq >= next_seq_.load(std::memory_order_relaxed)) {
       next_seq_.store(max_seq + 1, std::memory_order_relaxed);
     }
+  }
+
+  // Checkpoint support: the per-lane committed-seq frontier. Taken
+  // BEFORE the segment copies — with the globally monotone seq counter,
+  // any record published after a copy has a seq above every snapshotted
+  // watermark, so "replay everything past the watermarks" cannot lose a
+  // record (over-replay of records already copied is idempotent).
+  void SnapshotWatermarks(uint64_t out[kMaxLanes]) const {
+    for (uint32_t li = 0; li < kMaxLanes; ++li) {
+      out[li] = li < lanes_
+                    ? lane_watermarks_[li].load(std::memory_order_acquire)
+                    : 0;
+    }
+  }
+
+  uint64_t NextSeqRelaxed() const {
+    return next_seq_.load(std::memory_order_relaxed);
   }
 
   LogStats Stats() const {
@@ -343,6 +387,7 @@ class HybridLog {
   const uint32_t low_water_;
   const uint32_t lanes_;
   std::atomic<uint64_t> next_seq_{1};
+  std::atomic<uint64_t> lane_watermarks_[kMaxLanes]{};
   mutable Lane lanes_state_[kMaxLanes];  // mutable: Stats() takes lane locks
 };
 

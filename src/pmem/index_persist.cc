@@ -1,0 +1,177 @@
+#include "pmem/index_persist.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "pmem/crash_point.h"
+#include "util/hash.h"
+
+namespace dash::pmem {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x64617368636b7074ull;  // "dashckpt"
+constexpr uint32_t kVersion = 1;
+
+// On-disk header. The checksum chains over every preceding header field
+// and the whole payload, so a torn or truncated file — header or body —
+// fails exactly one check.
+struct FileHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t pad;
+  uint64_t kind_tag;
+  uint64_t generation;
+  uint64_t payload_bytes;
+  uint64_t checksum;
+};
+static_assert(sizeof(FileHeader) == 48);
+
+// Mix64 chain over the header prefix and payload, 8 bytes at a stride
+// (same checksum family as the manifest; word-wise keeps multi-megabyte
+// segment images cheap).
+uint64_t Checksum(const FileHeader& h, const void* payload, size_t bytes) {
+  uint64_t sum = util::Mix64(kMagic ^ h.version);
+  sum = util::Mix64(sum ^ h.kind_tag);
+  sum = util::Mix64(sum ^ h.generation);
+  sum = util::Mix64(sum ^ h.payload_bytes);
+  const auto* p = static_cast<const unsigned char*>(payload);
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, p + i, 8);
+    sum = util::Mix64(sum ^ word);
+  }
+  if (i < bytes) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, p + i, bytes - i);
+    sum = util::Mix64(sum ^ tail);
+  }
+  return sum;
+}
+
+void Reject(const std::string& path, const char* why) {
+  std::fprintf(stderr,
+               "dash: checkpoint %s rejected (%s); falling back to full "
+               "recovery scan\n",
+               path.c_str(), why);
+}
+
+}  // namespace
+
+const char* CheckpointLoadName(CheckpointLoad status) {
+  switch (status) {
+    case CheckpointLoad::kOk: return "ok";
+    case CheckpointLoad::kMissing: return "missing";
+    case CheckpointLoad::kIoError: return "io-error";
+    case CheckpointLoad::kBadMagic: return "bad-magic";
+    case CheckpointLoad::kBadVersion: return "bad-version";
+    case CheckpointLoad::kKindMismatch: return "kind-mismatch";
+    case CheckpointLoad::kStaleGeneration: return "stale-generation";
+    case CheckpointLoad::kBadChecksum: return "bad-checksum";
+  }
+  return "unknown";
+}
+
+bool WriteCheckpointFile(const std::string& path, const CheckpointMeta& meta,
+                         const void* payload, size_t payload_bytes) {
+  FileHeader h{};
+  h.magic = kMagic;
+  h.version = kVersion;
+  h.kind_tag = meta.kind_tag;
+  h.generation = meta.generation;
+  h.payload_bytes = payload_bytes;
+  h.checksum = Checksum(h, payload, payload_bytes);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "dash: cannot write checkpoint temp %s\n",
+                   tmp.c_str());
+      return false;
+    }
+    out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    out.write(static_cast<const char*>(payload),
+              static_cast<std::streamsize>(payload_bytes));
+    CRASH_POINT("ckpt_after_temp_write");
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "dash: short write on checkpoint temp %s\n",
+                   tmp.c_str());
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  CRASH_POINT("ckpt_after_checksum");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "dash: cannot publish checkpoint %s\n", path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  CRASH_POINT("ckpt_after_rename");
+  return true;
+}
+
+CheckpointLoad ReadCheckpointFile(const std::string& path,
+                                  const CheckpointMeta& expect,
+                                  std::string* payload, CheckpointMeta* meta) {
+  // A stray temp file is a crashed writer's leftover, never authoritative.
+  std::remove((path + ".tmp").c_str());
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return CheckpointLoad::kMissing;
+
+  FileHeader h{};
+  if (!in.read(reinterpret_cast<char*>(&h), sizeof(h))) {
+    Reject(path, "truncated header");
+    return CheckpointLoad::kBadChecksum;
+  }
+  if (h.magic != kMagic) {
+    Reject(path, "bad magic");
+    return CheckpointLoad::kBadMagic;
+  }
+  if (h.version != kVersion) {
+    Reject(path, "unsupported version");
+    return CheckpointLoad::kBadVersion;
+  }
+  if (h.kind_tag != expect.kind_tag) {
+    Reject(path, "kind/geometry mismatch");
+    return CheckpointLoad::kKindMismatch;
+  }
+  if (h.generation != expect.generation) {
+    Reject(path, "stale generation");
+    return CheckpointLoad::kStaleGeneration;
+  }
+  // Cap payload reads at 1 GiB: a corrupt length field must not turn
+  // into an allocation bomb before the checksum gets a chance to fail.
+  if (h.payload_bytes > (1ull << 30)) {
+    Reject(path, "implausible payload size");
+    return CheckpointLoad::kBadChecksum;
+  }
+  payload->resize(h.payload_bytes);
+  if (!in.read(payload->data(),
+               static_cast<std::streamsize>(h.payload_bytes))) {
+    Reject(path, "truncated payload");
+    return CheckpointLoad::kBadChecksum;
+  }
+  if (Checksum(h, payload->data(), payload->size()) != h.checksum) {
+    Reject(path, "checksum mismatch");
+    return CheckpointLoad::kBadChecksum;
+  }
+  if (meta != nullptr) {
+    meta->kind_tag = h.kind_tag;
+    meta->generation = h.generation;
+  }
+  return CheckpointLoad::kOk;
+}
+
+void RemoveCheckpointFile(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace dash::pmem

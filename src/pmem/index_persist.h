@@ -1,0 +1,77 @@
+// Crash-consistent index checkpoint files (ROADMAP item 1, checkpoint
+// half): a table-agnostic container for serialized DRAM index state, so
+// restart is a load plus a bounded tail replay instead of a full rebuild.
+//
+// The file discipline is the same as the sharded-store manifest v2:
+// write everything to `<path>.tmp`, flush, then publish with a single
+// std::rename. A reader first deletes any stray `.tmp` (a temp file is
+// never authoritative), then validates magic, version, kind tag,
+// generation, and a Mix64-chained checksum over header and payload. Any
+// failure is reported loudly on stderr and the caller falls back to its
+// full-scan recovery path — a checkpoint can make recovery faster, never
+// wrong.
+//
+// The generation field ties a checkpoint to one lifetime of its pool:
+// the owning table bumps a persistent open-generation counter on every
+// open and stamps checkpoints with the current value. A run that mutates
+// the pool without checkpointing therefore invalidates older checkpoint
+// files automatically (they fail the generation check on the next open).
+//
+// Crash points (swept under torn-write simulation by checkpoint_test):
+//   ckpt_after_temp_write  - temp file fully written, not yet flushed
+//   ckpt_after_checksum    - temp file flushed and closed, not renamed
+//   ckpt_after_rename      - checkpoint published
+
+#ifndef DASH_PM_PMEM_INDEX_PERSIST_H_
+#define DASH_PM_PMEM_INDEX_PERSIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dash::pmem {
+
+// Caller-defined identity and lifetime stamp for a checkpoint file.
+struct CheckpointMeta {
+  // Identifies the producing table flavour (index kind, key mode,
+  // geometry). A reader rejects a tag it did not write.
+  uint64_t kind_tag = 0;
+  // Pool open-generation the checkpoint belongs to.
+  uint64_t generation = 0;
+};
+
+enum class CheckpointLoad : uint8_t {
+  kOk = 0,
+  kMissing,          // no file (silent: first open or checkpoints off)
+  kIoError,          // unreadable file / short read mid-payload
+  kBadMagic,
+  kBadVersion,
+  kKindMismatch,     // written by a different table flavour
+  kStaleGeneration,  // pool was reopened (and possibly mutated) since
+  kBadChecksum,      // torn, truncated, or bit-flipped
+};
+
+const char* CheckpointLoadName(CheckpointLoad status);
+
+// Writes `payload` to `path` crash-consistently. Returns false (with a
+// stderr diagnostic) on I/O failure; the previous checkpoint, if any,
+// stays intact in that case.
+bool WriteCheckpointFile(const std::string& path, const CheckpointMeta& meta,
+                         const void* payload, size_t payload_bytes);
+
+// Reads and validates `path`. On kOk, `*payload` holds the stored bytes
+// and `*meta` the stored tag/generation. `expect` drives the kind and
+// generation checks. Every non-kOk outcome except kMissing logs the
+// reason to stderr (rejections must be loud).
+CheckpointLoad ReadCheckpointFile(const std::string& path,
+                                  const CheckpointMeta& expect,
+                                  std::string* payload,
+                                  CheckpointMeta* meta = nullptr);
+
+// Removes `path` and its temp sibling (used by tests and by benches
+// forcing the full-scan path).
+void RemoveCheckpointFile(const std::string& path);
+
+}  // namespace dash::pmem
+
+#endif  // DASH_PM_PMEM_INDEX_PERSIST_H_

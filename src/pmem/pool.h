@@ -129,6 +129,7 @@ class PmPool {
     return reinterpret_cast<char*>(base_) + header()->root_offset;
   }
   size_t root_size() const { return header()->root_size; }
+  size_t size() const { return header()->pool_size; }
 
   PmAllocator& allocator() { return *allocator_; }
 

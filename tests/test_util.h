@@ -58,7 +58,10 @@ class TempShardPaths {
  private:
   void Cleanup() {
     for (size_t i = 0; i < shards_; ++i) {
-      std::remove((prefix_ + ".shard" + std::to_string(i)).c_str());
+      const std::string shard = prefix_ + ".shard" + std::to_string(i);
+      std::remove(shard.c_str());
+      std::remove((shard + ".ckpt").c_str());
+      std::remove((shard + ".ckpt.tmp").c_str());
     }
     std::remove((prefix_ + ".manifest").c_str());
     std::remove((prefix_ + ".manifest.tmp").c_str());
