@@ -39,16 +39,30 @@
 // mixed stream is measured on the sequential caller-thread path for
 // comparison. Results (plus machine context) are appended as JSON to
 // --json-out (default BENCH_async.json) — the perf-trajectory artifact.
+//
+// --churn[=MULT] (default MULT=4) switches to the hybrid-tier log
+// compaction A/B instead: preload, live-set downsize to a sixteenth, then
+// MULT x --preload uniform updates over the survivors — once with
+// compaction off (log space stays at its peak) and once with a
+// background compactor racing the storm. Each leg reports storm
+// throughput, live-space amplification, and post-churn dirty-reopen
+// time; a churn-summary JSON line carries the on/off ratios the CI
+// churn gate asserts on. The mode also emits the SWAR-vs-scalar
+// fingerprint-probe microbench datapoint (op "fp_probe").
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench_common.h"
+#include "hybrid/hybrid_table.h"
 #include "util/amac.h"
 #include "util/hash.h"
 #include "util/rand.h"
@@ -605,6 +619,285 @@ int RunAsyncServingMode(api::IndexKind kind, size_t shards, int clients,
   return 0;
 }
 
+// ---- sustained-churn mode (--churn[=MULT]) ----
+//
+// Space behaviour of the hybrid tier's value log under update churn,
+// A/B over DashOptions::compaction_trigger. Each leg preloads
+// --preload records, deletes fifteen of every sixteen keys (the
+// live-set downsize: pure update churn is space-bounded by epoch
+// recycling alone — freed slots feed the very next append — so dead
+// capacity only accumulates when the live set shrinks below the chain
+// sizes built for its peak), then drives MULT x preload uniform updates
+// over the survivors. Run under DASH_PM_READ_NS/DASH_PM_FLUSH_NS to
+// model DCPMM: the reopen scan is charged per chunk line, which is the
+// term compaction shrinks. The compaction leg races a background compactor thread
+// against the storm, standing in for the ShardExecutor idle path; the
+// baseline leg never compacts. Reported per leg: storm throughput,
+// live-space amplification (log_chunk_bytes / live-bytes), and the
+// post-churn dirty-reopen time (scan rebuild — a compacted log scans
+// fewer chunks). The CI churn gate parses the summary line.
+
+// The per-byte fingerprint compare loop the SWAR probe replaced, kept
+// here as the A/B baseline. Both probes fold the matched slot index into
+// the returned accumulator so neither loop can be optimized away.
+uint64_t FpProbeScalar(uint64_t fps, uint8_t fp) {
+  uint64_t acc = 0;
+  for (uint64_t s = 0; s < 8; ++s) {
+    if (static_cast<uint8_t>(fps >> (8 * s)) == fp) acc += s + 1;
+  }
+  return acc;
+}
+
+uint64_t FpProbeSwar(uint64_t fps, uint8_t fp) {
+  uint64_t acc = 0;
+  for (uint64_t m = hybrid::MatchFps(fps, fp); m != 0; m &= m - 1) {
+    const uint64_t s = __builtin_ctzll(m) >> 3;
+    // Mirror of the probe path's key compare behind the candidate mask
+    // (SWAR may flag the byte above a true match; the compare strips it).
+    if (static_cast<uint8_t>(fps >> (8 * s)) == fp) acc += s + 1;
+  }
+  return acc;
+}
+
+// Satellite A/B datapoint: the branch-free SWAR fingerprint probe
+// (hybrid::MatchFps) vs the per-byte compare loop it replaced, over the
+// same random (fps, fp) stream. One JSON line; ~1 in 32 probes carries a
+// real match, like a bucket probe on a half-loaded table.
+void RunFpProbeAB() {
+  constexpr size_t kWords = 1 << 16;
+  constexpr uint64_t kProbes = 1 << 24;
+  std::vector<uint64_t> words(kWords);
+  util::Xoshiro256 rng(0x5eed);
+  for (auto& w : words) w = rng.Next();
+  auto run = [&](uint64_t (*probe)(uint64_t, uint8_t)) {
+    uint64_t sink = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kProbes; ++i) {
+      const uint64_t fps = words[i & (kWords - 1)];
+      // Every 32nd probe aims at a byte actually present in the word.
+      const uint8_t fp = (i & 31) == 0
+                             ? static_cast<uint8_t>(fps >> ((i & 7) * 8))
+                             : static_cast<uint8_t>(i * 0x9e);
+      sink += probe(fps, fp);
+    }
+    const double ns = std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    asm volatile("" : : "r"(sink));
+    return ns / static_cast<double>(kProbes);
+  };
+  const double scalar_ns = run(FpProbeScalar);
+  const double swar_ns = run(FpProbeSwar);
+  std::printf(
+      "{\"bench\":\"bench_batch\",\"op\":\"fp_probe\",\"probes\":%llu,"
+      "\"scalar_ns\":%.3f,\"swar_ns\":%.3f,\"speedup\":%.2f}\n",
+      static_cast<unsigned long long>(kProbes), scalar_ns, swar_ns,
+      swar_ns > 0 ? scalar_ns / swar_ns : 0.0);
+  std::fflush(stdout);
+}
+
+struct ChurnLeg {
+  PhaseResult storm;
+  double amplification = 0.0;
+  double reopen_ms = 0.0;
+  api::IndexStats stats;
+};
+
+// One leg's open table state; both legs stay open at once so their storm
+// segments can interleave.
+struct ChurnTable {
+  std::string path;
+  DashOptions options;
+  std::unique_ptr<pmem::PmPool> pool;
+  std::unique_ptr<epoch::EpochManager> epochs;
+  std::unique_ptr<api::KvIndex> table;
+};
+
+ChurnTable OpenChurnTable(const BenchConfig& config, bool compaction) {
+  static int counter = 0;
+  ChurnTable t;
+  t.path = config.pool_dir + "/dash_churn_" + std::to_string(getpid()) +
+           "_" + std::to_string(counter++);
+  std::remove(t.path.c_str());
+  t.options.compaction_trigger = compaction ? 0.25 : 0.0;
+  pmem::PmPool::Options pool_options;
+  pool_options.pool_size = config.pool_gb << 30;
+  t.pool = pmem::PmPool::Create(t.path, pool_options);
+  if (t.pool == nullptr) std::exit(1);
+  t.epochs = std::make_unique<epoch::EpochManager>();
+  t.table = api::CreateKvIndex(api::IndexKind::kHybrid, t.pool.get(),
+                               t.epochs.get(), t.options);
+  return t;
+}
+
+// Preload, live-set downsize (keep only keys divisible by sixteen), and —
+// on the compaction leg — burn down the downsize backlog, so the timed
+// storm measures the sustained cost of background compaction rather than
+// the one-time catch-up (which the compactions/chunks_reclaimed telemetry
+// still reports). The downsize is what makes the A/B meaningful: pure
+// update churn is space-bounded by epoch recycling alone (freed slots
+// feed the very next append); dead capacity accumulates when the live
+// set shrinks below the chain sizes built for its peak — which is when
+// compaction matters.
+void PrepareChurn(ChurnTable& t, uint64_t records, int threads) {
+  Preload(t.table.get(), records, threads);
+  api::KvIndex* table = t.table.get();
+  RunParallel(threads, records, [&](int, uint64_t begin, uint64_t end) {
+    for (uint64_t k = begin; k < end; ++k) {
+      if ((k + 1) % 16 != 0) table->Delete(k + 1);
+    }
+  });
+  t.epochs->DrainAll();
+  while (t.table->Compact()) {  // no-op when the trigger is 0
+    t.epochs->DrainAll();
+  }
+}
+
+double Amplification(const api::IndexStats& s, uint64_t live) {
+  return static_cast<double>(s.log_chunk_bytes) /
+         (static_cast<double>(live) * static_cast<double>(sizeof(uint64_t) * 4));
+}
+
+void PrintChurnLeg(const char* label, uint64_t records, uint64_t updates,
+                   int threads, const ChurnLeg& leg) {
+  std::printf(
+      "{\"bench\":\"bench_batch\",\"op\":\"churn\",\"compaction\":%s,"
+      "\"records\":%llu,\"live\":%llu,\"updates\":%llu,\"threads\":%d,"
+      "\"update_mops\":%.4f,\"amplification\":%.3f,\"log_chunks\":%llu,"
+      "\"log_chunk_bytes\":%llu,\"reopen_ms\":%.3f,\"dead_ratio\":%.3f,"
+      "\"compactions\":%llu,\"chunks_reclaimed\":%llu,"
+      "\"bytes_rewritten\":%llu}\n",
+      label, static_cast<unsigned long long>(records),
+      static_cast<unsigned long long>(records / 16),
+      static_cast<unsigned long long>(updates), threads, leg.storm.mops,
+      leg.amplification,
+      static_cast<unsigned long long>(leg.stats.log_chunks),
+      static_cast<unsigned long long>(leg.stats.log_chunk_bytes),
+      leg.reopen_ms, leg.stats.compaction_dead_ratio,
+      static_cast<unsigned long long>(leg.stats.compactions),
+      static_cast<unsigned long long>(leg.stats.compaction_chunks_reclaimed),
+      static_cast<unsigned long long>(leg.stats.compaction_bytes_rewritten));
+  std::fflush(stdout);
+}
+
+int RunChurnMode(const BenchConfig& config, uint64_t records,
+                 uint64_t churn_mult) {
+  const int threads =
+      config.thread_counts.empty() ? 4 : config.thread_counts.back();
+  const uint64_t updates = records * churn_mult;
+  const uint64_t live = records / 16;
+  RunFpProbeAB();
+
+  ChurnTable off = OpenChurnTable(config, false);
+  ChurnTable on = OpenChurnTable(config, true);
+  PrepareChurn(off, records, threads);
+  PrepareChurn(on, records, threads);
+
+  // Background compactor over the compaction leg, interval-throttled
+  // like the ShardExecutor idle path (compaction_interval_ms) rather
+  // than a tight loop, so the storm threads keep the machine.
+  std::atomic<bool> stop{false};
+  std::thread compactor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!on.table->Compact()) on.epochs->TryAdvanceAndReclaim();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // The storm runs as four equal segments per leg, interleaved
+  // off/on/off/on/..., and each leg reports its median segment: host
+  // speed drifting over the run or a one-off stall dents individual
+  // segments, not the A/B ratio the CI gate asserts on.
+  constexpr size_t kSegments = 4;
+  auto storm_segment = [&](ChurnTable& t, size_t seg) {
+    api::KvIndex* table = t.table.get();
+    return RunParallel(
+        threads, updates / kSegments,
+        [&, table, seg](int th, uint64_t begin, uint64_t end) {
+          util::Xoshiro256 rng(0x9e3779b97f4a7c15ull + seg * 131 + th);
+          for (uint64_t i = begin; i < end; ++i) {
+            table->Update(16 * (1 + rng.NextBounded(live)), i);
+          }
+        });
+  };
+  std::vector<PhaseResult> off_segs, on_segs;
+  for (size_t seg = 0; seg < kSegments; ++seg) {
+    off_segs.push_back(storm_segment(off, seg));
+    on_segs.push_back(storm_segment(on, seg));
+  }
+  stop.store(true, std::memory_order_release);
+  compactor.join();
+
+  auto median = [](std::vector<PhaseResult> v) {
+    std::sort(v.begin(), v.end(),
+              [](const PhaseResult& a, const PhaseResult& b) {
+                return a.mops < b.mops;
+              });
+    return v[v.size() / 2];
+  };
+  ChurnLeg off_leg, on_leg;
+  off_leg.storm = median(off_segs);
+  on_leg.storm = median(on_segs);
+
+  // Quiesce both legs; converge the compaction leg back under its
+  // trigger before reading the space numbers.
+  off.epochs->DrainAll();
+  on.epochs->DrainAll();
+  while (on.table->Compact()) {
+    on.epochs->DrainAll();
+  }
+  off_leg.stats = off.table->Stats();
+  on_leg.stats = on.table->Stats();
+  off_leg.amplification = Amplification(off_leg.stats, live);
+  on_leg.amplification = Amplification(on_leg.stats, live);
+
+  auto crash_close = [](ChurnTable& t) {
+    t.epochs->DiscardAll();
+    t.table.reset();
+    t.pool->CloseDirty();  // crash image for the reopen measurement
+    t.pool.reset();
+  };
+  crash_close(off);
+  crash_close(on);
+
+  // Post-churn restart: time-to-first-request over each leg's crash
+  // image. No checkpoint is configured, so this is the full log-scan
+  // rebuild — proportional to the chunk bytes the leg left behind.
+  auto timed_reopen = [](ChurnTable& t) {
+    const auto start = std::chrono::steady_clock::now();
+    auto pool = pmem::PmPool::Open(t.path);
+    if (pool == nullptr) std::exit(1);
+    epoch::EpochManager epochs;
+    auto table = api::CreateKvIndex(api::IndexKind::kHybrid, pool.get(),
+                                    &epochs, t.options);
+    uint64_t value = 0;
+    table->Search(16, &value);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    epochs.DiscardAll();
+    table.reset();
+    pool->CloseDirty();
+    std::remove(t.path.c_str());
+    return ms;
+  };
+  off_leg.reopen_ms = timed_reopen(off);
+  on_leg.reopen_ms = timed_reopen(on);
+  PrintChurnLeg("false", records, updates, threads, off_leg);
+  PrintChurnLeg("true", records, updates, threads, on_leg);
+  std::printf(
+      "{\"bench\":\"bench_batch\",\"op\":\"churn-summary\","
+      "\"amp_on\":%.3f,\"amp_off\":%.3f,\"reopen_on_ms\":%.3f,"
+      "\"reopen_off_ms\":%.3f,\"reopen_speedup\":%.2f,"
+      "\"mops_on\":%.4f,\"mops_off\":%.4f,\"mops_ratio\":%.3f}\n",
+      on_leg.amplification, off_leg.amplification, on_leg.reopen_ms, off_leg.reopen_ms,
+      on_leg.reopen_ms > 0 ? off_leg.reopen_ms / on_leg.reopen_ms : 0.0, on_leg.storm.mops,
+      off_leg.storm.mops,
+      off_leg.storm.mops > 0 ? on_leg.storm.mops / off_leg.storm.mops : 0.0);
+  std::fflush(stdout);
+  return 0;
+}
+
 }  // namespace
 }  // namespace dash::bench
 
@@ -623,6 +916,7 @@ int main(int argc, char** argv) {
   std::string json_out = "BENCH_async.json";
   std::string pipeline_arg = "both";
   std::string workload_arg;
+  uint64_t churn_mult = 0;  // 0 = churn mode off
   double check_speedup = 0.0;
   std::string check_vs_arg;
   for (int i = 1; i < argc; ++i) {
@@ -651,6 +945,10 @@ int main(int argc, char** argv) {
       pipeline_arg = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--workload=", 11) == 0) {
       workload_arg = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--churn=", 8) == 0) {
+      churn_mult = std::max<uint64_t>(1, std::strtoull(argv[i] + 8, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      churn_mult = 4;
     } else if (std::strncmp(argv[i], "--check-speedup=", 16) == 0) {
       check_speedup = std::strtod(argv[i] + 16, nullptr);
     } else if (std::strncmp(argv[i], "--check-vs=", 11) == 0) {
@@ -708,6 +1006,18 @@ int main(int argc, char** argv) {
   const uint64_t insert_ops = std::min<uint64_t>(ops / 2, preload);
 
   PrintHeader("bench_batch");
+
+  // --churn[=MULT]: hybrid-tier space/throughput under sustained update
+  // churn, compaction on vs off (plus the SWAR fingerprint-probe A/B
+  // datapoint).
+  if (churn_mult > 0) {
+    if (shards > 0 || !workload_arg.empty()) {
+      std::fprintf(stderr,
+                   "--churn is its own mode; drop --shards/--workload\n");
+      return 1;
+    }
+    return RunChurnMode(config, preload, churn_mult);
+  }
 
   // --workload={a,b,c}: the YCSB-style zipfian read/update mix.
   if (!workload_arg.empty()) {

@@ -1,6 +1,8 @@
 #include "api/executor.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "util/thread_id.h"
 
@@ -128,7 +130,12 @@ void ShardExecutor::WorkerLoop(size_t s) {
   epoch::EpochManager* epochs = shards_[s]->epochs;
   const auto ckpt_interval =
       std::chrono::milliseconds(options_.checkpoint_interval_ms);
+  const auto compact_interval =
+      std::chrono::milliseconds(options_.compaction_interval_ms);
   auto last_ckpt = std::chrono::steady_clock::now();
+  auto last_compact = last_ckpt;
+  const bool timed_idle = options_.checkpoint_interval_ms != 0 ||
+                          options_.compaction_interval_ms != 0;
   for (;;) {
     WorkItem item;
     {
@@ -138,9 +145,10 @@ void ShardExecutor::WorkerLoop(size_t s) {
         // blocks, so garbage does not sit pinned until the next Retire.
         lock.unlock();
         epochs->TryAdvanceAndReclaim();
-        // Periodic checkpoint refresh, from the idle path only: runs
-        // between queued batches (never mid-batch) and at most once per
-        // interval. Quarantined shards carry a null index — skip.
+        // Periodic background maintenance, from the idle path only:
+        // checkpoint refresh and log compaction each run between queued
+        // batches (never mid-batch) and at most once per their interval.
+        // Quarantined shards carry a null index — skip.
         if (options_.checkpoint_interval_ms != 0 &&
             std::chrono::steady_clock::now() - last_ckpt >= ckpt_interval) {
           KvIndex* index =
@@ -148,16 +156,32 @@ void ShardExecutor::WorkerLoop(size_t s) {
           if (index != nullptr) index->WriteCheckpoint();
           last_ckpt = std::chrono::steady_clock::now();
         }
+        if (options_.compaction_interval_ms != 0 &&
+            std::chrono::steady_clock::now() - last_compact >=
+                compact_interval) {
+          KvIndex* index =
+              shards_[s]->index.load(std::memory_order_acquire);
+          if (index != nullptr) index->Compact();
+          last_compact = std::chrono::steady_clock::now();
+        }
         lock.lock();
-        if (options_.checkpoint_interval_ms == 0) {
+        if (!timed_idle) {
           queue.not_empty.wait(
               lock, [&] { return !queue.items.empty() || queue.stopped; });
         } else {
-          // Timed wait so a shard that stays idle still refreshes its
-          // checkpoint on schedule (the wake loops back to the idle
-          // block above, which decides whether the interval elapsed).
+          // Timed wait (nearest of the two timers) so a shard that stays
+          // idle still runs its maintenance on schedule (the wake loops
+          // back to the idle block above, which decides which interval
+          // elapsed).
+          auto deadline = std::chrono::steady_clock::time_point::max();
+          if (options_.checkpoint_interval_ms != 0) {
+            deadline = std::min(deadline, last_ckpt + ckpt_interval);
+          }
+          if (options_.compaction_interval_ms != 0) {
+            deadline = std::min(deadline, last_compact + compact_interval);
+          }
           queue.not_empty.wait_until(
-              lock, last_ckpt + ckpt_interval,
+              lock, deadline,
               [&] { return !queue.items.empty() || queue.stopped; });
           if (queue.items.empty() && !queue.stopped) continue;
         }

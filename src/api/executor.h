@@ -50,6 +50,12 @@ struct ExecutorOptions {
   // checkpoint runs on the worker thread between queued batches, never
   // in the middle of one.
   uint32_t checkpoint_interval_ms = 0;
+  // When non-zero, each shard's worker runs one log-compaction pass from
+  // the idle path at most every this-many milliseconds (see
+  // KvIndex::Compact — a no-op unless DashOptions::compaction_trigger is
+  // set and a lane's dead ratio crosses it). Same discipline as the
+  // checkpoint refresh: between queued batches, never mid-batch.
+  uint32_t compaction_interval_ms = 0;
 };
 
 class ShardExecutor {

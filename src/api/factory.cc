@@ -49,6 +49,7 @@ hybrid::HybridOptions ToHybridOptions(const DashOptions& o) {
   h.batch_pipeline = o.batch_pipeline;
   h.checkpoint_path = o.checkpoint_path;
   h.rebuild_threads = o.rebuild_threads;
+  h.compaction_trigger = o.compaction_trigger;
   return h;
 }
 
@@ -193,6 +194,16 @@ class IndexAdapter : public Base {
     }
   }
 
+  bool Compact() override {
+    if constexpr (requires(Table& t) {
+                    { t.Compact() } -> std::same_as<bool>;
+                  }) {
+      return table_.Compact();
+    } else {
+      return false;  // PM-native index: no value log to compact
+    }
+  }
+
   void CloseClean() override { table_.CloseClean(); }
   IndexStats Stats() override {
     const auto s = table_.Stats();
@@ -220,6 +231,16 @@ class IndexAdapter : public Base {
       out.recovery_source = s.recovery_source;
       out.recovery_replayed = s.recovery_replayed;
       out.recovery_staleness = s.recovery_staleness;
+    }
+    // Log-compaction telemetry (hybrid only).
+    if constexpr (requires { s.compactions; }) {
+      out.log_dead_slots = s.log_dead_slots;
+      out.compaction_dead_ratio = s.compaction_dead_ratio;
+      out.compactions = s.compactions;
+      out.compaction_chunks_reclaimed = s.compaction_chunks_reclaimed;
+      out.compaction_bytes_rewritten = s.compaction_bytes_rewritten;
+      out.log_chunks = s.log_chunks;
+      out.log_chunk_bytes = s.log_chunk_bytes;
     }
     return out;
   }

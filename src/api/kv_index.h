@@ -82,6 +82,21 @@ struct IndexStats {
   RecoverySource recovery_source = RecoverySource::kNative;
   uint64_t recovery_replayed = 0;
   uint64_t recovery_staleness = 0;
+  // Hybrid log compaction telemetry (cumulative since open; zeros for
+  // PM-native tables). `log_dead_slots` counts recycled-then-freed record
+  // slots across lanes; `compaction_dead_ratio` is the worst per-lane
+  // dead/capacity ratio — the value Compact() weighs against
+  // DashOptions::compaction_trigger.
+  uint64_t log_dead_slots = 0;
+  double compaction_dead_ratio = 0.0;
+  uint64_t compactions = 0;
+  uint64_t compaction_chunks_reclaimed = 0;
+  uint64_t compaction_bytes_rewritten = 0;
+  // Value-log footprint (hybrid tier): chunks currently linked across all
+  // lanes and the bytes they pin. log_chunk_bytes / (records * 32) is the
+  // live-space amplification the churn bench gates on.
+  uint64_t log_chunks = 0;
+  uint64_t log_chunk_bytes = 0;
 };
 
 // Fixed-length (8-byte) key index. All operations are thread-safe.
@@ -209,6 +224,15 @@ class KvIndex {
   // workers' idle path and CloseClean call this.
   virtual bool WriteCheckpoint() { return false; }
 
+  // Runs one online log-compaction pass (hybrid tier): lanes whose
+  // dead-slot ratio exceeds DashOptions::compaction_trigger get their
+  // oldest chunk rewritten — live records copied to the tail, the
+  // drained chunk returned to the pool. Safe under concurrent
+  // operations; returns false when nothing qualified, compaction is
+  // disabled (trigger 0), or the index has no log (PM-native tables).
+  // The shard workers' idle path calls this on a timer.
+  virtual bool Compact() { return false; }
+
   // Marks a clean shutdown (before closing the pool).
   virtual void CloseClean() = 0;
   virtual IndexStats Stats() = 0;
@@ -294,6 +318,9 @@ class VarKvIndex {
 
   // Checkpoint hook; same contract as KvIndex::WriteCheckpoint.
   virtual bool WriteCheckpoint() { return false; }
+
+  // Compaction hook; same contract as KvIndex::Compact.
+  virtual bool Compact() { return false; }
 
   virtual void CloseClean() = 0;
   virtual IndexStats Stats() = 0;

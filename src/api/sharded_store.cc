@@ -345,6 +345,7 @@ std::unique_ptr<ShardedStore> ShardedStore::Open(
     executor_options.queue_depth = options.async.queue_depth;
     executor_options.pin_workers = options.async.pin_workers;
     executor_options.checkpoint_interval_ms = options.checkpoint_interval_ms;
+    executor_options.compaction_interval_ms = options.compaction_interval_ms;
     store->executor_ =
         std::make_unique<ShardExecutor>(std::move(ctx), executor_options);
   }

@@ -134,6 +134,12 @@ struct ShardedStoreOptions {
   // every this-many milliseconds (0 = only at CloseClean). Requires the
   // async executor; inline stores checkpoint only at CloseClean.
   uint32_t checkpoint_interval_ms = 0;
+  // Ask each shard's worker to run a log-compaction pass from the idle
+  // path every this-many milliseconds (0 = never; compaction also needs
+  // table.compaction_trigger > 0 or every pass is a no-op). Requires the
+  // async executor; inline stores compact only via explicit Compact()
+  // calls on the underlying index.
+  uint32_t compaction_interval_ms = 0;
 };
 
 struct ShardedStats {

@@ -82,6 +82,13 @@ struct DashOptions {
   // Worker threads for the hybrid tier's log-scan rebuild (the fallback
   // recovery path), parallelized by lane. 1 = serial.
   uint32_t rebuild_threads = 1;
+  // Hybrid tier: dead-slot ratio (dead / lane capacity) above which a
+  // Compact() pass rewrites a lane's oldest chunk — live records are
+  // copied to the tail with fresh seqs and the drained chunk returns to
+  // the pool, so chains shrink physically under update churn. 0 disables
+  // compaction. The ShardExecutor drives the trigger from its idle path
+  // (ExecutorOptions::compaction_interval_ms), never mid-batch.
+  double compaction_trigger = 0.0;
 
   // --- behavioural (volatile; ablation knobs) ---
   bool use_fingerprints = true;      // Fig. 9

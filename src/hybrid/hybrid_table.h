@@ -31,6 +31,17 @@
 // dereference the old handle. A delete zeroes the superseded record
 // strictly before its tombstone so a crash between the two never
 // resurrects the key.
+//
+// Compaction: slot recycling alone does not shrink chains — update churn
+// strands dead slots across old chunks. Compact() (driven by the shard
+// workers' idle path when DashOptions::compaction_trigger > 0) claims the
+// oldest chunk of each lane whose dead ratio crosses the trigger, walks
+// the index under segment locks and relocates every live record that
+// sits in a victim (append a copy with a fresh seq, swing the slot's
+// handle exactly like an update, epoch-retire the old record), then
+// unlinks and frees the fully drained chunk. Optimistic readers chasing a
+// stale handle revalidate and retry exactly as for updates; see pm_log.h
+// for why a freed chunk can never be reached by a reader.
 
 #ifndef DASH_PM_HYBRID_HYBRID_TABLE_H_
 #define DASH_PM_HYBRID_HYBRID_TABLE_H_
@@ -72,6 +83,18 @@ inline constexpr uint64_t kEmptyKey = 0;
 // Sticky (never cleared on delete) — a false positive costs one extra
 // DRAM stash scan, never a wrong answer.
 inline constexpr uint64_t kStashHint = 1;
+
+// SWAR fingerprint filter over the packed fps word: XOR against the
+// broadcast fingerprint turns matching bytes to zero, then the classic
+// has-zero-byte trick ((x - 0x01..) & ~x & 0x80..) lights bit 7 of every
+// zero byte — one branch-free pass instead of eight byte extractions.
+// The trick can light the byte directly above a match (borrow artifact);
+// like any fingerprint collision, the key compare behind the filter
+// absorbs that, and matches are never missed.
+inline uint64_t MatchFps(uint64_t fps, uint8_t fp) {
+  const uint64_t x = fps ^ (0x0101010101010101ull * fp);
+  return (x - 0x0101010101010101ull) & ~x & 0x8080808080808080ull;
+}
 
 // One DRAM slot: stored key word + PmOffset handle of the live record.
 // Invariant: slot.key == Record(slot.off)->key (same word, shared
@@ -271,6 +294,9 @@ struct HybridOptions {
   std::string checkpoint_path;
   // Lane-parallel rebuild workers for the full-scan recovery path.
   uint32_t rebuild_threads = 1;
+  // Per-lane dead-slot ratio at which Compact() rewrites a lane's oldest
+  // chunk (0 disables compaction entirely).
+  double compaction_trigger = 0.0;
 };
 
 struct HybridStats {
@@ -284,6 +310,13 @@ struct HybridStats {
   uint64_t log_chunks = 0;
   uint64_t log_free_slots = 0;
   uint64_t log_chunk_bytes = 0;
+  // Compaction telemetry: known-dead free slots, the worst per-lane dead
+  // ratio, and cumulative compaction work since open.
+  uint64_t log_dead_slots = 0;
+  double compaction_dead_ratio = 0.0;
+  uint64_t compactions = 0;
+  uint64_t compaction_chunks_reclaimed = 0;
+  uint64_t compaction_bytes_rewritten = 0;
   // Recovery provenance of this open (see RecoverySource).
   RecoverySource recovery_source = RecoverySource::kFresh;
   // Tail records replayed on top of the loaded checkpoint.
@@ -360,6 +393,57 @@ class HybridTable {
   }
 
   RecoverySource recovery_source() const { return recovery_source_; }
+
+  // One bounded online compaction pass (safe to call concurrently with
+  // all operations; concurrent passes skip each other's lanes). For every
+  // lane whose dead ratio is at or above opts_.compaction_trigger, claims
+  // the lane's oldest chunk, relocates its live records (one index walk
+  // covers all claimed lanes), runs the epoch manager so the retired
+  // originals get zeroed, and frees every chunk that fully drained.
+  // Chunks still waiting on reader grace periods stay claimed and finish
+  // on a later pass. Returns true when a chunk was reclaimed.
+  bool Compact() {
+    if (opts_.compaction_trigger <= 0.0) return false;
+    bool claimed[kMaxLanes] = {};
+    uint64_t begin[kMaxLanes] = {};
+    uint64_t end[kMaxLanes] = {};
+    uint32_t active = 0;
+    for (uint32_t li = 0; li < opts_.log_lanes; ++li) {
+      if (!log_->TryLockCompaction(li)) continue;
+      if ((log_->HasRetiring(li) ||
+           log_->ShouldCompact(li, opts_.compaction_trigger)) &&
+          log_->BeginCompactChunk(li)) {
+        claimed[li] = true;
+        log_->RetiringRange(li, &begin[li], &end[li]);
+        ++active;
+      } else {
+        log_->UnlockCompaction(li);
+      }
+    }
+    if (active == 0) return false;
+    RelocateVictims(claimed, begin, end);
+    // Drain: the relocations' retired originals zero after a grace
+    // period; a few advance attempts usually suffice when no reader is
+    // pinned. Whatever stays live finishes on a later pass.
+    bool progressed = false;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      epochs_->TryAdvanceAndReclaim();
+      bool pending = false;
+      for (uint32_t li = 0; li < opts_.log_lanes; ++li) {
+        if (!claimed[li] || !log_->HasRetiring(li)) continue;
+        if (log_->FinishCompactChunk(li)) {
+          progressed = true;
+        } else {
+          pending = true;
+        }
+      }
+      if (!pending) break;
+    }
+    for (uint32_t li = 0; li < opts_.log_lanes; ++li) {
+      if (claimed[li]) log_->UnlockCompaction(li);
+    }
+    return progressed;
+  }
 
   OpStatus Insert(KeyArg key, uint64_t value) {
     const uint64_t h = KP::Hash(key);
@@ -494,6 +578,11 @@ class HybridTable {
     stats.log_chunks = ls.chunks;
     stats.log_free_slots = ls.free_slots;
     stats.log_chunk_bytes = ls.chunk_bytes;
+    stats.log_dead_slots = ls.dead_slots;
+    stats.compaction_dead_ratio = ls.max_dead_ratio;
+    stats.compactions = ls.compactions;
+    stats.compaction_chunks_reclaimed = ls.chunks_reclaimed;
+    stats.compaction_bytes_rewritten = ls.bytes_rewritten;
     stats.recovery_source = recovery_source_;
     stats.recovery_replayed = replayed_records_;
     stats.recovery_staleness = recovery_staleness_;
@@ -781,6 +870,12 @@ class HybridTable {
       uint64_t meta;
     };
     std::vector<Tail> tail;
+    // Every committed record, for the post-replay garbage sweep below.
+    struct Committed {
+      uint64_t handle;
+      uint64_t meta;
+    };
+    std::vector<Committed> committed;
     // Trusted-handle bitmap, one bit per pool record slot (byte offset /
     // sizeof(LogRecord)). A record that is committed, non-tombstone, and
     // at or below its lane's watermark cannot have changed since before
@@ -796,6 +891,7 @@ class HybridTable {
       const uint64_t wm = ph.watermarks[li];
       const uint64_t lane_max = log_->ScanLane(
           li, [&](LogRecord* rec, uint64_t handle, uint64_t meta) {
+            committed.push_back(Committed{handle, meta});
             if (LogRecord::Seq(meta) > wm) {
               tail.push_back(Tail{rec->key, handle, meta});
             } else if (!LogRecord::IsTombstone(meta)) {
@@ -810,14 +906,19 @@ class HybridTable {
     // tombstoned, or superseded past the watermark. Reclamation only
     // runs after a superseding append, so any still-live key among the
     // dropped slots has its true state in the tail. This also keeps
-    // var-key replay probes off freed blobs.
-    DropDeadSlots(trusted);
+    // var-key replay probes off freed blobs. The per-lane drop counts
+    // seed the dead-slot accounting: most dropped slots name records
+    // whose reclamation already ran, i.e. dead capacity the compaction
+    // trigger should see from the first tick of this run.
+    uint64_t dropped[kMaxLanes] = {};
+    DropDeadSlots(trusted, dropped);
+    for (uint32_t li = 0; li < opts_.log_lanes; ++li) {
+      if (dropped[li] != 0) log_->SeedDead(li, dropped[li]);
+    }
     CRASH_POINT("hybrid_ckpt_load_after_scan");
     // Ascending seq order makes unconditional last-writer-wins apply
     // exactly log-replay semantics; replay performs no PM writes, so a
-    // crash mid-replay trivially re-recovers. Records superseded within
-    // the tail (or spent tombstones) stay behind as committed garbage
-    // until the next full scan collects them.
+    // crash mid-replay trivially re-recovers.
     std::sort(tail.begin(), tail.end(), [](const Tail& a, const Tail& b) {
       return LogRecord::Seq(a.meta) < LogRecord::Seq(b.meta);
     });
@@ -825,7 +926,55 @@ class HybridTable {
     replayed_records_ = tail.size();
     recovery_staleness_ =
         max_seq + 1 > ph.checkpoint_seq ? max_seq + 1 - ph.checkpoint_seq : 0;
+    SweepUnreferenced(committed);
     return true;
+  }
+
+  // Collects the committed garbage a checkpoint open would otherwise
+  // strand: records superseded within the replay tail, spent tombstones,
+  // and pairs whose epoch retirement was lost to the crash. After replay
+  // the index references exactly one record per live key, so every
+  // committed record no slot points at is garbage — with no concurrent
+  // ops at open, that judgement is exact, where the online path must
+  // leave non-current records to their pending retirements. Without this
+  // sweep such orphans would also pin their chunks against compaction
+  // forever. Zeroing order is the delete-pair rule writ large: ALL
+  // unreferenced regular records strictly before ANY tombstone. Any
+  // record a tombstone supersedes is itself unreferenced (a checkpointed
+  // slot for the key would imply the tombstone outran the watermark and
+  // replay cleared it), so a crash between the phases can only lose
+  // tombstones whose victims are already gone — never resurrect a key.
+  template <typename CommittedVec>
+  void SweepUnreferenced(const CommittedVec& committed) {
+    std::vector<uint64_t> referenced(
+        (pool_->size() / sizeof(LogRecord) + 63) / 64);
+    ForEachSegment([&](HybridSegment* seg) {
+      auto mark = [&](const HybridSlot* slot) {
+        if (slot->key == kEmptyKey) return;
+        const uint64_t idx = HandleOffset(slot->off) / sizeof(LogRecord);
+        referenced[idx >> 6] |= 1ull << (idx & 63);
+      };
+      for (uint32_t b = 0; b < seg->num_buckets; ++b) {
+        for (uint64_t s = 0; s < kSlotsPerBucket; ++s) {
+          mark(&seg->bucket(b)->slots[s]);
+        }
+      }
+      for (uint32_t s = 0; s < seg->stash_slots; ++s) mark(seg->stash(s));
+    });
+    auto orphaned = [&](uint64_t handle) {
+      const uint64_t idx = HandleOffset(handle) / sizeof(LogRecord);
+      return ((referenced[idx >> 6] >> (idx & 63)) & 1) == 0;
+    };
+    for (const auto& c : committed) {
+      if (LogRecord::IsTombstone(c.meta) || !orphaned(c.handle)) continue;
+      ReclaimOne(c.handle);
+      log_->ReleaseSlot(c.handle);
+    }
+    for (const auto& c : committed) {
+      if (!LogRecord::IsTombstone(c.meta)) continue;
+      ReclaimOne(c.handle);
+      log_->ReleaseSlot(c.handle);
+    }
   }
 
   // Clears checkpointed slots that reference anything but a trusted
@@ -836,13 +985,15 @@ class HybridTable {
   // that hole structurally — a recycled record carries a post-watermark
   // seq and is never trusted — and replaces a random PM probe per slot
   // with an L2-resident bit test.
-  void DropDeadSlots(const std::vector<uint64_t>& trusted) {
+  void DropDeadSlots(const std::vector<uint64_t>& trusted,
+                     uint64_t dropped[kMaxLanes]) {
     auto dead = [&](const HybridSlot* slot) {
       const uint64_t idx = HandleOffset(slot->off) / sizeof(LogRecord);
       return (idx >> 6) >= trusted.size() ||
              ((trusted[idx >> 6] >> (idx & 63)) & 1) == 0;
     };
-    auto clear = [](HybridSlot* slot) {
+    auto clear = [&](HybridSlot* slot) {
+      ++dropped[HandleLane(slot->off)];
       slot->StoreKeyRelease(kEmptyKey);
       slot->StoreOffRelease(0);
     };
@@ -1086,6 +1237,81 @@ class HybridTable {
     if (tomb_handle != 0) log_->ReleaseSlot(tomb_handle);
   }
 
+  // ---- compaction ----
+
+  // Walks the index once and copies every live record that sits in a
+  // claimed victim chunk out to a fresh slot of its lane. Done under
+  // segment locks, which is what makes it safe: the slot is current by
+  // construction (a concurrent supersede needs the same lock), so the
+  // record — and in pointer mode the key blob the slot shares with it —
+  // cannot be retired under us. Records of a victim that the walk does
+  // NOT find are already superseded; their pending epoch retirements
+  // zero them. Segments that split mid-walk may carry live victim
+  // records past this pass; the chunk then simply fails to drain and a
+  // later pass retries — convergence, not correctness, depends on the
+  // walk.
+  void RelocateVictims(const bool claimed[kMaxLanes],
+                       const uint64_t begin[kMaxLanes],
+                       const uint64_t end[kMaxLanes]) {
+    auto in_victim = [&](uint64_t handle) {
+      const uint32_t li = HandleLane(handle);
+      const uint64_t off = HandleOffset(handle);
+      return claimed[li] && off >= begin[li] && off < end[li];
+    };
+    HybridDirectory* dir = Dir();
+    const uint64_t n = 1ull << dir->global_depth;
+    uint64_t i = 0;
+    while (i < n) {
+      HybridSegment* seg = dir->entry(i);
+      LockSegment(seg);
+      for (uint32_t b = 0; b < seg->num_buckets; ++b) {
+        HybridBucket* bucket = seg->bucket(b);
+        for (uint64_t s = 0; s < kSlotsPerBucket; ++s) {
+          HybridSlot* slot = &bucket->slots[s];
+          if (slot->key != kEmptyKey && in_victim(slot->off)) {
+            RelocateSlot(slot);
+          }
+        }
+      }
+      for (uint32_t s = 0; s < seg->stash_slots; ++s) {
+        HybridSlot* slot = seg->stash(s);
+        if (slot->key != kEmptyKey && in_victim(slot->off)) {
+          RelocateSlot(slot);
+        }
+      }
+      const uint32_t ld = seg->local_depth();
+      seg->lock.Unlock();
+      i += ld >= dir->global_depth ? 1 : 1ull << (dir->global_depth - ld);
+    }
+  }
+
+  // Copies one live record out of a victim chunk (segment lock held).
+  // The same protocol as an out-of-place update with an unchanged value:
+  // fresh stored key word (each record owns its blob — sharing the old
+  // blob would let a crash between publish and zero leave two committed
+  // records co-owning one blob, and rebuild's loser GC would free it out
+  // from under the winner), fresh seq above every snapshotted checkpoint
+  // watermark, handle swing, epoch-retire the original. Fingerprint and
+  // stash hint are keyed off the key and do not change. An out-of-memory
+  // append just leaves the record in place for a later pass.
+  void RelocateSlot(HybridSlot* slot) {
+    const uint64_t old_handle = slot->LoadOffAcquire();
+    const uint64_t value = log_->Record(old_handle)->LoadValueAcquire();
+    const uint64_t stored = KP::MakeStored(KeyFromStored(slot->key), alloc_);
+    if (!KP::kInline && stored == 0) return;
+    const uint64_t handle =
+        log_->AppendCompacted(HandleLane(old_handle), stored, value);
+    if (handle == 0) {
+      KP::FreeStored(stored, alloc_);
+      return;
+    }
+    slot->StoreOffRelease(handle);
+    slot->StoreKeyRelease(stored);
+    CRASH_POINT("hybrid_compact_after_publish");
+    HybridTable* self = this;
+    epochs_->Retire([self, old_handle] { self->ReclaimPair(old_handle, 0); });
+  }
+
   // ---- per-op bodies (caller holds an epoch guard) ----
 
   OpStatus InsertWithHash(KeyArg key, uint64_t value, uint64_t h) {
@@ -1244,8 +1470,11 @@ class HybridTable {
       lock_stats_.CountRetry();
       return OpStatus::kRetry;
     }
-    // Chunks are never unmapped and slots recycle in place, so even a
-    // stale handle dereferences safely; Verify discards its value.
+    // A stale handle still dereferences safely even though compaction
+    // frees drained chunks: a chunk is only unlinked once every record
+    // in it was zeroed post-grace and its slots left the free list, so
+    // no handle a reader can have observed reaches freed memory (see
+    // pm_log.h). Verify discards the stale value either way.
     LogRecord* rec = log_->Record(handle);
     pmem::ReadProbe(rec);
     const uint64_t value = rec->LoadValueAcquire();
@@ -1277,8 +1506,8 @@ class HybridTable {
                            uint64_t h, KeyArg key, bool* in_stash) {
     const uint8_t fp = HybridSegment::Fingerprint(h);
     const uint64_t fps = bucket->LoadFpsAcquire();
-    for (uint64_t s = 0; s < kSlotsPerBucket; ++s) {
-      if (static_cast<uint8_t>(fps >> (8 * s)) != fp) continue;
+    for (uint64_t m = MatchFps(fps, fp); m != 0; m &= m - 1) {
+      const uint64_t s = static_cast<uint64_t>(__builtin_ctzll(m)) >> 3;
       HybridSlot* slot = &bucket->slots[s];
       const uint64_t stored = slot->LoadKeyAcquire();
       if (stored == kEmptyKey) continue;
